@@ -1,0 +1,29 @@
+# Convenience targets for the query-auditing reproduction.
+
+PY ?= python
+
+.PHONY: install test bench examples figures clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PY) $$script || exit 1; \
+	done
+
+figures:
+	$(PY) -m repro fig1
+	$(PY) -m repro fig2
+	$(PY) -m repro fig3
+
+clean:
+	rm -rf src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,46 @@
+"""Figure 1 — time to first denial vs database size (random sum queries).
+
+Paper: "the number of queries that were answered before the first denial
+was in fact almost exactly equal to the size of the databases in all
+cases."  We sweep database sizes, issue uniform random sum queries against
+the classical sum auditor, and report the mean first-denial index alongside
+the Theorem 6/7 bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reporting.tables import format_table
+from repro.utility.experiments import time_to_first_denial_vs_size
+from repro.utility.theory import theorem6_lower_bound, theorem7_upper_bound
+
+from .conftest import run_once
+
+SIZES = [50, 100, 200, 400]
+TRIALS = 5
+
+
+def test_fig1_time_to_first_denial(benchmark):
+    means = run_once(
+        benchmark, time_to_first_denial_vs_size, SIZES, TRIALS, 1234
+    )
+    rows = []
+    for n in SIZES:
+        rows.append((
+            n,
+            f"{means[n]:.1f}",
+            f"{means[n] / n:.2f}",
+            f"{theorem6_lower_bound(n):.1f}",
+            f"{theorem7_upper_bound(n):.1f}",
+        ))
+    print(format_table(
+        ["n", "mean first denial", "ratio T/n", "Thm6 lower", "Thm7 upper"],
+        rows,
+        title="Figure 1: time to first denial for sum queries",
+    ))
+    # Reproduction target: first denial ~ n (the paper's headline shape).
+    for n in SIZES:
+        assert 0.6 * n <= means[n] <= 1.5 * n + 10
+    # Monotone in n.
+    assert all(means[a] < means[b] for a, b in zip(SIZES, SIZES[1:]))

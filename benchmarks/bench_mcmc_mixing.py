@@ -1,0 +1,93 @@
+"""Section 3.2 / Lemma 3 — the colouring chain mixes in O(k log k).
+
+Two checks: (1) on a small synopsis with exactly enumerable colourings the
+chain's empirical distribution converges to ``P~`` within the ``O(k log k)``
+budget (the paper's worked example, exact answer 5/18); (2) wall-clock per
+posterior sample grows near-linearly in the number of equality predicates.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import Counter
+
+import numpy as np
+
+from repro.coloring.chain import ColoringChain
+from repro.coloring.graph import ColoringGraph, enumerate_colorings
+from repro.coloring.sampler import PosteriorSampler
+from repro.reporting.tables import format_table
+from repro.synopsis.combined import CombinedSynopsis
+from repro.types import AggregateKind
+
+from .conftest import run_once
+
+MAX = AggregateKind.MAX
+MIN = AggregateKind.MIN
+
+
+def _paper_example_tv(draws: int = 15_000) -> float:
+    syn = CombinedSynopsis(3, 0.0, 1.0)
+    syn.insert(MAX, {0, 1, 2}, 1.0)
+    syn.insert(MIN, {0, 1}, 0.2)
+    graph = ColoringGraph(syn)
+    exact = {}
+    total = 0.0
+    for coloring in enumerate_colorings(graph):
+        w = math.exp(graph.log_weight(coloring))
+        exact[tuple(sorted(coloring.items()))] = w
+        total += w
+    exact = {k: v / total for k, v in exact.items()}
+    chain = ColoringChain(graph, graph.find_valid_coloring(), rng=7)
+    chain.run(300)
+    counts = Counter()
+    for _ in range(draws):
+        chain.run(chain.default_steps())
+        counts[tuple(sorted(chain.state.items()))] += 1
+    return 0.5 * sum(abs(counts.get(k, 0) / draws - p)
+                     for k, p in exact.items())
+
+
+def test_chain_converges_to_exact_distribution(benchmark):
+    tv = run_once(benchmark, _paper_example_tv)
+    print(f"Total-variation distance to exact P~ after O(k log k) steps "
+          f"per draw: {tv:.4f}")
+    assert tv < 0.02
+
+
+def _stacked_synopsis(pairs: int) -> CombinedSynopsis:
+    """`pairs` disjoint (max, min) predicate pairs, each over 6 elements."""
+    n = 6 * pairs
+    syn = CombinedSynopsis(n, 0.0, 1.0)
+    for p in range(pairs):
+        base = 6 * p
+        members = set(range(base, base + 6))
+        lo = 0.05 + 0.9 * p / pairs
+        hi = lo + 0.4 / pairs
+        syn.insert(MAX, members, hi)
+        syn.insert(MIN, set(list(members)[:4]), lo)
+    return syn
+
+
+def test_sampling_cost_scales_with_k(benchmark):
+    def measure():
+        rows = []
+        for pairs in (2, 4, 8, 16):
+            syn = _stacked_synopsis(pairs)
+            sampler = PosteriorSampler(syn, rng=3)
+            start = time.perf_counter()
+            for _ in range(30):
+                sampler.sample_dataset()
+            elapsed = time.perf_counter() - start
+            rows.append((2 * pairs, elapsed / 30))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print(format_table(
+        ["k (equality predicates)", "seconds per posterior dataset"],
+        [(k, f"{t:.5f}") for k, t in rows],
+        title="Lemma 3: near-linear sampling cost in k",
+    ))
+    # 8x the predicates should cost well under 8^2 = 64x (O(k log k)).
+    assert rows[-1][1] / max(rows[0][1], 1e-9) < 40

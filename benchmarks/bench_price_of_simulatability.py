@@ -1,0 +1,81 @@
+"""Ablation (§7) — the price of simulatability, quantified.
+
+"Simulatability is conservative and could deny more often than necessary.
+One could try to analyze the price of simulatability — how many queries
+were denied when they could have been safely answered because we did not
+look at the true answers when choosing to deny."
+
+For random max streams we classify every denial in hindsight (would the
+true answer actually have disclosed a value?) and report the conservative
+fraction; for sums the price is provably zero (the denial test never uses
+answers), which the bench verifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.auditors.max_classic import MaxClassicAuditor
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.reporting.tables import format_table
+from repro.sdb.dataset import Dataset
+from repro.types import AggregateKind, max_query
+from repro.utility.price_of_simulatability import measure_price_of_simulatability
+from repro.workloads.random_subsets import random_query_stream
+
+from .conftest import run_once
+
+N = 100
+HORIZON = 300
+TRIALS = 3
+
+
+def _measure():
+    rows = []
+    # Sum: price is structurally zero.
+    sum_tallies = []
+    for seed in range(TRIALS):
+        data = Dataset.uniform(N, rng=seed, duplicate_free=False)
+        auditor = SumClassicAuditor(data)
+        stream = list(random_query_stream(N, HORIZON, AggregateKind.SUM,
+                                          rng=seed))
+        sum_tallies.append(measure_price_of_simulatability(auditor, stream))
+    rows.append(("sum (classical)", _avg(sum_tallies, "answered"),
+                 _avg(sum_tallies, "necessary_denials"),
+                 _avg(sum_tallies, "conservative_denials"),
+                 f"{np.mean([t.price for t in sum_tallies]):.2f}"))
+    # Max: a real price.
+    max_tallies = []
+    for seed in range(TRIALS):
+        rng = np.random.default_rng(100 + seed)
+        data = Dataset.uniform(N, rng=rng)
+        auditor = MaxClassicAuditor(data)
+        stream = []
+        for _ in range(HORIZON):
+            size = int(rng.integers(1, N + 1))
+            members = [int(i) for i in rng.choice(N, size=size,
+                                                  replace=False)]
+            stream.append(max_query(members))
+        max_tallies.append(measure_price_of_simulatability(auditor, stream))
+    rows.append(("max (classical)", _avg(max_tallies, "answered"),
+                 _avg(max_tallies, "necessary_denials"),
+                 _avg(max_tallies, "conservative_denials"),
+                 f"{np.mean([t.price for t in max_tallies]):.2f}"))
+    return rows, sum_tallies, max_tallies
+
+
+def _avg(tallies, attr):
+    return f"{np.mean([getattr(t, attr) for t in tallies]):.1f}"
+
+
+def test_price_of_simulatability(benchmark):
+    rows, sum_tallies, max_tallies = run_once(benchmark, _measure)
+    print(format_table(
+        ["auditor", "answered", "necessary denials",
+         "conservative denials", "price"],
+        rows,
+        title=f"Price of simulatability ({HORIZON} random queries, n={N})",
+    ))
+    # Sum auditing pays no price; max auditing pays a strictly positive one.
+    assert all(t.price == 0.0 for t in sum_tallies)
+    assert np.mean([t.price for t in max_tallies]) > 0.05

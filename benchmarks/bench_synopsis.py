@@ -1,0 +1,85 @@
+"""Section 2.2 — the synopsis blackbox keeps the audit trail at O(n).
+
+A long stream of answered max queries must compress into at most n
+pairwise-disjoint predicates, with cheap incremental updates; we also show
+the Section 4 payoff: the synopsis-backed max/min auditor reaches the same
+decisions as the full-log engine at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.auditors.maxmin_classic import MaxMinClassicAuditor
+from repro.reporting.tables import format_table
+from repro.sdb.dataset import Dataset
+from repro.synopsis.extreme_synopsis import MaxSynopsis
+from repro.types import max_query, min_query
+
+from .conftest import run_once
+
+
+def _synopsis_growth():
+    rows = []
+    for n in (100, 300, 1000):
+        rng = np.random.default_rng(n)
+        values = rng.permutation(np.linspace(0.01, 0.99, n))
+        syn = MaxSynopsis(n, limit=1.0)
+        queries = 5 * n
+        start = time.perf_counter()
+        for _ in range(queries):
+            size = int(rng.integers(2, 12))
+            members = {int(i) for i in rng.choice(n, size=size,
+                                                  replace=False)}
+            syn.insert(members, float(max(values[i] for i in members)))
+        elapsed = time.perf_counter() - start
+        rows.append((n, queries, syn.size, elapsed / queries * 1e6))
+    return rows
+
+
+def test_synopsis_stays_linear(benchmark):
+    rows = run_once(benchmark, _synopsis_growth)
+    print(format_table(
+        ["n", "queries folded", "predicates kept", "us per insert"],
+        [(n, q, s, f"{us:.1f}") for n, q, s, us in rows],
+        title="Audit-trail compression: O(n) synopsis",
+    ))
+    for n, _q, size, _us in rows:
+        assert size <= n
+
+
+def _auditor_speed():
+    rng = np.random.default_rng(0)
+    n = 24
+    values = rng.permutation(np.linspace(0.05, 0.95, n)).tolist()
+    stream = []
+    for _ in range(40):
+        size = int(rng.integers(2, 8))
+        members = [int(i) for i in rng.choice(n, size=size, replace=False)]
+        build = max_query if rng.integers(2) else min_query
+        stream.append(build(members))
+    timings = {}
+    for engine in ("synopsis", "log"):
+        auditor = MaxMinClassicAuditor(
+            Dataset(list(values), low=0.0, high=1.0), engine=engine
+        )
+        start = time.perf_counter()
+        decisions = [auditor.audit(q).denied for q in stream]
+        timings[engine] = (time.perf_counter() - start, decisions)
+    return timings
+
+
+def test_synopsis_engine_matches_log_engine_and_is_faster(benchmark):
+    timings = run_once(benchmark, _auditor_speed)
+    (t_syn, d_syn) = timings["synopsis"]
+    (t_log, d_log) = timings["log"]
+    print(format_table(
+        ["engine", "seconds for 40 audits", "denials"],
+        [("synopsis (O(n) trail)", f"{t_syn:.3f}", sum(d_syn)),
+         ("full log (Algorithm 4)", f"{t_log:.3f}", sum(d_log))],
+        title="Section 4 engines: identical decisions",
+    ))
+    assert d_syn == d_log
+    assert t_syn < t_log * 1.5  # the synopsis path must not be slower

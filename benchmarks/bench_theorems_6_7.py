@@ -1,0 +1,85 @@
+"""Theorems 6 and 7 — E[T_denial] is Theta(n) for random sum queries.
+
+``(n/4)(1 - o(1)) <= E[T_denial] <= n + lg n + 1``.  We measure the
+empirical mean time to first denial across trials and verify it sits inside
+the paper's bounds, and also check the Lemma 4 rank-growth machinery: each
+random 0-1 row raises the rank with probability >= 1/2 until full rank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg import ModularRowSpace
+from repro.reporting.tables import format_table
+from repro.rng import as_generator, spawn
+from repro.utility.experiments import run_sum_denial_trial
+from repro.utility.metrics import first_denial_index
+from repro.utility.theory import (
+    rank_growth_probability,
+    theorem6_lower_bound,
+    theorem7_upper_bound,
+)
+
+from .conftest import run_once
+
+SIZES = [64, 128, 256]
+TRIALS = 6
+
+
+def _measure():
+    gen = as_generator(99)
+    out = {}
+    for n in SIZES:
+        horizon = 2 * n + 16
+        times = []
+        for child in spawn(gen, TRIALS):
+            flags = run_sum_denial_trial(n, horizon, rng=child)
+            first = first_denial_index(flags)
+            times.append(first if first is not None else horizon)
+        out[n] = float(np.mean(times))
+    return out
+
+
+def test_theorem_6_7_bounds(benchmark):
+    means = run_once(benchmark, _measure)
+    rows = []
+    for n in SIZES:
+        lo = theorem6_lower_bound(n)
+        hi = theorem7_upper_bound(n)
+        rows.append((n, f"{lo:.1f}", f"{means[n]:.1f}", f"{hi:.1f}"))
+        assert lo <= means[n] <= hi + 3 * np.sqrt(n)  # sampling slack above
+        assert means[n] >= lo                          # hard lower bound
+    print(format_table(
+        ["n", "Thm6 lower (n/4-ish)", "measured E[T]", "Thm7 upper (n+lg n+1)"],
+        rows, title="Theorems 6-7: expected time to first denial",
+    ))
+
+
+def test_lemma4_rank_growth(benchmark):
+    """Empirical rank-growth frequency dominates the Lemma 4 bound."""
+    m = 48
+    trials = 400
+
+    def measure():
+        rng = np.random.default_rng(3)
+        grew = np.zeros(m)
+        attempts = np.zeros(m)
+        for _ in range(trials // 8):
+            space = ModularRowSpace(m)
+            while space.rank < m:
+                rank = space.rank
+                attempts[rank] += 1
+                grew[rank] += space.add(rng.integers(0, 2, size=m))
+        return grew, attempts
+
+    grew, attempts = run_once(benchmark, measure)
+    with np.errstate(invalid="ignore"):
+        freq = grew / attempts
+    for rank in range(m):
+        if attempts[rank] >= 20:
+            bound = rank_growth_probability(rank, m)
+            assert freq[rank] >= min(bound, 0.5) - 0.15
+    print(f"Lemma 4 check: min growth frequency "
+          f"{np.nanmin(freq[attempts >= 20]):.2f} "
+          f"(theory floor 0.5) over ranks with >=20 samples")

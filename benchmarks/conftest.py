@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module regenerates one table/figure of the paper's evaluation
+(see DESIGN.md's experiment index) and *prints* the series it produces, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction
+report.  Timings are captured with pytest-benchmark (single round — these
+are experiment drivers, not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture(autouse=True)
+def _print_spacer():
+    print()
+    yield

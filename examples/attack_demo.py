@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Why simulatability matters: decoding denials of a naive max auditor.
+
+Reproduces the paper's Section 2.2 motivation quantitatively.  A
+*value-based* auditor looks at the true answer before deciding to deny;
+its denials therefore encode the hidden data.  The group-probing attack
+extracts about one exact salary per three employees from such an auditor —
+and extracts nothing from the paper's simulatable auditor posed the exact
+same queries.
+
+Run:  python examples/attack_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import Dataset, MaxClassicAuditor, NaiveMaxAuditor, OracleMaxAuditor
+from repro.attack.naive_max_attack import run_denial_decoding_attack
+from repro.reporting.tables import format_table
+
+N = 90
+
+
+def evaluate(name: str, auditor_cls, data: Dataset):
+    auditor = auditor_cls(Dataset(list(data.values), low=data.low,
+                                  high=data.high))
+    result = run_denial_decoding_attack(auditor, data.n, rng=5)
+    correct = sum(1 for i, v in result.learned.items() if data[i] == v)
+    return (
+        name,
+        result.queries_posed,
+        result.denials,
+        result.values_extracted,
+        correct,
+        f"{correct / data.n:.0%}",
+    )
+
+
+def main() -> None:
+    data = Dataset.uniform(N, low=40_000.0, high=250_000.0, rng=11)
+    rows = [
+        evaluate("oracle (no auditing)", OracleMaxAuditor, data),
+        evaluate("naive value-based denials", NaiveMaxAuditor, data),
+        evaluate("simulatable (paper)", MaxClassicAuditor, data),
+    ]
+    print(format_table(
+        ["auditor", "queries", "denials", "claimed", "correct",
+         "fraction of DB leaked"],
+        rows,
+        title=f"Group-probing attack on {N} salaries",
+    ))
+    print()
+    print("The naive auditor's denials are as good as answers: each group of")
+    print("three employees leaks its top salary. The simulatable auditor")
+    print("denies the same probes for every dataset, so denials carry zero")
+    print("information (Section 2.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Census-style range statistics: realistic workloads are kinder (§6).
+
+The paper's third utility experiment: order records on a public attribute
+(age) and allow only 1-dimensional range sum queries touching 50-100
+records.  Contiguous ranges span far fewer subsets than arbitrary ones, so
+the denial probability stays well below the uniform-random worst case
+(Figure 2, Plot 3).
+
+Run:  python examples/census_range_queries.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AggregateKind, Dataset, Range, StatisticalDatabase, SumClassicAuditor
+from repro.reporting.ascii_plots import ascii_plot
+from repro.reporting.tables import format_table
+from repro.utility.metrics import moving_average
+from repro.workloads.random_subsets import random_query_stream
+from repro.workloads.range_queries import RangeQueryWorkload
+
+N = 400
+HORIZON = 3 * N
+
+
+def build_census(seed: int = 21) -> StatisticalDatabase:
+    rng = np.random.default_rng(seed)
+    ages = np.sort(rng.integers(18, 95, size=N))
+    incomes = np.round(rng.lognormal(10.5, 0.6, size=N), 2)
+    records = [{"age": int(a), "income": float(v)}
+               for a, v in zip(ages, incomes)]
+    return StatisticalDatabase.from_records(
+        records, sensitive_column="income",
+        auditor_factory=lambda ds: SumClassicAuditor(ds),
+    )
+
+
+def main() -> None:
+    db = build_census()
+
+    # A couple of live SQL-style range queries through the predicate DSL:
+    for lo, hi in ((18, 30), (31, 45), (46, 65)):
+        decision = db.query(Range("age", lo, hi), AggregateKind.SUM)
+        status = (f"{decision.value:,.2f}" if decision.answered
+                  else f"DENIED ({decision.reason.value})")
+        print(f"sum(income) WHERE {lo} <= age <= {hi:<3}  -> {status}")
+    print()
+
+    # Workload comparison: range queries vs uniform random subsets.
+    rng = np.random.default_rng(4)
+    workload = RangeQueryWorkload(order=list(range(N)), min_span=50,
+                                  max_span=100)
+    range_auditor = SumClassicAuditor(Dataset.uniform(N, rng=rng,
+                                                      duplicate_free=False))
+    range_flags = [range_auditor.audit(q).denied
+                   for q in workload.stream(HORIZON, rng=rng)]
+
+    uniform_auditor = SumClassicAuditor(Dataset.uniform(N, rng=rng,
+                                                        duplicate_free=False))
+    uniform_flags = [uniform_auditor.audit(q).denied
+                     for q in random_query_stream(N, HORIZON, rng=rng)]
+
+    window = 50
+    print(ascii_plot(moving_average([float(f) for f in uniform_flags], window),
+                     title=f"Uniform random sum queries (n={N})",
+                     y_label="query index"))
+    print()
+    print(ascii_plot(moving_average([float(f) for f in range_flags], window),
+                     title="Range queries on age, width 50-100",
+                     y_label="query index"))
+    print()
+    print(format_table(
+        ["workload", "answered", "denied", "long-run denial prob"],
+        [
+            ("uniform random", HORIZON - sum(uniform_flags),
+             sum(uniform_flags), f"{np.mean(uniform_flags[2 * N:]):.2f}"),
+            ("1-d ranges (50-100)", HORIZON - sum(range_flags),
+             sum(range_flags), f"{np.mean(range_flags[2 * N:]):.2f}"),
+        ],
+        title="Figure 2 Plot 3 effect",
+    ))
+
+
+if __name__ == "__main__":
+    main()

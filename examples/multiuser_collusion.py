@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Collusion: why all users must share one auditor (paper §§5, 7).
+
+Two analysts, Alice and Bob, each pose queries that are individually safe.
+If the SDB audits them independently, their answers combine into an exact
+salary; pooling all users through one auditor — the paper's (conservative)
+assumption — blocks the completing query.
+
+Run:  python examples/multiuser_collusion.py
+"""
+
+from __future__ import annotations
+
+from repro import Dataset, SumClassicAuditor
+from repro.reporting.tables import format_table
+from repro.sdb.multiuser import MultiUserFrontend
+from repro.types import sum_query
+
+SALARIES = [94_000.0, 118_500.0, 87_250.0, 143_900.0, 101_300.0]
+
+
+def run(mode: str):
+    frontend = MultiUserFrontend(
+        Dataset(list(SALARIES), low=0.0, high=200_000.0),
+        lambda ds: SumClassicAuditor(ds),
+        mode=mode,
+    )
+    alice = frontend.ask("alice", sum_query([0, 1, 2, 3, 4]))
+    bob = frontend.ask("bob", sum_query([0, 1, 2, 3]))
+    leaked = None
+    if alice.answered and bob.answered:
+        leaked = alice.value - bob.value   # x_4, exactly
+    return frontend, alice, bob, leaked
+
+
+def main() -> None:
+    rows = []
+    for mode in ("independent", "pooled"):
+        frontend, alice, bob, leaked = run(mode)
+        rows.append((
+            mode,
+            "answered" if alice.answered else "denied",
+            "answered" if bob.answered else "denied",
+            f"{leaked:,.2f}" if leaked is not None else "-",
+            str(frontend.denial_counts()),
+        ))
+    print(format_table(
+        ["mode", "alice: sum(all)", "bob: sum(all but #4)",
+         "colluders compute x_4", "denials per user"],
+        rows,
+        title="Collusion attack on employee #4's salary",
+    ))
+    print()
+    print(f"True salary of employee #4: {SALARIES[4]:,.2f}")
+    print("Independent auditing leaks it exactly; pooled auditing denies")
+    print("Bob's completing query — at the cost of Bob absorbing a denial")
+    print("caused by Alice's earlier query (the paper's 'fair share' issue).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim for offline editable installs (`pip install -e .`).
+
+All real metadata lives in pyproject.toml; this file only exists because the
+target environment has no `wheel` package, which PEP 660 editable builds
+require.
+"""
+
+from setuptools import setup
+
+setup()

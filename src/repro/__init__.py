@@ -1,0 +1,151 @@
+"""repro — a reproduction of *Towards Robustness in Query Auditing* (VLDB'06).
+
+Online query auditing for statistical databases: given a stream of aggregate
+queries over sensitive data, decide — *simulatably*, without peeking at the
+current true answer — which queries to deny so that no individual's value is
+disclosed, under either the classical (full-disclosure) or the probabilistic
+(partial-disclosure) notion of compromise.
+
+Quickstart::
+
+    from repro import Dataset, SumClassicAuditor, sum_query
+
+    data = Dataset.uniform(100, rng=7)
+    auditor = SumClassicAuditor(data)
+    print(auditor.audit(sum_query([0, 1, 2])))   # Answered(...)
+    print(auditor.audit(sum_query([0, 1])))      # Denied: difference = x_2
+    print(auditor.audit(sum_query([3, 4])))      # Answered(...)
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+harness reproducing every figure of the paper's evaluation.
+"""
+
+from .auditors import (
+    Auditor,
+    CountAuditor,
+    DenyAllAuditor,
+    DispatchingAuditor,
+    MaxClassicAuditor,
+    MaxMinClassicAuditor,
+    MaxMinProbabilisticAuditor,
+    MaxProbabilisticAuditor,
+    NaiveMaxAuditor,
+    OracleMaxAuditor,
+    OverlapRestrictionAuditor,
+    SumClassicAuditor,
+    SumProbabilisticAuditor,
+)
+from .exceptions import (
+    ColoringError,
+    DuplicateValueError,
+    InconsistentAnswersError,
+    InvalidQueryError,
+    PrivacyParameterError,
+    ReproError,
+    SamplingError,
+    UnsupportedQueryError,
+    UnsupportedUpdateError,
+)
+from .boolean_audit import BooleanRangeAuditor, BooleanRangeLog
+from .offline import (
+    OfflineAuditReport,
+    audit_bounded_sum_log,
+    audit_max_log,
+    audit_maxmin_log,
+    audit_min_log,
+    audit_sum_log,
+)
+from .privacy import IntervalGrid, PrivacyGame
+from .sdb import (
+    All,
+    And,
+    Dataset,
+    Delete,
+    Eq,
+    In,
+    Insert,
+    Modify,
+    Not,
+    Or,
+    Range,
+    StatisticalDatabase,
+    Table,
+)
+from .sdb.multiuser import MultiUserFrontend
+from .sdb.sql import execute_sql, parse_statistical_query
+from .synopsis import CombinedSynopsis, MaxSynopsis, MinSynopsis
+from .types import (
+    AggregateKind,
+    AuditDecision,
+    AuditTrail,
+    DenialReason,
+    Query,
+    max_query,
+    min_query,
+    sum_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateKind",
+    "All",
+    "And",
+    "AuditDecision",
+    "AuditTrail",
+    "Auditor",
+    "BooleanRangeAuditor",
+    "BooleanRangeLog",
+    "ColoringError",
+    "CombinedSynopsis",
+    "CountAuditor",
+    "DispatchingAuditor",
+    "Dataset",
+    "Delete",
+    "DenialReason",
+    "DenyAllAuditor",
+    "DuplicateValueError",
+    "Eq",
+    "In",
+    "InconsistentAnswersError",
+    "Insert",
+    "IntervalGrid",
+    "InvalidQueryError",
+    "MaxClassicAuditor",
+    "MaxMinClassicAuditor",
+    "MaxMinProbabilisticAuditor",
+    "MaxProbabilisticAuditor",
+    "MaxSynopsis",
+    "MinSynopsis",
+    "Modify",
+    "MultiUserFrontend",
+    "OfflineAuditReport",
+    "NaiveMaxAuditor",
+    "Not",
+    "Or",
+    "OracleMaxAuditor",
+    "OverlapRestrictionAuditor",
+    "PrivacyGame",
+    "PrivacyParameterError",
+    "Query",
+    "Range",
+    "ReproError",
+    "SamplingError",
+    "StatisticalDatabase",
+    "SumClassicAuditor",
+    "SumProbabilisticAuditor",
+    "Table",
+    "UnsupportedQueryError",
+    "UnsupportedUpdateError",
+    "audit_bounded_sum_log",
+    "audit_max_log",
+    "execute_sql",
+    "parse_statistical_query",
+    "audit_maxmin_log",
+    "audit_min_log",
+    "audit_sum_log",
+    "max_query",
+    "min_query",
+    "sum_query",
+    "__version__",
+]

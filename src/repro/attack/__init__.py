@@ -1,0 +1,27 @@
+"""Attackers for exercising auditors.
+
+* :mod:`~repro.attack.random_attacker` — the paper's random-query utility
+  model (uniform subsets, sized range queries, interleaved updates);
+* :mod:`~repro.attack.naive_max_attack` — the adaptive denial-decoding
+  attack against value-based (non-simulatable) max auditors, motivating
+  simulatability (paper, Section 2.2 example);
+* :mod:`~repro.attack.interval_attack` — a partial-disclosure attacker that
+  drives posterior/prior ratios with shrinking max queries;
+* :mod:`~repro.attack.dos_attack` — the §7 auditing denial-of-service
+  attack and its pre-seeding mitigation.
+"""
+
+from .dos_attack import DosOutcome, important_panel, run_dos_experiment
+from .interval_attack import IntervalAttacker
+from .naive_max_attack import DenialDecodingAttack, run_denial_decoding_attack
+from .random_attacker import RandomQueryAttacker
+
+__all__ = [
+    "DenialDecodingAttack",
+    "DosOutcome",
+    "important_panel",
+    "run_dos_experiment",
+    "IntervalAttacker",
+    "RandomQueryAttacker",
+    "run_denial_decoding_attack",
+]

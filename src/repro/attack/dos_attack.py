@@ -1,0 +1,94 @@
+"""Auditing denial-of-service (paper §7).
+
+"Such an approach could potentially ward off denial of service attacks
+where a malicious user poses queries in such a way that would cause many
+innocuous queries to be denied in the future."
+
+Because all users share one auditor (the collusion-safe pooling of §5), a
+saboteur can *spend the shared information budget*: for the sum auditor the
+budget is the query-matrix rank, so ~n cheap random queries freeze future
+differencing room for everyone.  The mitigation the paper proposes is
+pre-seeding: DBA-designated important queries are folded in *first*, so they
+remain answerable forever no matter what the saboteur does afterwards.
+
+:func:`run_dos_experiment` measures the victim's answer rate for a fixed
+panel of queries in three worlds: no attack, attack, and attack with the
+panel pre-seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..auditors.sum_classic import SumClassicAuditor
+from ..rng import RngLike, as_generator, random_subset
+from ..sdb.dataset import Dataset
+from ..types import Query, sum_query
+
+
+@dataclass
+class DosOutcome:
+    """Victim answer rates under the three worlds."""
+
+    baseline_rate: float       # victim alone on a fresh auditor
+    attacked_rate: float       # after the saboteur's flood
+    preseeded_rate: float      # flood, but the panel was pre-seeded
+
+    @property
+    def damage(self) -> float:
+        """Answer-rate loss the flood caused."""
+        return self.baseline_rate - self.attacked_rate
+
+    @property
+    def recovered(self) -> float:
+        """How much of the loss pre-seeding restores."""
+        return self.preseeded_rate - self.attacked_rate
+
+
+def important_panel(n: int, groups: int = 5) -> List[Query]:
+    """A panel of 'generic queries the world always wants answered'
+    (the paper's example: total counts per hospital/department)."""
+    if groups < 1 or n < groups:
+        raise ValueError("need 1 <= groups <= n")
+    panel = [sum_query(range(n))]
+    bounds = [round(i * n / groups) for i in range(groups + 1)]
+    for lo, hi in zip(bounds, bounds[1:]):
+        if hi - lo >= 2:
+            panel.append(sum_query(range(lo, hi)))
+    return panel
+
+
+def flood(auditor, n: int, queries: int, rng: RngLike = None) -> int:
+    """The saboteur's random flood; returns how many were answered."""
+    gen = as_generator(rng)
+    answered = 0
+    for _ in range(queries):
+        answered += auditor.audit(sum_query(random_subset(gen, n))).answered
+    return answered
+
+
+def _panel_rate(auditor, panel: Sequence[Query]) -> float:
+    return sum(auditor.would_answer(q) for q in panel) / len(panel)
+
+
+def run_dos_experiment(n: int = 60, flood_queries: int = 120,
+                       groups: int = 5, rng: RngLike = None) -> DosOutcome:
+    """Measure the §7 DoS effect and the pre-seeding mitigation."""
+    gen = as_generator(rng)
+    values = Dataset.uniform(n, rng=gen, duplicate_free=False).values
+    panel = important_panel(n, groups=groups)
+
+    fresh = SumClassicAuditor(Dataset(list(values)))
+    baseline = _panel_rate(fresh, panel)
+
+    attacked = SumClassicAuditor(Dataset(list(values)))
+    flood(attacked, n, flood_queries, rng=gen)
+    attacked_rate = _panel_rate(attacked, panel)
+
+    protected = SumClassicAuditor(Dataset(list(values)))
+    protected.preseed([q.query_set for q in panel])
+    flood(protected, n, flood_queries, rng=gen)
+    preseeded_rate = _panel_rate(protected, panel)
+
+    return DosOutcome(baseline, attacked_rate, preseeded_rate)

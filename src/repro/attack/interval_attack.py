@@ -1,0 +1,32 @@
+"""A partial-disclosure attacker for the ``(lambda, gamma, T)`` game.
+
+Small max queries are devastating under probabilistic compromise: answering
+``max(Q) = M`` pins every element of ``Q`` below ``M``, zeroing the
+posterior of all buckets beyond ``M`` — an immediate ``S_lambda = 0`` unless
+``M`` falls in the top bucket and ``|Q|`` is large.  This attacker simply
+poses small random max queries; a permissive auditor loses the game almost
+immediately, while the Section 3.1 auditor denies the dangerous ones and
+stays ``(lambda, delta, gamma, T)``-private.
+"""
+
+from __future__ import annotations
+
+from ..rng import RngLike, as_generator, random_subset
+from ..types import AggregateKind, Query
+
+
+class IntervalAttacker:
+    """Poses small max queries to force posterior/prior band violations."""
+
+    def __init__(self, n: int, rng: RngLike = None,
+                 min_size: int = 1, max_size: int = 3):
+        self.n = n
+        self._rng = as_generator(rng)
+        self.min_size = min_size
+        self.max_size = max_size
+
+    def __call__(self, round_no: int, history) -> Query:
+        subset = random_subset(self._rng, self.n,
+                               min_size=self.min_size,
+                               max_size=self.max_size)
+        return Query(AggregateKind.MAX, subset)

@@ -1,0 +1,98 @@
+"""The denial-decoding attack against value-based max auditors (§2.2).
+
+The paper's motivating example: ask ``max{x_a, x_b, x_c}``, learn 9; ask
+``max{x_a, x_b}``.  A *value-based* auditor denies exactly when the true
+answer is below 9 (answering would pin ``x_c = 9``) — so the denial itself
+reveals ``x_c = 9``.
+
+The attack turns this into a harvest: partition the records into groups of
+three, learn each group's max ``m``, then probe all three pairs inside the
+group.  Against a value-based auditor **exactly one** pair is denied — the
+one excluding the group's max holder — which the attacker decodes into an
+exact value.  Extraction rate: one value per group, ``n/3`` overall.
+
+Against a *simulatable* auditor every pair probe is denied regardless of the
+hidden values, the one-denial signature never appears, and the attacker
+deduces nothing — the Section 2.2 argument, made quantitative (see
+``benchmarks/bench_ablation_simulatability.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..rng import RngLike, as_generator
+from ..types import AggregateKind, Query
+
+
+@dataclass
+class DenialDecodingAttack:
+    """Outcome of one denial-decoding run."""
+
+    learned: Dict[int, float] = field(default_factory=dict)
+    queries_posed: int = 0
+    denials: int = 0
+    groups_probed: int = 0
+
+    @property
+    def values_extracted(self) -> int:
+        """How many sensitive values the attacker claims to have pinned."""
+        return len(self.learned)
+
+
+def run_denial_decoding_attack(auditor, n: int, rng: RngLike = None,
+                               group_size: int = 3,
+                               max_queries: int = 10_000
+                               ) -> DenialDecodingAttack:
+    """Run the group-probing attack against ``auditor`` over ``n`` records.
+
+    The attacker uses only public responses.  Decoding rules (sound against
+    value-based deniers):
+
+    * exactly one pair probe in a group is denied → the excluded element
+      holds the group max;
+    * a pair probe answers *below* the group max → likewise (the
+      no-protection oracle baseline leaks this way).
+
+    When every pair is denied (the simulatable signature) the group yields
+    nothing.
+    """
+    if group_size < 3:
+        raise ValueError("group_size must be at least 3")
+    gen = as_generator(rng)
+    result = DenialDecodingAttack()
+    order = list(gen.permutation(n))
+
+    def pose(indices) -> "object":
+        result.queries_posed += 1
+        return auditor.audit(Query(AggregateKind.MAX, frozenset(indices)))
+
+    for start in range(0, n - group_size + 1, group_size):
+        if result.queries_posed + group_size + 1 > max_queries:
+            break
+        group = [int(i) for i in order[start:start + group_size]]
+        decision = pose(group)
+        if decision.denied:
+            result.denials += 1
+            continue
+        group_max = decision.value
+        result.groups_probed += 1
+        denied_excluded: List[int] = []
+        leaked_excluded: Optional[int] = None
+        for excluded in group:
+            probe = [i for i in group if i != excluded]
+            verdict = pose(probe)
+            if verdict.denied:
+                result.denials += 1
+                denied_excluded.append(excluded)
+            elif verdict.value < group_max:
+                leaked_excluded = excluded
+        if len(denied_excluded) == 1:
+            # Value-based denial: the probe omitting the holder was refused.
+            result.learned[denied_excluded[0]] = group_max
+        elif leaked_excluded is not None and not denied_excluded:
+            # Oracle-style leak: an answered probe fell below the max.
+            result.learned[leaked_excluded] = group_max
+        # All pairs denied (simulatable signature): deduce nothing.
+    return result

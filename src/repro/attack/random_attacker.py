@@ -1,0 +1,47 @@
+"""Random-query attackers — the paper's utility workload (footnote 6).
+
+"A random query is a query drawn independently and uniformly at random from
+the set of all sum queries that could be formulated over the data": each
+record is included with probability 1/2 (resampling empty sets).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..rng import RngLike, as_generator, random_subset
+from ..types import AggregateKind, Query
+
+
+class RandomQueryAttacker:
+    """Poses i.i.d. uniform random queries of a fixed aggregate kind.
+
+    Callable with the privacy-game signature ``(round, history) -> Query``.
+    """
+
+    def __init__(self, n: int, kind: AggregateKind = AggregateKind.SUM,
+                 rng: RngLike = None,
+                 min_size: Optional[int] = None,
+                 max_size: Optional[int] = None):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.kind = kind
+        self._rng = as_generator(rng)
+        self.min_size = min_size
+        self.max_size = max_size
+
+    def next_query(self) -> Query:
+        """Draw the next random query."""
+        if self.min_size is None and self.max_size is None:
+            subset = random_subset(self._rng, self.n)
+        else:
+            subset = random_subset(
+                self._rng, self.n,
+                min_size=self.min_size or 1,
+                max_size=self.max_size,
+            )
+        return Query(self.kind, subset)
+
+    def __call__(self, round_no: int, history) -> Query:
+        return self.next_query()

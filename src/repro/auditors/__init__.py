@@ -1,0 +1,53 @@
+"""Online simulatable auditors — the paper's core contribution.
+
+Every auditor decides, *before looking at the true answer to the current
+query* (simulatability, Section 2.2), whether answering could breach the
+configured notion of compromise:
+
+* full disclosure (classical compromise) — some ``x_i`` becomes uniquely
+  determined;
+* partial disclosure (probabilistic compromise) — the posterior/prior ratio
+  for some ``x_i`` and interval leaves ``[1 - lambda, 1/(1 - lambda)]``.
+
+================================  =========  ============================
+Auditor                            Section    Compromise notion
+================================  =========  ============================
+:class:`SumClassicAuditor`         §5         full disclosure
+:class:`MaxClassicAuditor`         §6 / [21]  full disclosure
+:class:`MaxMinClassicAuditor`      §4         full disclosure
+:class:`MaxProbabilisticAuditor`   §3.1       partial disclosure
+:class:`MaxMinProbabilisticAuditor` §3.2      partial disclosure
+:class:`SumProbabilisticAuditor`   [21]       partial disclosure (baseline)
+:class:`NaiveMaxAuditor`           §2.2 ex.   value-based denial (leaks!)
+:class:`OverlapRestrictionAuditor` §2.1       size/overlap restriction [11]
+:class:`DenyAllAuditor`            §1         utility floor
+================================  =========  ============================
+"""
+
+from .base import Auditor
+from .count_trivial import CountAuditor, DispatchingAuditor
+from .deny_all import DenyAllAuditor
+from .max_classic import MaxClassicAuditor
+from .max_prob import MaxProbabilisticAuditor
+from .maxmin_classic import MaxMinClassicAuditor
+from .maxmin_prob import MaxMinProbabilisticAuditor
+from .naive import NaiveMaxAuditor, OracleMaxAuditor
+from .overlap_restriction import OverlapRestrictionAuditor
+from .sum_classic import SumClassicAuditor
+from .sum_prob import SumProbabilisticAuditor
+
+__all__ = [
+    "Auditor",
+    "CountAuditor",
+    "DispatchingAuditor",
+    "DenyAllAuditor",
+    "MaxClassicAuditor",
+    "MaxMinClassicAuditor",
+    "MaxProbabilisticAuditor",
+    "MaxMinProbabilisticAuditor",
+    "NaiveMaxAuditor",
+    "OracleMaxAuditor",
+    "OverlapRestrictionAuditor",
+    "SumClassicAuditor",
+    "SumProbabilisticAuditor",
+]

@@ -1,0 +1,79 @@
+"""Candidate-answer enumeration for classical auditors (Algorithm 3, §4).
+
+Checking every possible answer ``a_t`` in ``(-inf, +inf)`` is impossible, but
+Theorem 5 shows both consistency and unique-determination are constant on the
+open intervals between the (sorted) answers of previously posed queries that
+intersect ``Q_t``.  It therefore suffices to check ``2l + 1`` points: the two
+bounding values, the ``l`` intersecting answers themselves, and one interior
+point per gap.
+
+Interior points must not *accidentally* collide with other past answers
+(collisions create spurious duplicate-value inconsistencies under the
+no-duplicates assumption), so picks are nudged away from a forbidden set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+# Fallback fractions tried (in order) when the midpoint of a gap collides
+# with a forbidden value; all are distinct, so a finite forbidden set is
+# always escaped.
+_FRACTIONS = (0.5, 1 / 3, 2 / 3, 0.25, 0.75, 0.4, 0.6, 0.45, 0.55, 0.37)
+
+
+def interior_point(lo: float, hi: float,
+                   forbidden: Set[float]) -> float:
+    """A point strictly inside ``(lo, hi)`` avoiding ``forbidden``."""
+    if not lo < hi:
+        raise ValueError("need lo < hi")
+    for frac in _FRACTIONS:
+        candidate = lo + (hi - lo) * frac
+        if lo < candidate < hi and candidate not in forbidden:
+            return candidate
+    # Extremely adversarial forbidden sets: walk a shrinking sequence.
+    step = (hi - lo) / 4
+    candidate = lo + step
+    while candidate in forbidden or not lo < candidate < hi:
+        step /= 1.9
+        candidate = lo + step
+    return candidate
+
+
+def outer_point(anchor: float, direction: int,
+                forbidden: Set[float], pad: float = 1.0) -> float:
+    """A point beyond ``anchor`` in ``direction`` (+1 above, -1 below)."""
+    candidate = anchor + direction * pad
+    while candidate in forbidden:
+        candidate += direction * 0.7318530718  # irrational-ish stride
+    return candidate
+
+
+def candidate_answers(intersecting_answers: Sequence[float],
+                      forbidden: Iterable[float] = (),
+                      pad: float = 1.0) -> List[float]:
+    """The Algorithm 3 candidate answers for a new query.
+
+    Parameters
+    ----------
+    intersecting_answers:
+        Sorted distinct answers ``a'_1 <= ... <= a'_l`` of past queries whose
+        query sets intersect the new one.
+    forbidden:
+        Values interior/bounding picks must avoid (e.g. answers of
+        non-intersecting queries, which would trigger spurious
+        duplicate-witness collisions).
+    pad:
+        Offset for the two bounding candidates.
+    """
+    answers = sorted(set(intersecting_answers))
+    avoid = set(forbidden) | set(answers)
+    if not answers:
+        return [outer_point(0.0, +1, avoid, pad=0.0 if 0.0 not in avoid else pad)]
+    out: List[float] = [outer_point(answers[0], -1, avoid, pad)]
+    for idx, a in enumerate(answers):
+        out.append(a)
+        if idx + 1 < len(answers):
+            out.append(interior_point(a, answers[idx + 1], avoid))
+    out.append(outer_point(answers[-1], +1, avoid, pad))
+    return out

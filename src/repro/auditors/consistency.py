@@ -1,0 +1,119 @@
+"""Theorem 3 / Theorem 4 checks over max-and-min constraint logs (§4).
+
+Built on the extreme-element analysis of :mod:`repro.auditors.extreme`:
+
+* **Theorem 3 (security)** — the database is secure iff every query's
+  extreme-element set has more than one element *and* no max answer equals a
+  min answer;
+* **Theorem 4 (consistency)** — answers are consistent iff (a) every
+  extreme set is non-empty, (b) per-element bounds are compatible
+  (``mu_j > lambda_j`` when either bound is strict, ``>=`` otherwise), and
+  (c) a max query and a min query with equal answers share exactly one
+  element, itself extreme in both.
+
+A constructive consistent-dataset builder (via the combined synopsis and
+colouring sampler) backs the if-and-only-if directions in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..exceptions import InconsistentAnswersError
+from ..rng import RngLike, as_generator
+from .extreme import Constraint, ExtremeAnalysis, compute_extremes
+
+
+def is_secure(analysis: ExtremeAnalysis) -> bool:
+    """Theorem 3: no value is uniquely determined."""
+    for ext in analysis.extremes:
+        if len(ext) <= 1:
+            return False
+    max_answers = {c.answer for c in analysis.constraints if c.is_max}
+    min_answers = {c.answer for c in analysis.constraints if not c.is_max}
+    return not (max_answers & min_answers)
+
+
+def is_consistent(analysis: ExtremeAnalysis) -> bool:
+    """Theorem 4: some duplicate-free real dataset satisfies all answers."""
+    # (a) every extreme set non-empty
+    if any(not ext for ext in analysis.extremes):
+        return False
+    # (b) per-element bound compatibility
+    for j, mu in analysis.upper.items():
+        lam = analysis.lower.get(j)
+        if lam is None:
+            continue
+        strict = (not analysis.upper_attainable.get(j, False)
+                  or not analysis.lower_attainable.get(j, False))
+        if strict:
+            if not mu > lam:
+                return False
+        elif not mu >= lam:
+            return False
+    # (c) equal max/min answers pin exactly one shared element
+    for i, ci in enumerate(analysis.constraints):
+        if ci.is_max:
+            continue
+        for k, ck in enumerate(analysis.constraints):
+            if not ck.is_max or ci.answer != ck.answer:
+                continue
+            common = ci.elements & ck.elements
+            if len(common) != 1:
+                return False
+            (j,) = common
+            if j not in analysis.extremes[i] or j not in analysis.extremes[k]:
+                return False
+    return True
+
+
+def audit_log_status(constraints: Sequence[Constraint]
+                     ) -> Tuple[bool, bool, Dict[int, float]]:
+    """(consistent, secure, determined-values) for a constraint log."""
+    analysis = compute_extremes(constraints)
+    consistent = is_consistent(analysis)
+    secure = consistent and is_secure(analysis)
+    determined = analysis.determined_elements() if consistent else {}
+    return consistent, secure, determined
+
+
+def construct_consistent_dataset(constraints: Sequence[Constraint], n: int,
+                                 low: float = 0.0, high: float = 1.0,
+                                 rng: RngLike = None,
+                                 max_tries: int = 64) -> List[float]:
+    """Build a duplicate-free dataset satisfying every constraint.
+
+    Used by tests to witness the constructive direction of Theorems 3–5.
+    Raises :class:`InconsistentAnswersError` when no dataset exists.
+    """
+    from ..coloring.chain import ColoringChain
+    from ..coloring.graph import ColoringGraph
+    from ..coloring.sampler import dataset_from_coloring
+    from ..synopsis.combined import CombinedSynopsis
+
+    gen = as_generator(rng)
+    synopsis = CombinedSynopsis(n, low=low, high=high)
+    for c in constraints:
+        synopsis.insert(c.kind, c.elements, c.answer)
+    graph = ColoringGraph(synopsis)
+    if graph.k:
+        chain = ColoringChain(graph, graph.find_valid_coloring(), rng=gen)
+        coloring = chain.sample()  # randomise the witness assignment
+    else:
+        coloring = {}
+    for _ in range(max_tries):
+        values = dataset_from_coloring(graph, coloring, rng=gen)
+        if len(set(values)) == n and _satisfies(values, constraints):
+            return values
+    raise InconsistentAnswersError(
+        "failed to materialise a consistent duplicate-free dataset"
+    )
+
+
+def _satisfies(values: Sequence[float],
+               constraints: Sequence[Constraint]) -> bool:
+    for c in constraints:
+        agg = max if c.is_max else min
+        if agg(values[j] for j in c.elements) != c.answer:
+            return False
+    return True

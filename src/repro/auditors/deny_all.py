@@ -1,0 +1,29 @@
+"""The trivial auditor that denies everything (paper, Section 1).
+
+"A naive solution to the general online auditing problem is to deny all
+queries" — perfectly private, zero utility.  Serves as the utility floor in
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sdb.dataset import Dataset
+from ..types import AggregateKind, AuditDecision, DenialReason, Query
+from .base import Auditor
+
+
+class DenyAllAuditor(Auditor):
+    """Denies every query regardless of content."""
+
+    supported_kinds = frozenset(AggregateKind)
+
+    def __init__(self, dataset: Dataset):
+        super().__init__(dataset)
+
+    def _deny_reason(self, query: Query) -> Optional[AuditDecision]:
+        return AuditDecision.deny(DenialReason.POLICY, "deny-all policy")
+
+    def apply_update(self, event) -> None:
+        """Updates never change a deny-all decision."""

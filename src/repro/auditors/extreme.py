@@ -1,0 +1,171 @@
+"""Extreme-element computation over max/min constraint logs (Algorithm 4).
+
+Given a bag of answered max and min queries over a *duplicate-free* dataset,
+an element is *extreme* for a query when it could still be the one achieving
+the answer.  Algorithm 4 of the paper computes extreme-element sets ``E_k``
+via four rules:
+
+1. start from bound attainment: ``E_k = {j in Q_k : mu_j = a_k}`` for max
+   queries (``lambda_j = a_k`` for min), where ``mu_j`` / ``lambda_j`` are
+   the tightest upper / lower bounds;
+2. *(rule 2 is the initialisation above)*;
+3. same-kind queries with equal answers share their (unique) witness, so all
+   their extreme sets shrink to the common intersection;
+4. an element *strictly extreme* (the sole extreme element) for a min query
+   equals that answer exactly, so it cannot be extreme for any max query
+   with a different answer — and vice versa.  Removals cascade (the paper's
+   *trickle effect*) until a fixpoint.
+
+The resulting sets drive both the Theorem 3 security test and the Theorem 4
+consistency test (see :mod:`repro.auditors.consistency`).  This module works
+on raw query logs; the online auditor uses the equivalent (and cheaper)
+synopsis form, and the test suite cross-checks the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..types import AggregateKind
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One answered max or min query."""
+
+    kind: AggregateKind
+    elements: FrozenSet[int]
+    answer: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in (AggregateKind.MAX, AggregateKind.MIN):
+            raise ValueError("constraints are max or min queries")
+        if not self.elements:
+            raise ValueError("empty constraint")
+
+    @property
+    def is_max(self) -> bool:
+        return self.kind is AggregateKind.MAX
+
+
+@dataclass
+class ExtremeAnalysis:
+    """Output of Algorithm 4 over a constraint log."""
+
+    constraints: List[Constraint]
+    extremes: List[Set[int]]            # E_k per constraint
+    upper: Dict[int, float]             # mu_j   (absent = unbounded)
+    lower: Dict[int, float]             # lambda_j
+    upper_attainable: Dict[int, bool]   # x_j = mu_j possible?
+    lower_attainable: Dict[int, bool]
+
+    def determined_elements(self) -> Dict[int, float]:
+        """Elements pinned by a singleton extreme set."""
+        pinned: Dict[int, float] = {}
+        for constraint, ext in zip(self.constraints, self.extremes):
+            if len(ext) == 1:
+                (j,) = ext
+                pinned[j] = constraint.answer
+        return pinned
+
+
+def compute_extremes(constraints: Sequence[Constraint]) -> ExtremeAnalysis:
+    """Run Algorithm 4 (with the trickle-effect fixpoint) on a log."""
+    constraints = list(constraints)
+    upper: Dict[int, float] = {}
+    lower: Dict[int, float] = {}
+    for c in constraints:
+        for j in c.elements:
+            if c.is_max:
+                if j not in upper or c.answer < upper[j]:
+                    upper[j] = c.answer
+            else:
+                if j not in lower or c.answer > lower[j]:
+                    lower[j] = c.answer
+
+    # Rule 1/2: bound attainment.
+    extremes: List[Set[int]] = []
+    for c in constraints:
+        bounds = upper if c.is_max else lower
+        extremes.append({j for j in c.elements if bounds[j] == c.answer})
+
+    # Rule 3: same-kind, same-answer queries share a witness.
+    groups: Dict[Tuple[bool, float], List[int]] = {}
+    for k, c in enumerate(constraints):
+        groups.setdefault((c.is_max, c.answer), []).append(k)
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        shared: Optional[Set[int]] = None
+        for k in members:
+            shared = set(extremes[k]) if shared is None else shared & extremes[k]
+        assert shared is not None
+        for k in members:
+            extremes[k] = set(shared)
+
+    # Cross-kind equal answers: a max and a min query sharing an answer
+    # share their witness too (it is their unique common element when the
+    # log is consistent); their extreme sets collapse onto it.
+    for i, ci in enumerate(constraints):
+        if ci.is_max:
+            continue
+        for k, ck in enumerate(constraints):
+            if not ck.is_max or ci.answer != ck.answer:
+                continue
+            common = ci.elements & ck.elements
+            extremes[i] &= common
+            extremes[k] &= common
+
+    # Rule 4 + trickle: pinned elements leave extreme sets of queries with a
+    # different answer (same kind is automatic via the bounds; the real work
+    # is cross-kind), cascading until stable.
+    changed = True
+    while changed:
+        changed = False
+        pinned: Dict[int, float] = {}
+        for c, ext in zip(constraints, extremes):
+            if len(ext) == 1:
+                (j,) = ext
+                pinned[j] = c.answer
+        for k, c in enumerate(constraints):
+            for j in list(extremes[k]):
+                if j in pinned and pinned[j] != c.answer:
+                    extremes[k].discard(j)
+                    changed = True
+        if changed:
+            # Re-apply rule 3 after removals.
+            for members in groups.values():
+                if len(members) < 2:
+                    continue
+                shared2: Optional[Set[int]] = None
+                for k in members:
+                    shared2 = (set(extremes[k]) if shared2 is None
+                               else shared2 & extremes[k])
+                assert shared2 is not None
+                for k in members:
+                    if extremes[k] != shared2:
+                        extremes[k] = set(shared2)
+
+    upper_attainable = _attainability(constraints, extremes, upper, is_max=True)
+    lower_attainable = _attainability(constraints, extremes, lower, is_max=False)
+    return ExtremeAnalysis(constraints, extremes, upper, lower,
+                           upper_attainable, lower_attainable)
+
+
+def _attainability(constraints: Sequence[Constraint],
+                   extremes: Sequence[Set[int]],
+                   bounds: Dict[int, float], is_max: bool) -> Dict[int, bool]:
+    """Whether each element may actually *equal* its bound.
+
+    ``x_j = mu_j`` is possible only if ``j`` remains extreme in at least one
+    binding query (one whose answer equals the bound).
+    """
+    attainable = {j: False for j in bounds}
+    for c, ext in zip(constraints, extremes):
+        if c.is_max is not is_max:
+            continue
+        for j in ext:
+            if bounds.get(j) == c.answer:
+                attainable[j] = True
+    return attainable

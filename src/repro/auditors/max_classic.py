@@ -1,0 +1,185 @@
+"""Simulatable max auditor under full disclosure ([21]; paper §6).
+
+Duplicates *are* allowed here (unlike the Section 4 max-and-min auditor).
+The audit state is, per element, the tightest upper bound ``mu_j`` (the
+minimum answer over max queries containing ``j``) and, per answered query,
+its *extreme element* set ``E_k = {j in Q_k : mu_j = a_k}`` — the elements
+that could still achieve the answer.  Facts used:
+
+* answers are consistent iff every ``E_k`` is non-empty;
+* some value is uniquely determined iff some ``E_k`` is a singleton
+  (its element must equal ``a_k``);
+* both properties depend on the candidate answer ``a_t`` only through its
+  position relative to the answers of queries intersecting ``Q_t``, so the
+  simulatable decision checks the ``2l + 1`` canonical candidate points of
+  Algorithm 3 (answers, midpoints, and the two bounding values).
+
+Denial rule: deny iff *some consistent candidate answer* would make an
+extreme-element set a singleton.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..sdb.dataset import Dataset
+from ..types import AggregateKind, AuditDecision, DenialReason, Query
+from .candidates import candidate_answers
+
+
+@dataclass
+class _QueryRecord:
+    """Bookkeeping for one answered max query."""
+
+    elements: frozenset
+    answer: float
+    extremes: Set[int] = field(default_factory=set)
+
+
+from .base import Auditor  # noqa: E402  (placed after dataclass for clarity)
+
+
+class MaxClassicAuditor(Auditor):
+    """Classical (full-disclosure) simulatable auditor for max queries."""
+
+    supported_kinds = frozenset({AggregateKind.MAX})
+
+    def __init__(self, dataset: Dataset):
+        super().__init__(dataset)
+        self._upper: Dict[int, float] = {}        # mu_j (absent = unbounded)
+        self._records: List[_QueryRecord] = []
+        self._extreme_in: Dict[int, Set[int]] = {}  # element -> record ids
+        # record index -> current internal slot (update versioning).
+        self._slot_of: List[int] = list(range(dataset.n))
+        self._next_slot = dataset.n
+
+    def _translate(self, query_set) -> frozenset:
+        """Record indices -> current internal slots."""
+        try:
+            return frozenset(self._slot_of[i] for i in query_set)
+        except IndexError:
+            from ..exceptions import InvalidQueryError
+
+            raise InvalidQueryError(
+                "query references unknown record"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Decision
+    # ------------------------------------------------------------------
+
+    def _deny_reason(self, query: Query) -> Optional[AuditDecision]:
+        q = self._translate(query.query_set)
+        intersecting_answers = sorted(
+            {r.answer for r in self._records if r.elements & q}
+        )
+        relevant = self._relevant_records(q)
+        for a in candidate_answers(intersecting_answers):
+            verdict = self._assess(q, a, relevant)
+            if verdict == "breach":
+                return AuditDecision.deny(
+                    DenialReason.FULL_DISCLOSURE,
+                    f"a consistent answer near {a} would pin a value",
+                )
+        return None
+
+    def _relevant_records(self, q: frozenset) -> Dict[int, int]:
+        """Record id -> |E_k ∩ Q_t| for records whose extremes meet Q_t."""
+        common: Dict[int, int] = {}
+        for j in q:
+            for rid in self._extreme_in.get(j, ()):
+                common[rid] = common.get(rid, 0) + 1
+        return common
+
+    def _assess(self, q: frozenset, a: float,
+                relevant: Dict[int, int]) -> str:
+        """Classify candidate answer ``a``: 'breach', 'safe' or 'inconsistent'."""
+        # The new query's extreme set: elements whose bound allows `a`.
+        e_t = sum(1 for j in q
+                  if self._upper.get(j) is None or self._upper[j] >= a)
+        if e_t == 0:
+            return "inconsistent"
+        breach = e_t == 1
+        # Existing queries shrink only when a < a_k strips E_k ∩ Q_t.
+        for rid, overlap in relevant.items():
+            record = self._records[rid]
+            if a >= record.answer:
+                continue
+            remaining = len(record.extremes) - overlap
+            if remaining == 0:
+                return "inconsistent"
+            if remaining == 1:
+                breach = True
+        return "breach" if breach else "safe"
+
+    # ------------------------------------------------------------------
+    # State update after a real answer
+    # ------------------------------------------------------------------
+
+    def _record_answer(self, query: Query, value: float) -> None:
+        q = self._translate(query.query_set)
+        rid = len(self._records)
+        record = _QueryRecord(elements=q, answer=value)
+        # Tighten bounds; elements leaving other extreme sets trickle out.
+        for j in q:
+            old = self._upper.get(j)
+            if old is None or old > value:
+                if old is not None:
+                    for other in list(self._extreme_in.get(j, ())):
+                        self._records[other].extremes.discard(j)
+                        self._extreme_in[j].discard(other)
+                self._upper[j] = value
+            if self._upper[j] == value:
+                record.extremes.add(j)
+                self._extreme_in.setdefault(j, set()).add(rid)
+        self._records.append(record)
+
+    # ------------------------------------------------------------------
+    # Hindsight diagnostics (paper §7, "price of simulatability")
+    # ------------------------------------------------------------------
+
+    def hindsight_breach(self, query: Query) -> bool:
+        """Would answering the *true* current answer disclose a value?
+
+        Non-simulatable by construction — this inspects the data.  It exists
+        only for the §7 "price of simulatability" analysis: a simulatable
+        denial whose true answer would have been harmless is a query denied
+        purely to keep denials data-independent.
+        """
+        from ..sdb.aggregates import true_answer
+
+        actual = true_answer(query, self.dataset)
+        slots = self._translate(query.query_set)
+        relevant = self._relevant_records(slots)
+        return self._assess(slots, actual, relevant) == "breach"
+
+    # ------------------------------------------------------------------
+
+    @property
+    def answered_count(self) -> int:
+        """Number of max queries folded into the audit state."""
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Updates (versioned slots, mirroring the §5 sum-auditor treatment)
+    # ------------------------------------------------------------------
+
+    def apply_update(self, event) -> None:
+        """Version the element set so past *and* present values stay safe."""
+        from ..exceptions import InvalidQueryError
+        from ..sdb.updates import Delete, Insert, Modify
+
+        if isinstance(event, Insert):
+            self._slot_of.append(self._next_slot)
+            self._next_slot += 1
+        elif isinstance(event, Modify):
+            if not 0 <= event.index < len(self._slot_of):
+                raise InvalidQueryError(f"unknown record {event.index}")
+            self._slot_of[event.index] = self._next_slot
+            self._next_slot += 1
+        elif isinstance(event, Delete):
+            if not 0 <= event.index < len(self._slot_of):
+                raise InvalidQueryError(f"unknown record {event.index}")
+        else:  # pragma: no cover - defensive
+            raise InvalidQueryError(f"unknown update event {event!r}")

@@ -1,0 +1,147 @@
+"""Simulatable auditor for bags of max and min queries — full disclosure (§4).
+
+Prior to the paper no online algorithm was known even for this basic case.
+The auditor assumes a *duplicate-free* dataset and, for each new query,
+checks the ``2l + 1`` candidate answers of Algorithm 3 (bounding values, the
+answers of intersecting past queries, and interior points of the gaps —
+sufficient by Theorem 5).  A candidate that is *consistent* with past
+answers (Theorem 4) but would make some value *uniquely determined*
+(Theorem 3) forces a denial.
+
+Two interchangeable engines implement the consistency/security test:
+
+* ``"synopsis"`` (default) — the ``O(n)`` combined synopsis of Section 2.2
+  with cross-rule propagation; this is the paper's audit-trail reduction;
+* ``"log"`` — literal Algorithm 4 extreme-element analysis over the full
+  query log (the exposition form; slower, used for cross-validation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..exceptions import InconsistentAnswersError
+from ..sdb.dataset import Dataset
+from ..synopsis.combined import CombinedSynopsis
+from ..types import AggregateKind, AuditDecision, DenialReason, Query
+from .base import Auditor
+from .candidates import candidate_answers
+from .consistency import audit_log_status
+from .extreme import Constraint
+
+
+class MaxMinClassicAuditor(Auditor):
+    """Classical (full-disclosure) simulatable auditor for max/min bags."""
+
+    supported_kinds = frozenset({AggregateKind.MAX, AggregateKind.MIN})
+
+    def __init__(self, dataset: Dataset, engine: str = "synopsis"):
+        super().__init__(dataset)
+        dataset.require_duplicate_free()
+        if engine not in ("synopsis", "log"):
+            raise ValueError("engine must be 'synopsis' or 'log'")
+        self.engine = engine
+        # The paper's Section 4 setting is over unbounded reals.
+        self._synopsis = CombinedSynopsis(dataset.n,
+                                          low=-math.inf, high=math.inf)
+        self._log: List[Constraint] = []
+        # record index -> current internal slot (versioning for updates:
+        # a modified record gets a fresh slot; old predicates keep
+        # protecting the old version).
+        self._slot_of: List[int] = list(range(dataset.n))
+
+    # ------------------------------------------------------------------
+    # Decision (Algorithm 3)
+    # ------------------------------------------------------------------
+
+    def _translate(self, query_set) -> frozenset:
+        """Record indices -> current internal slots."""
+        try:
+            return frozenset(self._slot_of[i] for i in query_set)
+        except IndexError:
+            from ..exceptions import InvalidQueryError
+
+            raise InvalidQueryError("query references unknown record") from None
+
+    def _deny_reason(self, query: Query) -> Optional[AuditDecision]:
+        q = self._translate(query.query_set)
+        intersecting = sorted({c.answer for c in self._log if c.elements & q})
+        all_answers = {c.answer for c in self._log}
+        for a in candidate_answers(intersecting, forbidden=all_answers):
+            if self._breaches(query.kind, q, a):
+                return AuditDecision.deny(
+                    DenialReason.FULL_DISCLOSURE,
+                    f"a consistent answer near {a} would pin a value",
+                )
+        return None
+
+    def _breaches(self, kind: AggregateKind, q, a: float) -> bool:
+        """Candidate consistent with the past but insecure?"""
+        if self.engine == "synopsis":
+            try:
+                trial = self._synopsis.what_if(kind, q, a)
+            except InconsistentAnswersError:
+                return False
+            return bool(trial.determined)
+        log = self._log + [Constraint(kind, frozenset(q), a)]
+        consistent, secure, _ = audit_log_status(log)
+        return consistent and not secure
+
+    # ------------------------------------------------------------------
+    # State update
+    # ------------------------------------------------------------------
+
+    def _record_answer(self, query: Query, value: float) -> None:
+        slots = self._translate(query.query_set)
+        self._log.append(Constraint(query.kind, slots, value))
+        self._synopsis.insert(query.kind, slots, value)
+
+    # ------------------------------------------------------------------
+    # Updates (versioned slots, mirroring the §5 sum-auditor treatment)
+    # ------------------------------------------------------------------
+
+    def apply_update(self, event) -> None:
+        """Version the element set so past *and* present values stay safe."""
+        from ..exceptions import InvalidQueryError
+        from ..sdb.updates import Delete, Insert, Modify
+
+        if isinstance(event, Insert):
+            self._slot_of.append(self._synopsis.add_element())
+        elif isinstance(event, Modify):
+            if not 0 <= event.index < len(self._slot_of):
+                raise InvalidQueryError(f"unknown record {event.index}")
+            self._slot_of[event.index] = self._synopsis.add_element()
+        elif isinstance(event, Delete):
+            if not 0 <= event.index < len(self._slot_of):
+                raise InvalidQueryError(f"unknown record {event.index}")
+            # Old predicates keep protecting the deleted record's value.
+        else:  # pragma: no cover - defensive
+            raise InvalidQueryError(f"unknown update event {event!r}")
+
+    # ------------------------------------------------------------------
+    # Hindsight diagnostics (paper §7, "price of simulatability")
+    # ------------------------------------------------------------------
+
+    def hindsight_breach(self, query: Query) -> bool:
+        """Would answering the *true* current answer disclose a value?
+
+        Non-simulatable diagnostic for the §7 price-of-simulatability
+        analysis; never used by :meth:`audit`.
+        """
+        from ..sdb.aggregates import true_answer
+
+        return self._breaches(query.kind, self._translate(query.query_set),
+                              true_answer(query, self.dataset))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def synopsis(self) -> CombinedSynopsis:
+        """The maintained combined synopsis (``O(n)`` audit trail)."""
+        return self._synopsis
+
+    @property
+    def answered_count(self) -> int:
+        """Number of answered queries folded into the audit state."""
+        return len(self._log)

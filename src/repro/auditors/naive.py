@@ -1,0 +1,55 @@
+"""Value-based (non-simulatable) max auditors — what NOT to do (§2.2).
+
+The paper's motivating example: an auditor that looks at the *true answer*
+of the current query when deciding to deny leaks information through the
+denials themselves.  ``NaiveMaxAuditor`` reproduces that flawed behaviour:
+it denies exactly when answering truthfully would pin some value — so a
+denial tells the attacker that the hidden answer is the "dangerous" one,
+which often reveals a value exactly (see
+:mod:`repro.attack.naive_max_attack`).
+
+``OracleMaxAuditor`` is an even weaker straw man that answers everything; it
+provides the leakage ceiling in the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sdb.aggregates import true_answer
+from ..sdb.dataset import Dataset
+from ..types import AggregateKind, AuditDecision, DenialReason, Query
+from .base import Auditor
+from .max_classic import MaxClassicAuditor
+
+
+class NaiveMaxAuditor(MaxClassicAuditor):
+    """Max auditor that (incorrectly) inspects the true current answer.
+
+    Inherits the extreme-element machinery of
+    :class:`~repro.auditors.max_classic.MaxClassicAuditor`, but instead of
+    checking every consistent candidate answer it checks only the *actual*
+    one — breaking simulatability exactly as in the Section 2.2 example.
+    """
+
+    def _deny_reason(self, query: Query) -> Optional[AuditDecision]:
+        actual = true_answer(query, self.dataset)  # the simulatability sin
+        relevant = self._relevant_records(query.query_set)
+        if self._assess(query.query_set, actual, relevant) == "breach":
+            return AuditDecision.deny(
+                DenialReason.FULL_DISCLOSURE,
+                "answering the true value would pin a value (leaky denial)",
+            )
+        return None
+
+
+class OracleMaxAuditor(Auditor):
+    """Answers every max query — the no-protection baseline."""
+
+    supported_kinds = frozenset({AggregateKind.MAX})
+
+    def __init__(self, dataset: Dataset):
+        super().__init__(dataset)
+
+    def _deny_reason(self, query: Query) -> Optional[AuditDecision]:
+        return None

@@ -1,0 +1,95 @@
+"""The size-and-overlap restriction scheme of [11, 25] (paper §2.1).
+
+The earliest online protection for sum queries (Dobkin, Jones, Lipton;
+Reiss): answer only queries whose set has size at least ``k`` and overlaps
+each previously *answered* query set in at most ``r`` elements.  With ``l``
+values known to the attacker beforehand, at most ``(2k - (l + 1)) / r``
+distinct queries can ever be answered — the paper's motivation for auditing:
+"if k = n/c for some constant c and r = 1, then after only a constant
+number of distinct queries, the auditor would have to deny all further
+queries".
+
+This auditor is *trivially simulatable* (decisions use only query sets) and
+sound under the [11] conditions, but its utility collapses — which
+`benchmarks/bench_overlap_restriction.py` measures against the paper's
+row-space auditor.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional
+
+from ..exceptions import PrivacyParameterError
+from ..sdb.dataset import Dataset
+from ..types import AggregateKind, AuditDecision, DenialReason, Query
+from .base import Auditor
+
+
+class OverlapRestrictionAuditor(Auditor):
+    """Answer sum queries with ``|Q| >= k`` and pairwise overlap ``<= r``.
+
+    Parameters
+    ----------
+    dataset:
+        The protected data.
+    min_size:
+        The size floor ``k``.
+    max_overlap:
+        The pairwise-overlap cap ``r`` against previously answered sets.
+    known_values:
+        ``l``, the number of values assumed already known to the attacker
+        (enters the answerable-query bound, not the decision rule).
+    """
+
+    supported_kinds = frozenset({AggregateKind.SUM, AggregateKind.AVG})
+
+    def __init__(self, dataset: Dataset, min_size: int, max_overlap: int = 1,
+                 known_values: int = 0):
+        super().__init__(dataset)
+        if min_size < 1:
+            raise PrivacyParameterError("min_size (k) must be positive")
+        if max_overlap < 1:
+            raise PrivacyParameterError("max_overlap (r) must be positive")
+        if known_values < 0:
+            raise PrivacyParameterError("known_values (l) must be >= 0")
+        self.min_size = min_size
+        self.max_overlap = max_overlap
+        self.known_values = known_values
+        self._answered_sets: List[FrozenSet[int]] = []
+
+    # ------------------------------------------------------------------
+
+    def answerable_bound(self) -> float:
+        """The [11] bound on distinct answerable queries:
+        ``(2k - (l + 1)) / r``."""
+        return (2 * self.min_size - (self.known_values + 1)) / self.max_overlap
+
+    def _deny_reason(self, query: Query) -> Optional[AuditDecision]:
+        members = query.query_set
+        if len(members) < self.min_size:
+            return AuditDecision.deny(
+                DenialReason.POLICY,
+                f"query set smaller than k = {self.min_size}",
+            )
+        if members in self._answered_sets:
+            return None  # exact repeats release nothing new
+        for past in self._answered_sets:
+            overlap = len(members & past)
+            if overlap > self.max_overlap:
+                return AuditDecision.deny(
+                    DenialReason.POLICY,
+                    f"overlap {overlap} with an answered query exceeds "
+                    f"r = {self.max_overlap}",
+                )
+        return None
+
+    def _record_answer(self, query: Query, value: float) -> None:
+        if query.query_set not in self._answered_sets:
+            self._answered_sets.append(query.query_set)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def distinct_answered(self) -> int:
+        """Distinct query sets answered so far."""
+        return len(self._answered_sets)

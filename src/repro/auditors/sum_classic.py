@@ -1,0 +1,142 @@
+"""Simulatable sum auditor under full disclosure ([9, 21]; paper §5).
+
+Every sum query over real-valued data is a linear equation whose 0-1 query
+vector lives in the row space of previously answered queries.  Full
+disclosure of ``x_i`` occurs exactly when the elementary vector ``e_i``
+becomes derivable, i.e. enters the row space — a condition that depends only
+on the query *sets*, never on the answers, so the auditor is trivially
+simulatable.
+
+The auditor maintains the row space in reduced row echelon form (Section 5's
+"upper triangular form"); checking a new query costs ``O(n * rank)``.
+
+**Updates** (paper §§5–6): the auditor must protect *past and present*
+values.  Each modification of a record allocates a fresh variable column —
+old equations keep referring to the old value — so denial checks run over
+the full versioned variable set.  This is the "simple modification" the
+paper's Figure 2 (Plot 2) experiment relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..exceptions import InvalidQueryError
+from ..linalg import make_rowspace
+from ..sdb.dataset import Dataset
+from ..sdb.updates import Delete, Insert, Modify, UpdateEvent
+from ..types import AggregateKind, AuditDecision, DenialReason, Query
+from .base import Auditor
+
+
+class SumClassicAuditor(Auditor):
+    """Classical (full-disclosure) simulatable auditor for sum queries.
+
+    Parameters
+    ----------
+    dataset:
+        The live dataset.
+    backend:
+        ``"modular"`` (fast, default) or ``"fraction"`` (exact) row-space
+        arithmetic — see :mod:`repro.linalg`.
+    """
+
+    # AVG queries are audited identically: the query-set size is public, so
+    # an average releases exactly the information of the corresponding sum.
+    supported_kinds = frozenset({AggregateKind.SUM, AggregateKind.AVG})
+
+    def __init__(self, dataset: Dataset, backend: str = "modular"):
+        super().__init__(dataset)
+        self._space = make_rowspace(dataset.n, backend)
+        # record index -> current variable column (versioning for updates)
+        self._column_of: List[int] = list(range(dataset.n))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """Rank of the answered-query matrix."""
+        return self._space.rank
+
+    def _vector(self, query: Query) -> List[int]:
+        vec = [0] * self._space.ncols
+        for record in query.query_set:
+            if record >= len(self._column_of):
+                raise InvalidQueryError(f"unknown record {record}")
+            vec[self._column_of[record]] = 1
+        return vec
+
+    def _deny_reason(self, query: Query) -> Optional[AuditDecision]:
+        vec = self._vector(query)
+        newly = self._space.would_reveal(vec)
+        if newly:
+            sample = sorted(newly)[:3]
+            return AuditDecision.deny(
+                DenialReason.FULL_DISCLOSURE,
+                f"answering would uniquely determine variable(s) {sample}",
+            )
+        return None
+
+    def _record_answer(self, query: Query, value: float) -> None:
+        self._space.add(self._vector(query))
+
+    # ------------------------------------------------------------------
+    # Important-query pre-seeding (paper §7)
+    # ------------------------------------------------------------------
+
+    def preseed(self, query_sets) -> List[float]:
+        """Answer a DBA-approved list of important queries up front.
+
+        The paper's §7 suggestion: "we could add such important queries to
+        the pool of queries already answered, thereby ensuring that these
+        queries will always be answered in the future."  Each query set is
+        audited normally (a pre-seed that would itself disclose a value
+        raises); its vector then lives in the row space, so re-asking it —
+        or anything it spans — is answered forever.
+        """
+        from ..exceptions import InvalidQueryError
+
+        answers: List[float] = []
+        for members in query_sets:
+            decision = self.audit(Query(AggregateKind.SUM, frozenset(members)))
+            if decision.denied:
+                raise InvalidQueryError(
+                    f"pre-seed query over {sorted(members)} would disclose "
+                    f"a value: {decision.detail}"
+                )
+            assert decision.value is not None
+            answers.append(decision.value)
+        return answers
+
+    # ------------------------------------------------------------------
+    # Hindsight diagnostics (paper §7, "price of simulatability")
+    # ------------------------------------------------------------------
+
+    def hindsight_breach(self, query: Query) -> bool:
+        """Would answering *this true answer* actually disclose a value?
+
+        For sums over unbounded reals the answer value is irrelevant —
+        disclosure depends only on query sets — so simulatability is free:
+        this always coincides with the simulatable decision.
+        """
+        return bool(self._space.would_reveal(self._vector(query)))
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def apply_update(self, event: UpdateEvent) -> None:
+        """Version the variable set so past *and* present values stay safe."""
+        if isinstance(event, Insert):
+            self._column_of.append(self._space.add_column())
+        elif isinstance(event, Modify):
+            if not 0 <= event.index < len(self._column_of):
+                raise InvalidQueryError(f"unknown record {event.index}")
+            self._column_of[event.index] = self._space.add_column()
+        elif isinstance(event, Delete):
+            # Old equations still protect the deleted record's value; the
+            # engine stops routing queries to it.
+            if not 0 <= event.index < len(self._column_of):
+                raise InvalidQueryError(f"unknown record {event.index}")
+        else:  # pragma: no cover - defensive
+            raise InvalidQueryError(f"unknown update event {event!r}")

@@ -1,0 +1,18 @@
+"""One-dimensional boolean auditing (paper §7; Kleinberg et al. [22]).
+
+The paper's discussion singles this case out: boolean sum auditing is
+coNP-hard for arbitrary query sets, but when queries are one-dimensional
+ranges over ordered records ("how many individuals are between the ages of
+15 and 25") the problem is tractable — and restricting the query language
+this way "may be realistic in some settings".
+
+Records hold a boolean sensitive bit; queries are contiguous ranges
+``[a, b]`` whose answer is the number of set bits.  In prefix-sum space
+every answer is a difference constraint ``S_{b+1} - S_a = c`` joined with
+the unit-step constraints ``0 <= S_{i+1} - S_i <= 1``; a bit is disclosed
+exactly when only one of its two values stays feasible.
+"""
+
+from .range_counts import BooleanRangeAuditor, BooleanRangeLog
+
+__all__ = ["BooleanRangeAuditor", "BooleanRangeLog"]

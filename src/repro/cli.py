@@ -1,0 +1,360 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+``python -m repro <command>`` (or the ``repro-audit`` console script):
+
+* ``fig1``   — time to first denial vs database size (Figure 1);
+* ``fig2``   — denial-probability curves for the three sum workloads
+  (Figure 2);
+* ``fig3``   — denial probability for max queries (Figure 3);
+* ``attack`` — the denial-decoding attack vs naive and simulatable auditors;
+* ``game``   — empirical ``(lambda, delta, gamma, T)``-privacy of the
+  Section 3.1 auditor;
+* ``price``  — the §7 price of simulatability for max auditing;
+* ``serve``  — an audited SQL statistics endpoint over a CSV file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-audit",
+        description="Query-auditing experiments from "
+                    "'Towards Robustness in Query Auditing' (VLDB 2006)",
+    )
+    sub = parser.add_subparsers(dest="command")
+    parser.set_defaults(command=None)
+
+    p = sub.add_parser("fig1", help="time to first denial vs database size")
+    p.add_argument("--sizes", type=int, nargs="+",
+                   default=[50, 100, 200, 400])
+    p.add_argument("--trials", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out-csv", default=None,
+                   help="also write the table to this CSV file")
+    p.set_defaults(handler=_cmd_fig1)
+
+    p = sub.add_parser("fig2", help="denial curves for three sum workloads")
+    p.add_argument("--n", type=int, default=200)
+    p.add_argument("--horizon", type=int, default=None)
+    p.add_argument("--trials", type=int, default=4)
+    p.add_argument("--update-every", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out-csv", default=None,
+                   help="also write the three curves to this CSV file")
+    p.set_defaults(handler=_cmd_fig2)
+
+    p = sub.add_parser("fig3", help="denial probability for max queries")
+    p.add_argument("--n", type=int, default=250)
+    p.add_argument("--horizon", type=int, default=None)
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out-csv", default=None,
+                   help="also write the curve to this CSV file")
+    p.set_defaults(handler=_cmd_fig3)
+
+    p = sub.add_parser("attack", help="denial-decoding attack comparison")
+    p.add_argument("--n", type=int, default=90)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_cmd_attack)
+
+    p = sub.add_parser("game",
+                       help="empirical privacy of the probabilistic auditors")
+    p.add_argument("--auditor", choices=["max", "maxmin"], default="max")
+    p.add_argument("--n", type=int, default=40)
+    p.add_argument("--rounds", type=int, default=6)
+    p.add_argument("--lam", type=float, default=0.2)
+    p.add_argument("--gamma", type=int, default=5)
+    p.add_argument("--delta", type=float, default=0.2)
+    p.add_argument("--trials", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_cmd_game)
+
+    p = sub.add_parser("price", help="price of simulatability (max queries)")
+    p.add_argument("--n", type=int, default=100)
+    p.add_argument("--horizon", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_cmd_price)
+
+    p = sub.add_parser(
+        "serve",
+        help="audited SQL statistics endpoint over a CSV file (reads one "
+             "SQL query per stdin line)",
+    )
+    p.add_argument("--csv", required=True, help="CSV file with a header row")
+    p.add_argument("--sensitive", required=True,
+                   help="name of the sensitive column")
+    p.add_argument("--auditor", choices=["sum", "max", "maxmin"],
+                   default="sum")
+    p.add_argument("--journal", default=None,
+                   help="write the audit journal to this JSON file on exit")
+    p.set_defaults(handler=_cmd_serve)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command handlers
+# ----------------------------------------------------------------------
+
+def _cmd_fig1(args) -> int:
+    from .reporting.tables import format_table
+    from .utility.experiments import time_to_first_denial_vs_size
+    from .utility.theory import theorem6_lower_bound, theorem7_upper_bound
+
+    means = time_to_first_denial_vs_size(args.sizes, args.trials,
+                                         rng=args.seed)
+    rows = [(n, f"{means[n]:.1f}", f"{means[n] / n:.2f}",
+             f"{theorem6_lower_bound(n):.1f}",
+             f"{theorem7_upper_bound(n):.1f}") for n in args.sizes]
+    print(format_table(
+        ["n", "mean first denial", "T/n", "Thm6 lower", "Thm7 upper"],
+        rows, title="Figure 1: time to first denial (sum queries)",
+    ))
+    if args.out_csv:
+        from .reporting.export import write_table_csv
+
+        write_table_csv(args.out_csv,
+                        ["n", "mean_first_denial", "ratio",
+                         "thm6_lower", "thm7_upper"], rows)
+        print(f"wrote {args.out_csv}")
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from .reporting.ascii_plots import ascii_plot
+    from .utility.experiments import (
+        estimate_denial_curve,
+        run_range_trial,
+        run_sum_denial_trial,
+        run_update_trial,
+    )
+    from .utility.metrics import moving_average
+
+    n = args.n
+    horizon = args.horizon or 3 * n
+    plots = [
+        ("Plot 1: uniform random sum queries",
+         lambda child: run_sum_denial_trial(n, horizon, rng=child)),
+        (f"Plot 2: modification every {args.update_every} queries",
+         lambda child: run_update_trial(n, horizon,
+                                        update_every=args.update_every,
+                                        rng=child)),
+        ("Plot 3: 1-d range queries (width 50-100)",
+         lambda child: run_range_trial(n, horizon, rng=child)),
+    ]
+    curves = {}
+    for title, trial in plots:
+        curve = estimate_denial_curve(trial, args.trials, rng=args.seed)
+        curves[title.split(":")[0]] = curve
+        print(ascii_plot(moving_average(curve, max(5, n // 8)),
+                         title=f"{title} (n={n})", y_label="query index"))
+        tail = curve[min(2 * n, len(curve) // 2):]
+        print(f"  long-run denial probability: "
+              f"{float(np.mean(tail)):.2f}\n")
+    if args.out_csv:
+        from .reporting.export import write_series_csv
+
+        write_series_csv(args.out_csv,
+                         {name: list(curve)
+                          for name, curve in curves.items()},
+                         index_name="query")
+        print(f"wrote {args.out_csv}")
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    from .reporting.ascii_plots import ascii_plot
+    from .utility.experiments import estimate_denial_curve, run_max_denial_trial
+    from .utility.metrics import moving_average
+
+    n = args.n
+    horizon = args.horizon or 3 * n
+    curve = estimate_denial_curve(
+        lambda child: run_max_denial_trial(n, horizon, rng=child),
+        args.trials, rng=args.seed,
+    )
+    print(ascii_plot(moving_average(curve, max(5, n // 8)),
+                     title=f"Figure 3: max-query denial probability (n={n})",
+                     y_label="query index"))
+    print(f"  plateau (queries {n}..{horizon}): "
+          f"{float(np.mean(curve[n:])):.2f}")
+    if args.out_csv:
+        from .reporting.export import write_series_csv
+
+        write_series_csv(args.out_csv, {"denial_probability": list(curve)},
+                         index_name="query")
+        print(f"wrote {args.out_csv}")
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from .attack.naive_max_attack import run_denial_decoding_attack
+    from .auditors.max_classic import MaxClassicAuditor
+    from .auditors.naive import NaiveMaxAuditor, OracleMaxAuditor
+    from .reporting.tables import format_table
+    from .sdb.dataset import Dataset
+
+    data = Dataset.uniform(args.n, rng=args.seed)
+    rows = []
+    for name, cls in (("oracle", OracleMaxAuditor),
+                      ("naive", NaiveMaxAuditor),
+                      ("simulatable", MaxClassicAuditor)):
+        auditor = cls(Dataset(list(data.values), low=data.low,
+                              high=data.high))
+        result = run_denial_decoding_attack(auditor, args.n,
+                                            rng=args.seed + 1)
+        correct = sum(1 for i, v in result.learned.items() if data[i] == v)
+        rows.append((name, result.queries_posed, result.denials, correct,
+                     f"{correct / args.n:.0%}"))
+    print(format_table(
+        ["auditor", "queries", "denials", "values leaked", "fraction"],
+        rows, title=f"Denial-decoding attack over {args.n} records",
+    ))
+    return 0
+
+
+def _cmd_game(args) -> int:
+    from .attack.interval_attack import IntervalAttacker
+    from .auditors.max_prob import MaxProbabilisticAuditor
+    from .auditors.maxmin_prob import MaxMinProbabilisticAuditor
+    from .privacy.game import (
+        PrivacyGame,
+        estimate_privacy,
+        make_max_posterior_oracle,
+        make_maxmin_posterior_oracle,
+    )
+    from .privacy.intervals import IntervalGrid
+    from .sdb.dataset import Dataset
+
+    grid = IntervalGrid(args.gamma)
+    if args.auditor == "max":
+        oracle = make_max_posterior_oracle(grid, args.n)
+        make_auditor = lambda ds: MaxProbabilisticAuditor(
+            ds, lam=args.lam, gamma=args.gamma, delta=args.delta,
+            rounds=args.rounds, num_samples=40, rng=args.seed,
+        )
+    else:
+        oracle = make_maxmin_posterior_oracle(grid, args.n,
+                                              num_samples=150, rng=args.seed)
+        make_auditor = lambda ds: MaxMinProbabilisticAuditor(
+            ds, lam=args.lam, gamma=args.gamma, delta=args.delta,
+            rounds=args.rounds, num_outer=3, num_inner=30, rng=args.seed,
+        )
+    game = PrivacyGame(grid, args.lam, args.rounds, oracle)
+    win_rate = estimate_privacy(
+        game,
+        make_auditor=make_auditor,
+        make_attacker=lambda rng: IntervalAttacker(args.n, rng=rng),
+        make_dataset=lambda rng: Dataset.uniform(args.n, rng=rng),
+        trials=args.trials,
+        rng=args.seed,
+    )
+    verdict = "PRIVATE" if win_rate <= args.delta else "BREACHED"
+    print(f"attacker win rate: {win_rate:.3f} over {args.trials} games "
+          f"(delta = {args.delta}) -> {verdict}")
+    return 0 if win_rate <= args.delta else 1
+
+
+def _cmd_price(args) -> int:
+    from .auditors.max_classic import MaxClassicAuditor
+    from .sdb.dataset import Dataset
+    from .types import max_query
+    from .utility.price_of_simulatability import (
+        measure_price_of_simulatability,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    data = Dataset.uniform(args.n, rng=rng)
+    auditor = MaxClassicAuditor(data)
+    stream = []
+    for _ in range(args.horizon):
+        size = int(rng.integers(1, args.n + 1))
+        members = [int(i) for i in rng.choice(args.n, size=size,
+                                              replace=False)]
+        stream.append(max_query(members))
+    tally = measure_price_of_simulatability(auditor, stream)
+    print(f"answered {tally.answered}, necessary denials "
+          f"{tally.necessary_denials}, conservative denials "
+          f"{tally.conservative_denials}")
+    print(f"price of simulatability: {tally.price:.2f}")
+    return 0
+
+
+def _cmd_serve(args, stdin=None) -> int:
+    from .auditors.max_classic import MaxClassicAuditor
+    from .auditors.maxmin_classic import MaxMinClassicAuditor
+    from .auditors.sum_classic import SumClassicAuditor
+    from .exceptions import ReproError
+    from .io import load_csv_database
+    from .persistence import JournaledAuditor
+    from .sdb.sql import execute_sql
+
+    factories = {
+        "sum": SumClassicAuditor,
+        "max": MaxClassicAuditor,
+        "maxmin": MaxMinClassicAuditor,
+    }
+    journaled = {}
+
+    def factory(dataset):
+        auditor = JournaledAuditor(factories[args.auditor](dataset))
+        journaled["auditor"] = auditor
+        return auditor
+
+    try:
+        db = load_csv_database(args.csv, args.sensitive, factory)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}")
+        return 2
+
+    print(f"serving {db.dataset.n} records from {args.csv}; sensitive "
+          f"column {args.sensitive!r}; auditor {args.auditor!r}")
+    print("enter SQL statistical queries, one per line "
+          "(e.g. SELECT sum(x) WHERE a = 1); EOF or 'quit' ends")
+
+    stream = stdin if stdin is not None else sys.stdin
+    for line in stream:
+        text = line.strip()
+        if not text:
+            continue
+        if text.lower() in ("quit", "exit"):
+            break
+        try:
+            decision = execute_sql(db, text, args.sensitive)
+        except ReproError as exc:
+            print(f"error: {exc}")
+            continue
+        if decision.answered:
+            print(f"answer: {decision.value}")
+        else:
+            print(f"DENIED ({decision.reason.value}): {decision.detail}")
+
+    auditor = journaled.get("auditor")
+    if args.journal and auditor is not None:
+        with open(args.journal, "w") as handle:
+            handle.write(auditor.journal.to_json())
+        print(f"journal written to {args.journal}")
+    trail = db.auditor.trail
+    print(f"session: {len(trail)} queries, {trail.denial_count()} denied")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

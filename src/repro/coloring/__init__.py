@@ -1,0 +1,25 @@
+"""Graph-colouring machinery for the probabilistic max-and-min auditor.
+
+Section 3.2 of the paper reduces sampling datasets from the posterior
+``P(X | B)`` to sampling valid colourings of a graph built from the equality
+predicates of the combined synopsis:
+
+* one node per equality predicate ``v``, colours = its query set ``S(v)``;
+* an edge whenever two predicates' query sets intersect (two predicates can
+  never share their witness, because their values differ);
+* target distribution ``P~(c) ∝ Π_v ℓ_{c(v)}`` with ``ℓ_i = 1/|R_i|``
+  (Lemma 1), sampled by a single-site Metropolis-style chain (Lemma 2
+  stationarity, Lemma 3 mixing in ``O(k log k)``).
+"""
+
+from .chain import ColoringChain
+from .graph import ColoringGraph, enumerate_colorings
+from .sampler import PosteriorSampler, dataset_from_coloring
+
+__all__ = [
+    "ColoringChain",
+    "ColoringGraph",
+    "PosteriorSampler",
+    "dataset_from_coloring",
+    "enumerate_colorings",
+]

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the query-auditing library.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InconsistentAnswersError(ReproError):
+    """A set of query answers admits no real-valued dataset.
+
+    Raised by the synopsis blackbox and the consistency checker when a new
+    (query, answer) pair contradicts information already derived from past
+    answers — e.g. two max queries whose forced witnesses cannot coexist in a
+    duplicate-free dataset.
+    """
+
+
+class DuplicateValueError(ReproError):
+    """A dataset violates the no-duplicates assumption of Sections 3 and 4."""
+
+
+class InvalidQueryError(ReproError):
+    """A query is malformed (empty query set, unknown record index, ...)."""
+
+
+class UnsupportedQueryError(ReproError):
+    """An auditor was handed an aggregate kind it does not audit."""
+
+
+class UnsupportedUpdateError(ReproError):
+    """An auditor that only handles static data received an update event."""
+
+
+class PrivacyParameterError(ReproError):
+    """Privacy-game parameters (lambda, gamma, delta, T) are out of range."""
+
+
+class SamplingError(ReproError):
+    """A sampler failed to produce a sample (e.g. empty polytope slice)."""
+
+
+class ColoringError(ReproError):
+    """No valid coloring exists or the chain precondition fails (Lemma 2)."""

@@ -1,0 +1,21 @@
+"""Incremental row-space maintenance for the classical sum auditor.
+
+The simulatable sum auditor of [9, 21] (paper, Section 5) reduces auditing to
+linear algebra: a query is a 0-1 *query vector*; full disclosure occurs
+exactly when the span of the answered query vectors contains an elementary
+vector ``e_i``.  This package provides two interchangeable backends:
+
+* :class:`~repro.linalg.fraction_matrix.FractionRowSpace` — exact rational
+  arithmetic (reference implementation, used in tests);
+* :class:`~repro.linalg.modular_matrix.ModularRowSpace` — vectorised
+  arithmetic over a large prime field (fast path for experiments; correct
+  with overwhelming probability for integer inputs, see module docs).
+
+Both expose the same interface; :func:`make_rowspace` picks one by name.
+"""
+
+from .fraction_matrix import FractionRowSpace
+from .modular_matrix import ModularRowSpace
+from .rowspace import make_rowspace
+
+__all__ = ["FractionRowSpace", "ModularRowSpace", "make_rowspace"]

@@ -1,0 +1,178 @@
+"""Exact incremental reduced row echelon form over ``fractions.Fraction``.
+
+Reference backend for row-space queries.  The classical sum auditor needs
+three operations, all supported incrementally:
+
+* membership — is a new query vector already in the span?
+* reveal prediction — would adding it put an elementary vector ``e_i`` in
+  the span (full disclosure of ``x_i``)?
+* insertion — extend the span.
+
+The matrix is kept in RREF at all times.  A key fact used throughout (see
+``tests/linalg`` for the property test): *a vector* ``e_i`` *lies in the row
+space iff the RREF contains the row* ``e_i`` *itself*, because any combination
+of RREF rows has its leading non-zero at a pivot column and the RREF
+representation is unique.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Set
+
+
+def _to_fractions(vector: Sequence) -> List[Fraction]:
+    return [Fraction(v) for v in vector]
+
+
+class FractionRowSpace:
+    """Row space of rational vectors, maintained in RREF.
+
+    Parameters
+    ----------
+    ncols:
+        Number of columns (dataset size / variable count).  Columns can be
+        appended later with :meth:`add_column` to support database updates.
+    """
+
+    def __init__(self, ncols: int):
+        if ncols <= 0:
+            raise ValueError("ncols must be positive")
+        self._ncols = ncols
+        self._rows: List[List[Fraction]] = []
+        self._pivots: List[int] = []  # pivot column of each row, ascending order not required
+        self._revealed: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def ncols(self) -> int:
+        """Current number of variables (columns)."""
+        return self._ncols
+
+    @property
+    def rank(self) -> int:
+        """Dimension of the row space."""
+        return len(self._rows)
+
+    @property
+    def revealed(self) -> Set[int]:
+        """Coordinates ``i`` with ``e_i`` in the row space (disclosed values)."""
+        return set(self._revealed)
+
+    def rows(self) -> List[List[Fraction]]:
+        """A copy of the RREF rows (for tests and debugging)."""
+        return [row[:] for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def reduce(self, vector: Sequence) -> List[Fraction]:
+        """Residual of ``vector`` after elimination against the RREF rows."""
+        res = _to_fractions(vector)
+        if len(res) != self._ncols:
+            raise ValueError(f"expected {self._ncols} entries, got {len(res)}")
+        for row, pivot in zip(self._rows, self._pivots):
+            coeff = res[pivot]
+            if coeff:
+                for j, rv in enumerate(row):
+                    if rv:
+                        res[j] -= coeff * rv
+        return res
+
+    def contains(self, vector: Sequence) -> bool:
+        """True when ``vector`` already lies in the row space."""
+        return not any(self.reduce(vector))
+
+    def would_reveal(self, vector: Sequence) -> Set[int]:
+        """Coordinates newly disclosed if ``vector`` were added.
+
+        Returns the set of indices ``i`` such that ``e_i`` would enter the
+        row space.  Empty both when the vector is dependent and when it is
+        independent but harmless.  Does not mutate the row space.
+        """
+        residual = self.reduce(vector)
+        pivot = _leading_index(residual)
+        if pivot is None:
+            return set()
+        inv = Fraction(1) / residual[pivot]
+        norm = [v * inv for v in residual]
+        newly: Set[int] = set()
+        if _nnz(norm) == 1:
+            newly.add(pivot)
+        for row in self._rows:
+            coeff = row[pivot]
+            if coeff:
+                updated = [rv - coeff * nv for rv, nv in zip(row, norm)]
+                idx = _singleton_index(updated)
+                if idx is not None:
+                    newly.add(idx)
+        return newly - self._revealed
+
+    def add(self, vector: Sequence) -> bool:
+        """Insert ``vector``; returns True when the rank grew.
+
+        Maintains RREF and updates :attr:`revealed`.
+        """
+        residual = self.reduce(vector)
+        pivot = _leading_index(residual)
+        if pivot is None:
+            return False
+        inv = Fraction(1) / residual[pivot]
+        norm = [v * inv for v in residual]
+        for k, row in enumerate(self._rows):
+            coeff = row[pivot]
+            if coeff:
+                self._rows[k] = [rv - coeff * nv for rv, nv in zip(row, norm)]
+                idx = _singleton_index(self._rows[k])
+                if idx is not None:
+                    self._revealed.add(idx)
+        self._rows.append(norm)
+        self._pivots.append(pivot)
+        if _nnz(norm) == 1:
+            self._revealed.add(pivot)
+        return True
+
+    def add_column(self) -> int:
+        """Append a fresh variable column (database update support).
+
+        Existing rows get a zero in the new column; returns its index.
+        """
+        zero = Fraction(0)
+        for row in self._rows:
+            row.append(zero)
+        self._ncols += 1
+        return self._ncols - 1
+
+    def copy(self) -> "FractionRowSpace":
+        """Deep copy (used by what-if analyses in tests)."""
+        dup = FractionRowSpace(self._ncols)
+        dup._rows = [row[:] for row in self._rows]
+        dup._pivots = self._pivots[:]
+        dup._revealed = set(self._revealed)
+        return dup
+
+
+def _leading_index(vector: Iterable[Fraction]) -> Optional[int]:
+    for i, v in enumerate(vector):
+        if v:
+            return i
+    return None
+
+
+def _nnz(vector: Iterable[Fraction]) -> int:
+    return sum(1 for v in vector if v)
+
+
+def _singleton_index(vector: Sequence[Fraction]) -> Optional[int]:
+    """Index of the unique non-zero entry, or None if not a singleton."""
+    idx = None
+    for i, v in enumerate(vector):
+        if v:
+            if idx is not None:
+                return None
+            idx = i
+    return idx

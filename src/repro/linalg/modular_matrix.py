@@ -1,0 +1,188 @@
+"""Fast row-space maintenance over a large prime field.
+
+For integer (here: 0-1) query vectors, rank over ``GF(p)`` equals rank over
+the rationals unless ``p`` divides one of finitely many minors; with a
+26-bit prime this is vanishingly unlikely for the random workloads we audit,
+and a different prime can be supplied to re-randomise.  Likewise ``e_i`` lies
+in the rational row space iff it lies in the ``GF(p)`` row space except on
+that same negligible event.  The test suite cross-checks this backend against
+the exact :class:`~repro.linalg.fraction_matrix.FractionRowSpace`.
+
+Arithmetic is vectorised with numpy ``int64``.  The prime is kept below
+``2^26`` so that a dot product of up to ``2^11`` residue pairs stays below
+``2^63``; longer dot products are chunked.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+import numpy as np
+
+#: Largest prime below 2^26; keeps chunked int64 dot products overflow-free.
+DEFAULT_PRIME = 67_108_859
+
+
+class ModularRowSpace:
+    """Row space over ``GF(p)`` kept in RREF, with amortised row growth.
+
+    Exposes the same interface as
+    :class:`~repro.linalg.fraction_matrix.FractionRowSpace`:
+    :meth:`reduce`, :meth:`contains`, :meth:`would_reveal`, :meth:`add`,
+    :meth:`add_column`, :meth:`copy` and the ``rank`` / ``revealed``
+    properties.
+    """
+
+    def __init__(self, ncols: int, prime: int = DEFAULT_PRIME):
+        if ncols <= 0:
+            raise ValueError("ncols must be positive")
+        if prime < 3 or prime >= 2**31:
+            raise ValueError("prime must be an odd prime below 2^31")
+        self._p = prime
+        # Rows per chunk so that chunk * (p-1)^2 < 2^63.
+        self._chunk = max(1, (2**63 - 1) // ((prime - 1) ** 2))
+        self._ncols = ncols
+        self._matrix = np.zeros((max(8, ncols), ncols), dtype=np.int64)
+        self._nrows = 0
+        self._pivots: list = []
+        self._pivot_arr = np.zeros(0, dtype=np.int64)
+        self._revealed: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def ncols(self) -> int:
+        """Current number of variables (columns)."""
+        return self._ncols
+
+    @property
+    def rank(self) -> int:
+        """Dimension of the row space."""
+        return self._nrows
+
+    @property
+    def prime(self) -> int:
+        """Field characteristic."""
+        return self._p
+
+    @property
+    def revealed(self) -> Set[int]:
+        """Coordinates ``i`` with ``e_i`` in the row space."""
+        return set(self._revealed)
+
+    def rows(self) -> np.ndarray:
+        """A copy of the active RREF rows."""
+        return self._matrix[: self._nrows].copy()
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def _as_residues(self, vector: Sequence) -> np.ndarray:
+        arr = np.asarray(vector, dtype=np.int64)
+        if arr.shape != (self._ncols,):
+            raise ValueError(f"expected shape ({self._ncols},), got {arr.shape}")
+        return np.mod(arr, self._p)
+
+    def reduce(self, vector: Sequence) -> np.ndarray:
+        """Residual of ``vector`` after elimination against the RREF rows.
+
+        In RREF every pivot column is zero in all other rows, so the
+        elimination coefficient for row ``k`` is simply the input's entry at
+        ``pivot_k`` — the whole reduction is one (chunked) matrix product.
+        """
+        res = self._as_residues(vector)
+        if self._nrows == 0:
+            return res
+        p = self._p
+        active = self._matrix[: self._nrows]
+        coeffs = res[self._pivot_arr[: self._nrows]]
+        for start in range(0, self._nrows, self._chunk):
+            stop = min(start + self._chunk, self._nrows)
+            block = coeffs[start:stop]
+            nz = np.flatnonzero(block)
+            if nz.size:
+                res = (res - block[nz] @ active[start:stop][nz]) % p
+        return res
+
+    def contains(self, vector: Sequence) -> bool:
+        """True when ``vector`` already lies in the row space."""
+        return not self.reduce(vector).any()
+
+    def _normalised_residual(self, vector: Sequence):
+        residual = self.reduce(vector)
+        nz = np.flatnonzero(residual)
+        if nz.size == 0:
+            return None, None, 0
+        pivot = int(nz[0])
+        inv = pow(int(residual[pivot]), -1, self._p)
+        norm = (residual * inv) % self._p
+        return norm, pivot, int(nz.size)
+
+    def would_reveal(self, vector: Sequence) -> Set[int]:
+        """Coordinates newly disclosed if ``vector`` were added (no mutation)."""
+        norm, pivot, nnz = self._normalised_residual(vector)
+        if norm is None:
+            return set()
+        newly: Set[int] = set()
+        if nnz == 1:
+            newly.add(pivot)
+        if self._nrows:
+            active = self._matrix[: self._nrows]
+            coeffs = active[:, pivot]
+            hit = np.flatnonzero(coeffs)
+            if hit.size:
+                updated = (active[hit] - coeffs[hit, None] * norm[None, :]) % self._p
+                counts = np.count_nonzero(updated, axis=1)
+                for row_idx in np.flatnonzero(counts == 1):
+                    newly.add(int(np.flatnonzero(updated[row_idx])[0]))
+        return newly - self._revealed
+
+    def add(self, vector: Sequence) -> bool:
+        """Insert ``vector``; returns True when the rank grew."""
+        norm, pivot, nnz = self._normalised_residual(vector)
+        if norm is None:
+            return False
+        if self._nrows:
+            active = self._matrix[: self._nrows]
+            coeffs = active[:, pivot].copy()
+            hit = np.flatnonzero(coeffs)
+            if hit.size:
+                active[hit] = (active[hit] - coeffs[hit, None] * norm[None, :]) % self._p
+                counts = np.count_nonzero(active[hit], axis=1)
+                for local in np.flatnonzero(counts == 1):
+                    self._revealed.add(int(np.flatnonzero(active[hit][local])[0]))
+        self._ensure_row_capacity()
+        self._matrix[self._nrows] = norm
+        self._pivots.append(pivot)
+        self._pivot_arr = np.asarray(self._pivots, dtype=np.int64)
+        self._nrows += 1
+        if nnz == 1:
+            self._revealed.add(pivot)
+        return True
+
+    def add_column(self) -> int:
+        """Append a fresh variable column; returns its index."""
+        extra = np.zeros((self._matrix.shape[0], 1), dtype=np.int64)
+        self._matrix = np.hstack([self._matrix, extra])
+        self._ncols += 1
+        return self._ncols - 1
+
+    def copy(self) -> "ModularRowSpace":
+        """Deep copy."""
+        dup = ModularRowSpace(self._ncols, prime=self._p)
+        dup._matrix = self._matrix.copy()
+        dup._nrows = self._nrows
+        dup._pivots = self._pivots[:]
+        dup._pivot_arr = self._pivot_arr.copy()
+        dup._revealed = set(self._revealed)
+        return dup
+
+    def _ensure_row_capacity(self) -> None:
+        if self._nrows < self._matrix.shape[0]:
+            return
+        grown = np.zeros((self._matrix.shape[0] * 2, self._ncols), dtype=np.int64)
+        grown[: self._nrows] = self._matrix[: self._nrows]
+        self._matrix = grown

@@ -1,0 +1,42 @@
+"""Backend selection and shared helpers for row-space maintenance."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .fraction_matrix import FractionRowSpace
+from .modular_matrix import ModularRowSpace
+
+_BACKENDS = {
+    "fraction": FractionRowSpace,
+    "modular": ModularRowSpace,
+}
+
+
+def make_rowspace(ncols: int, backend: str = "modular"):
+    """Construct a row-space tracker.
+
+    Parameters
+    ----------
+    ncols:
+        Number of variables.
+    backend:
+        ``"modular"`` (fast, default) or ``"fraction"`` (exact reference).
+    """
+    try:
+        cls = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {sorted(_BACKENDS)}"
+        ) from None
+    return cls(ncols)
+
+
+def indicator_vector(indices: Iterable[int], ncols: int) -> List[int]:
+    """The 0-1 query vector for a query set over ``ncols`` variables."""
+    vec = [0] * ncols
+    for i in indices:
+        if not 0 <= i < ncols:
+            raise ValueError(f"index {i} out of range for {ncols} columns")
+        vec[i] = 1
+    return vec

@@ -1,0 +1,34 @@
+"""Offline auditing (paper §2.1 related work; Chin [8]).
+
+In the *offline* problem, a sequence of queries has already been posed and
+truthfully answered; the task is deciding whether compromise has already
+occurred.  These auditors are the batch counterparts of the online machinery
+and share its engines:
+
+* :func:`audit_sum_log` — row-space analysis ([9]);
+* :func:`audit_max_log` / :func:`audit_min_log` — synopsis-based ([8]);
+* :func:`audit_maxmin_log` — Algorithm 4 extreme-element analysis (§4);
+* :func:`audit_bounded_sum_log` — LP-exact sum auditing over bounded data
+  (catches boundary-pinning disclosures the rank test cannot).
+
+(The paper notes the combined *sum-and-max* offline problem is NP-hard [8];
+it is intentionally not provided.)
+"""
+
+from .batch import (
+    OfflineAuditReport,
+    audit_max_log,
+    audit_maxmin_log,
+    audit_min_log,
+    audit_sum_log,
+)
+from .bounded_sum import audit_bounded_sum_log
+
+__all__ = [
+    "OfflineAuditReport",
+    "audit_bounded_sum_log",
+    "audit_max_log",
+    "audit_maxmin_log",
+    "audit_min_log",
+    "audit_sum_log",
+]

@@ -1,0 +1,138 @@
+"""Batch (offline) audit of already-answered query logs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..auditors.consistency import audit_log_status
+from ..auditors.extreme import Constraint
+from ..exceptions import InconsistentAnswersError
+from ..linalg import make_rowspace
+from ..synopsis.extreme_synopsis import MaxSynopsis, MinSynopsis
+from ..types import AggregateKind
+
+
+@dataclass
+class OfflineAuditReport:
+    """Result of auditing a completed query log."""
+
+    consistent: bool
+    compromised: bool
+    disclosed: Dict[int, float] = field(default_factory=dict)
+    detail: str = ""
+
+    @property
+    def secure(self) -> bool:
+        """Consistent and nothing disclosed."""
+        return self.consistent and not self.compromised
+
+
+SumEntry = Tuple[Iterable[int], float]
+
+
+def audit_sum_log(entries: Sequence[SumEntry], n: int,
+                  backend: str = "modular") -> OfflineAuditReport:
+    """Offline sum audit ([9]): compromise iff some ``e_i`` is derivable.
+
+    ``entries`` are ``(query_set, answer)`` pairs.  Over unbounded reals,
+    answers cannot be inconsistent, and exactly the coordinates with an
+    elementary vector in the row space are disclosed (with their values
+    derivable by elimination; we report the coordinates).
+    """
+    space = make_rowspace(n, backend)
+    for members, _answer in entries:
+        vec = [0] * n
+        for i in members:
+            vec[i] = 1
+        space.add(vec)
+    revealed = sorted(space.revealed)
+    disclosed = {i: _solve_sum_value(entries, n, i) for i in revealed}
+    return OfflineAuditReport(
+        consistent=True,
+        compromised=bool(revealed),
+        disclosed={i: v for i, v in disclosed.items() if v is not None},
+        detail=f"rank {space.rank}, {len(revealed)} coordinate(s) derivable",
+    )
+
+
+def _solve_sum_value(entries: Sequence[SumEntry], n: int,
+                     target: int) -> Optional[float]:
+    """Recover the disclosed value by exact elimination over the log."""
+    from fractions import Fraction
+
+    rows: List[List[Fraction]] = []
+    for members, answer in entries:
+        row = [Fraction(0)] * (n + 1)
+        for i in members:
+            row[i] = Fraction(1)
+        row[n] = Fraction(answer).limit_denominator(10**12)
+        rows.append(row)
+    # Forward elimination to RREF over the augmented matrix.
+    pivot_cols: List[int] = []
+    rank = 0
+    for col in range(n):
+        pivot = next((r for r in range(rank, len(rows)) if rows[r][col] != 0),
+                     None)
+        if pivot is None:
+            continue
+        rows[rank], rows[pivot] = rows[pivot], rows[rank]
+        inv = Fraction(1) / rows[rank][col]
+        rows[rank] = [v * inv for v in rows[rank]]
+        for r in range(len(rows)):
+            if r != rank and rows[r][col] != 0:
+                coeff = rows[r][col]
+                rows[r] = [a - coeff * b for a, b in zip(rows[r], rows[rank])]
+        pivot_cols.append(col)
+        rank += 1
+    for row, col in zip(rows, pivot_cols):
+        if col == target and all(
+            row[j] == 0 for j in range(n) if j != target
+        ):
+            return float(row[n])
+    return None
+
+
+def audit_max_log(entries: Sequence[SumEntry], n: int,
+                  limit: Optional[float] = None) -> OfflineAuditReport:
+    """Offline max audit over duplicate-free data ([8], via the synopsis)."""
+    return _audit_extreme_log(MaxSynopsis(n, limit=limit), entries)
+
+
+def audit_min_log(entries: Sequence[SumEntry], n: int,
+                  limit: Optional[float] = None) -> OfflineAuditReport:
+    """Offline min audit over duplicate-free data (mirror of max)."""
+    return _audit_extreme_log(MinSynopsis(n, limit=limit), entries)
+
+
+def _audit_extreme_log(synopsis, entries) -> OfflineAuditReport:
+    for members, answer in entries:
+        try:
+            synopsis.insert(members, answer)
+        except InconsistentAnswersError as exc:
+            return OfflineAuditReport(
+                consistent=False, compromised=False, detail=str(exc)
+            )
+    return OfflineAuditReport(
+        consistent=True,
+        compromised=bool(synopsis.determined),
+        disclosed=dict(synopsis.determined),
+        detail=f"{synopsis.size} synopsis predicate(s)",
+    )
+
+
+MaxMinEntry = Tuple[AggregateKind, Iterable[int], float]
+
+
+def audit_maxmin_log(entries: Sequence[MaxMinEntry], n: int
+                     ) -> OfflineAuditReport:
+    """Offline audit of a mixed max/min log (Section 4 machinery)."""
+    constraints = [Constraint(kind, frozenset(members), answer)
+                   for kind, members, answer in entries]
+    consistent, secure, disclosed = audit_log_status(constraints)
+    return OfflineAuditReport(
+        consistent=consistent,
+        compromised=consistent and not secure,
+        disclosed=disclosed,
+        detail=f"{len(constraints)} constraint(s) analysed",
+    )

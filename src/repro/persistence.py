@@ -1,0 +1,213 @@
+"""Audit-journal persistence: snapshot and restore auditor state.
+
+A production statistical database must survive restarts without forgetting
+what it has already disclosed — an auditor that reboots amnesiac is an open
+door.  The journal captures everything an auditor's state is a function of:
+
+* the initial sensitive values (and range),
+* the ordered stream of audited queries with their outcomes,
+* interleaved update events.
+
+Restoring replays the journal: answered queries are folded back through the
+auditor's state hooks (no re-decision, so randomized probabilistic auditors
+restore deterministically), denials are re-logged, updates re-applied.  For
+the deterministic classical auditors a *verify* mode re-runs every decision
+and flags any divergence (journal corruption or version drift).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from .exceptions import ReproError
+from .sdb.dataset import Dataset
+from .sdb.updates import Delete, Insert, Modify
+from .types import AggregateKind, AuditDecision, DenialReason, Query
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(ReproError):
+    """The journal is malformed or diverges from the auditor's behaviour."""
+
+
+@dataclass
+class AuditJournal:
+    """An ordered, serialisable record of an auditor's lifetime."""
+
+    initial_values: List[float]
+    low: float
+    high: float
+    events: List[Dict[str, Any]]
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def begin(dataset: Dataset) -> "AuditJournal":
+        """Start a journal for a fresh auditor over ``dataset``."""
+        return AuditJournal(
+            initial_values=list(dataset.values),
+            low=dataset.low,
+            high=dataset.high,
+            events=[],
+        )
+
+    def record_decision(self, query: Query, decision: AuditDecision) -> None:
+        """Append an audited query and its outcome."""
+        event: Dict[str, Any] = {
+            "type": "query",
+            "kind": query.kind.value,
+            "members": sorted(query.query_set),
+            "denied": decision.denied,
+        }
+        if decision.answered:
+            event["value"] = decision.value
+        self.events.append(event)
+
+    def record_update(self, event) -> None:
+        """Append an update event."""
+        if isinstance(event, Modify):
+            self.events.append({"type": "modify", "index": event.index,
+                                "value": event.value})
+        elif isinstance(event, Insert):
+            self.events.append({"type": "insert", "value": event.value,
+                                "public": dict(event.public or {})})
+        elif isinstance(event, Delete):
+            self.events.append({"type": "delete", "index": event.index})
+        else:  # pragma: no cover - defensive
+            raise JournalError(f"unknown update event {event!r}")
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps({
+            "version": JOURNAL_VERSION,
+            "dataset": {
+                "values": self.initial_values,
+                "low": self.low,
+                "high": self.high,
+            },
+            "events": self.events,
+        })
+
+    @staticmethod
+    def from_json(text: str) -> "AuditJournal":
+        """Parse a journal produced by :meth:`to_json`."""
+        try:
+            blob = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise JournalError(f"invalid journal JSON: {exc}") from exc
+        if blob.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"unsupported journal version {blob.get('version')!r}"
+            )
+        dataset = blob.get("dataset", {})
+        try:
+            return AuditJournal(
+                initial_values=[float(v) for v in dataset["values"]],
+                low=float(dataset["low"]),
+                high=float(dataset["high"]),
+                events=list(blob["events"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalError(f"malformed journal: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Restore
+    # ------------------------------------------------------------------
+
+    def restore(self, auditor_factory: Callable[[Dataset], Any],
+                verify: bool = False):
+        """Rebuild ``(auditor, dataset)`` by replaying the journal.
+
+        ``verify=True`` re-runs every recorded decision through the
+        auditor's own logic and raises :class:`JournalError` on divergence
+        (only meaningful for deterministic auditors).
+        """
+        dataset = Dataset(list(self.initial_values), low=self.low,
+                          high=self.high)
+        auditor = auditor_factory(dataset)
+        for event in self.events:
+            etype = event.get("type")
+            if etype == "query":
+                self._replay_query(auditor, event, verify)
+            elif etype == "modify":
+                dataset.set_value(int(event["index"]), float(event["value"]))
+                auditor.apply_update(Modify(int(event["index"]),
+                                            float(event["value"])))
+            elif etype == "insert":
+                dataset.append(float(event["value"]))
+                auditor.apply_update(Insert(float(event["value"]),
+                                            event.get("public") or {}))
+            elif etype == "delete":
+                auditor.apply_update(Delete(int(event["index"])))
+            else:
+                raise JournalError(f"unknown journal event type {etype!r}")
+        return auditor, dataset
+
+    def _replay_query(self, auditor, event: Dict[str, Any],
+                      verify: bool) -> None:
+        query = Query(AggregateKind(event["kind"]),
+                      frozenset(int(i) for i in event["members"]))
+        if verify:
+            decision = auditor.audit(query)
+            if decision.denied != bool(event["denied"]):
+                raise JournalError(
+                    f"replay divergence on {query!r}: journal says "
+                    f"denied={event['denied']}, auditor says "
+                    f"denied={decision.denied}"
+                )
+            if decision.answered and decision.value != event.get("value"):
+                raise JournalError(
+                    f"replay divergence on {query!r}: answer "
+                    f"{decision.value} != journalled {event.get('value')}"
+                )
+            return
+        if event["denied"]:
+            auditor.trail.record(
+                query, AuditDecision.deny(DenialReason.POLICY, "journalled")
+            )
+        else:
+            value = float(event["value"])
+            auditor._record_answer(query, value)
+            auditor.trail.record(query, AuditDecision.answer(value))
+
+
+class JournaledAuditor:
+    """Wraps any auditor, journalling every decision and update.
+
+    Drop-in replacement: exposes ``audit`` / ``apply_update`` plus the
+    journal.  Use :meth:`AuditJournal.restore` after a restart.
+    """
+
+    def __init__(self, auditor):
+        self.auditor = auditor
+        self.journal = AuditJournal.begin(auditor.dataset)
+
+    def audit(self, query: Query) -> AuditDecision:
+        """Audit and journal."""
+        decision = self.auditor.audit(query)
+        self.journal.record_decision(query, decision)
+        return decision
+
+    def apply_update(self, event) -> None:
+        """Apply and journal an update."""
+        self.auditor.apply_update(event)
+        self.journal.record_update(event)
+
+    @property
+    def trail(self):
+        """The wrapped auditor's trail."""
+        return self.auditor.trail
+
+    @property
+    def dataset(self):
+        """The wrapped auditor's dataset."""
+        return self.auditor.dataset

@@ -1,0 +1,14 @@
+"""Convex-polytope sampling substrate.
+
+The probabilistic sum auditor of [21] — the baseline the paper's Section 3.1
+compares against — conditions a uniform prior on ``[low, high]^n`` on linear
+equalities ``A x = b`` (the answered sum queries).  Sampling from that
+conditional distribution means sampling uniformly from the slice of the
+hypercube cut by an affine subspace; this package implements the standard
+hit-and-run sampler over that slice.
+"""
+
+from .halfspace import AffineSlice
+from .hit_and_run import HitAndRunSampler
+
+__all__ = ["AffineSlice", "HitAndRunSampler"]

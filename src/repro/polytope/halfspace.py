@@ -1,0 +1,108 @@
+"""Affine slices of a box: ``{x in [low, high]^n : A x = b}``.
+
+The slice is parameterised by the null space of ``A``: every feasible point
+is ``x = x0 + N z`` for a particular solution ``x0`` and an orthonormal null
+basis ``N``.  Box constraints become half-spaces in ``z``-coordinates, where
+chord intersection (needed by hit-and-run) is a per-coordinate ratio test.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import SamplingError
+
+
+class AffineSlice:
+    """The feasible set ``{x in [low, high]^n : A x = b}``."""
+
+    def __init__(self, n: int, low: float = 0.0, high: float = 1.0):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if low >= high:
+            raise ValueError("require low < high")
+        self.n = n
+        self.low = float(low)
+        self.high = float(high)
+        self._rows: list = []
+        self._rhs: list = []
+        self._null: Optional[np.ndarray] = None  # cached orthonormal basis
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of equality constraints."""
+        return len(self._rows)
+
+    def add_equality(self, coefficients, value: float) -> None:
+        """Append the constraint ``coefficients . x = value``."""
+        row = np.asarray(coefficients, dtype=float)
+        if row.shape != (self.n,):
+            raise ValueError(f"expected shape ({self.n},), got {row.shape}")
+        self._rows.append(row)
+        self._rhs.append(float(value))
+        self._null = None
+
+    def matrix(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(A, b)`` as arrays (possibly empty)."""
+        if not self._rows:
+            return np.zeros((0, self.n)), np.zeros(0)
+        return np.vstack(self._rows), np.asarray(self._rhs)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    def null_basis(self) -> np.ndarray:
+        """Orthonormal basis of the null space of ``A`` (``n x d``)."""
+        if self._null is None:
+            a, _ = self.matrix()
+            if a.shape[0] == 0:
+                self._null = np.eye(self.n)
+            else:
+                _, s, vt = np.linalg.svd(a, full_matrices=True)
+                rank = int(np.sum(s > 1e-10 * (s[0] if s.size else 1.0)))
+                self._null = vt[rank:].T
+        return self._null
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the affine slice."""
+        return self.null_basis().shape[1]
+
+    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        """Feasibility test for a point in ``x``-space."""
+        x = np.asarray(x, dtype=float)
+        if np.any(x < self.low - tol) or np.any(x > self.high + tol):
+            return False
+        a, b = self.matrix()
+        if a.shape[0] == 0:
+            return True
+        return bool(np.all(np.abs(a @ x - b) <= tol * max(1.0, self.n)))
+
+    def chord(self, x: np.ndarray, direction: np.ndarray,
+              tol: float = 1e-12) -> Tuple[float, float]:
+        """Feasible parameter range ``[t_lo, t_hi]`` for ``x + t * direction``.
+
+        ``direction`` must lie in the null space of ``A`` (the caller draws
+        it from :meth:`null_basis`), so only the box constraints matter.
+        """
+        d = np.asarray(direction, dtype=float)
+        t_lo, t_hi = -np.inf, np.inf
+        moving = np.abs(d) > tol
+        if not np.any(moving):
+            raise SamplingError("degenerate direction for chord computation")
+        dm = d[moving]
+        xm = x[moving]
+        lo_t = (self.low - xm) / dm
+        hi_t = (self.high - xm) / dm
+        lower = np.minimum(lo_t, hi_t)
+        upper = np.maximum(lo_t, hi_t)
+        t_lo = float(np.max(lower))
+        t_hi = float(np.min(upper))
+        return t_lo, t_hi

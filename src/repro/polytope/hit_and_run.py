@@ -1,0 +1,76 @@
+"""Hit-and-run sampling over an affine slice of a box.
+
+Classic uniform sampler: from the current point, pick a uniform direction in
+the slice's tangent space (the null space of ``A``), compute the feasible
+chord through the box, and jump to a uniform point on it.  The chain's
+stationary distribution is uniform over the slice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import SamplingError
+from ..rng import RngLike, as_generator
+from .halfspace import AffineSlice
+
+
+class HitAndRunSampler:
+    """Uniform sampler over ``{x in [low, high]^n : A x = b}``.
+
+    Parameters
+    ----------
+    slice_:
+        The feasible region.
+    start:
+        A feasible starting point (e.g. the true dataset, which always
+        satisfies its own answered queries).
+    steps_per_sample:
+        Chain steps between returned samples; defaults to ``4 * dimension``.
+    """
+
+    def __init__(self, slice_: AffineSlice, start: np.ndarray,
+                 rng: RngLike = None,
+                 steps_per_sample: Optional[int] = None):
+        start = np.asarray(start, dtype=float)
+        if not slice_.contains(start):
+            raise SamplingError("start point is not feasible")
+        self.slice = slice_
+        self.state = start.copy()
+        self._rng = as_generator(rng)
+        dim = max(1, slice_.dimension)
+        self.steps_per_sample = (
+            4 * dim if steps_per_sample is None else steps_per_sample
+        )
+
+    def step(self) -> np.ndarray:
+        """One hit-and-run transition; returns the new state."""
+        basis = self.slice.null_basis()
+        dim = basis.shape[1]
+        if dim == 0:
+            return self.state  # the slice is a single point
+        z = self._rng.normal(size=dim)
+        norm = float(np.linalg.norm(z))
+        if norm == 0.0:  # pragma: no cover - measure zero
+            return self.state
+        direction = basis @ (z / norm)
+        t_lo, t_hi = self.slice.chord(self.state, direction)
+        if not t_lo <= t_hi:
+            # Numerical corner: stay put rather than leave the region.
+            return self.state
+        t = float(self._rng.uniform(t_lo, t_hi))
+        self.state = self.state + t * direction
+        np.clip(self.state, self.slice.low, self.slice.high, out=self.state)
+        return self.state
+
+    def sample(self) -> np.ndarray:
+        """Advance ``steps_per_sample`` transitions and return a copy."""
+        for _ in range(self.steps_per_sample):
+            self.step()
+        return self.state.copy()
+
+    def samples(self, count: int) -> np.ndarray:
+        """``count`` thinned samples, stacked ``(count, n)``."""
+        return np.vstack([self.sample() for _ in range(count)])

@@ -1,0 +1,28 @@
+"""Privacy definitions: compromise notions and the privacy game (§2.2).
+
+* :mod:`~repro.privacy.intervals` — the grid ``I`` of ``gamma`` equal
+  buckets over ``[alpha, beta]``;
+* :mod:`~repro.privacy.posterior` — closed-form posterior bucket
+  probabilities for max-synopsis predicates (the math inside Algorithm 1);
+* :mod:`~repro.privacy.compromise` — the predicates ``S_{lambda,i,I}`` and
+  ``S_lambda`` for partial disclosure, plus ratio-band helpers;
+* :mod:`~repro.privacy.game` — the ``(lambda, gamma, T)``-privacy game
+  harness used to measure whether an auditor is ``(lambda, delta, gamma,
+  T)``-private against a given attacker.
+"""
+
+from .compromise import ratio_band, ratios_within_band, s_lambda
+from .game import GameResult, PrivacyGame
+from .intervals import IntervalGrid
+from .posterior import max_predicate_bucket_probabilities, uniform_prior
+
+__all__ = [
+    "IntervalGrid",
+    "GameResult",
+    "PrivacyGame",
+    "max_predicate_bucket_probabilities",
+    "uniform_prior",
+    "ratio_band",
+    "ratios_within_band",
+    "s_lambda",
+]

@@ -1,0 +1,191 @@
+"""Data distributions for probabilistic auditing beyond uniform (§3.1).
+
+The paper assumes uniform data but notes "we believe that our techniques can
+be extended to other more practical distributions in the future".  The
+extension is clean for any i.i.d. continuous distribution with CDF ``F``:
+
+* by exchangeability, each member of an equality predicate ``[max(S) = M]``
+  is the witness with probability ``1/|S|`` regardless of ``F``;
+* non-witnesses are i.i.d. from ``F`` truncated to ``(-inf, M)``:
+  ``Pr{x <= t | x < M} = F(t) / F(M)``;
+* the prior bucket probability of interval ``[a, b]`` is ``F(b) - F(a)``.
+
+So Algorithm 1's ratio test and Algorithm 2's consistent-dataset sampler
+need only a CDF and an inverse CDF.  :class:`DataDistribution` is that
+interface; uniform, truncated-gaussian and piecewise-empirical instances are
+provided.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from ..exceptions import PrivacyParameterError
+
+
+class DataDistribution:
+    """An i.i.d. data model on ``[low, high]`` with known CDF.
+
+    Subclasses implement :meth:`cdf`; :meth:`ppf` inverts it (a generic
+    bisection fallback is provided).
+    """
+
+    def __init__(self, low: float, high: float):
+        if low >= high:
+            raise PrivacyParameterError("require low < high")
+        self.low = float(low)
+        self.high = float(high)
+
+    def cdf(self, x: float) -> float:
+        """``Pr{X <= x}``; must be 0 at ``low`` and 1 at ``high``."""
+        raise NotImplementedError
+
+    def ppf(self, q: float) -> float:
+        """Inverse CDF by bisection (override for a closed form)."""
+        if not 0.0 <= q <= 1.0:
+            raise PrivacyParameterError("quantile outside [0, 1]")
+        lo, hi = self.low, self.high
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self.cdf(mid) < q:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    # ------------------------------------------------------------------
+    # Derived operations used by the auditors
+    # ------------------------------------------------------------------
+
+    def interval_probability(self, a: float, b: float) -> float:
+        """``Pr{a <= X <= b}`` (prior bucket mass)."""
+        return max(0.0, self.cdf(b) - self.cdf(a))
+
+    def truncated_interval_probability(self, a: float, b: float,
+                                       m: float) -> float:
+        """``Pr{a <= X <= b | X < m}`` for a non-witness below ``m``."""
+        fm = self.cdf(m)
+        if fm <= 0.0:
+            return 0.0
+        return max(0.0, self.cdf(min(b, m)) - self.cdf(min(a, m))) / fm
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """i.i.d. draws via inverse transform."""
+        return np.array([self.ppf(float(u))
+                         for u in rng.uniform(0.0, 1.0, size=size)])
+
+    def sample_below(self, rng: np.random.Generator, m: float,
+                     size: int) -> np.ndarray:
+        """i.i.d. draws conditioned below ``m`` (inverse transform on the
+        truncated CDF)."""
+        fm = self.cdf(m)
+        return np.array([self.ppf(float(u) * fm)
+                         for u in rng.uniform(0.0, 1.0, size=size)])
+
+
+class UniformDistribution(DataDistribution):
+    """Uniform on ``[low, high]`` — the paper's base case."""
+
+    def cdf(self, x: float) -> float:
+        if x <= self.low:
+            return 0.0
+        if x >= self.high:
+            return 1.0
+        return (x - self.low) / (self.high - self.low)
+
+    def ppf(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise PrivacyParameterError("quantile outside [0, 1]")
+        return self.low + q * (self.high - self.low)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=size)
+
+    def sample_below(self, rng: np.random.Generator, m: float,
+                     size: int) -> np.ndarray:
+        return rng.uniform(self.low, min(m, self.high), size=size)
+
+
+class TruncatedGaussianDistribution(DataDistribution):
+    """Gaussian(mean, std) truncated and renormalised to ``[low, high]``."""
+
+    def __init__(self, low: float, high: float, mean: float, std: float):
+        super().__init__(low, high)
+        if std <= 0:
+            raise PrivacyParameterError("std must be positive")
+        self.mean = float(mean)
+        self.std = float(std)
+        self._f_low = self._phi(low)
+        self._f_high = self._phi(high)
+        if self._f_high <= self._f_low:
+            raise PrivacyParameterError("degenerate truncation window")
+
+    def _phi(self, x: float) -> float:
+        return 0.5 * (1.0 + math.erf((x - self.mean)
+                                     / (self.std * math.sqrt(2.0))))
+
+    def cdf(self, x: float) -> float:
+        if x <= self.low:
+            return 0.0
+        if x >= self.high:
+            return 1.0
+        return (self._phi(x) - self._f_low) / (self._f_high - self._f_low)
+
+    def ppf(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise PrivacyParameterError("quantile outside [0, 1]")
+        from scipy.special import ndtri
+
+        p = self._f_low + q * (self._f_high - self._f_low)
+        p = min(max(p, 1e-15), 1.0 - 1e-15)
+        x = self.mean + self.std * float(ndtri(p))
+        return min(max(x, self.low), self.high)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        from scipy.special import ndtri
+
+        u = rng.uniform(0.0, 1.0, size=size)
+        p = np.clip(self._f_low + u * (self._f_high - self._f_low),
+                    1e-15, 1.0 - 1e-15)
+        return np.clip(self.mean + self.std * ndtri(p), self.low, self.high)
+
+    def sample_below(self, rng: np.random.Generator, m: float,
+                     size: int) -> np.ndarray:
+        from scipy.special import ndtri
+
+        fm = self.cdf(m)
+        u = rng.uniform(0.0, 1.0, size=size) * fm
+        p = np.clip(self._f_low + u * (self._f_high - self._f_low),
+                    1e-15, 1.0 - 1e-15)
+        return np.clip(self.mean + self.std * ndtri(p), self.low, self.high)
+
+
+class EmpiricalDistribution(DataDistribution):
+    """Piecewise-linear CDF fit to observed public data (e.g. published
+    salary quantiles) — the "known probability distributions" the paper's
+    partial-disclosure model assumes."""
+
+    def __init__(self, samples: Sequence[float]):
+        values = sorted(float(v) for v in samples)
+        if len(values) < 2 or values[0] == values[-1]:
+            raise PrivacyParameterError("need >= 2 distinct sample values")
+        super().__init__(values[0], values[-1])
+        self._xs: List[float] = values
+        n = len(values)
+        self._qs = [i / (n - 1) for i in range(n)]
+
+    def cdf(self, x: float) -> float:
+        if x <= self._xs[0]:
+            return 0.0
+        if x >= self._xs[-1]:
+            return 1.0
+        idx = bisect.bisect_right(self._xs, x) - 1
+        x0, x1 = self._xs[idx], self._xs[idx + 1]
+        q0, q1 = self._qs[idx], self._qs[idx + 1]
+        if x1 == x0:
+            return q1
+        return q0 + (q1 - q0) * (x - x0) / (x1 - x0)

@@ -1,0 +1,145 @@
+"""The ``(lambda, gamma, T)``-privacy game harness (paper, Section 2.2).
+
+The attacker poses up to ``T`` queries; the auditor answers or denies; the
+attacker *wins* if after some round the answered information drives some
+posterior/prior bucket ratio out of the ``lambda`` band (``S_lambda = 0``).
+An auditor is ``(lambda, delta, gamma, T)``-private when every attacker wins
+with probability at most ``delta`` (over the dataset draw and coin flips).
+
+The harness is generic over the *posterior oracle* — a callable that maps the
+answered (query, value) history to the true ``(n, gamma)`` posterior bucket
+matrix — so that exact oracles (max synopsis closed form) and Monte Carlo
+oracles (max-and-min via the colouring sampler) both plug in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..types import AuditDecision, Query
+from .compromise import ratios_within_band
+from .intervals import IntervalGrid
+from .posterior import max_synopsis_posterior_matrix, uniform_prior
+
+History = List[Tuple[Query, AuditDecision]]
+PosteriorOracle = Callable[[List[Tuple[Query, float]]], np.ndarray]
+
+
+@dataclass
+class GameResult:
+    """Outcome of one privacy game."""
+
+    attacker_won: bool
+    breach_round: Optional[int]
+    rounds_played: int
+    denials: int
+    history: History = field(default_factory=list)
+
+    @property
+    def answered(self) -> int:
+        """Number of answered queries."""
+        return self.rounds_played - self.denials
+
+
+class PrivacyGame:
+    """Plays one ``(lambda, gamma, T)``-privacy game."""
+
+    def __init__(self, grid: IntervalGrid, lam: float, rounds: int,
+                 posterior_oracle: PosteriorOracle):
+        if rounds < 1:
+            raise ValueError("rounds must be positive")
+        self.grid = grid
+        self.lam = lam
+        self.rounds = rounds
+        self.posterior_oracle = posterior_oracle
+
+    def play(self, auditor, attacker) -> GameResult:
+        """Run the game: ``attacker(round, history) -> Query``.
+
+        The breach check uses the true posterior after each *answered*
+        query (simulatable denials are information-free by construction).
+        """
+        history: History = []
+        answered: List[Tuple[Query, float]] = []
+        denials = 0
+        for t in range(1, self.rounds + 1):
+            query = attacker(t, history)
+            if query is None:
+                return GameResult(False, None, t - 1, denials, history)
+            decision = auditor.audit(query)
+            history.append((query, decision))
+            if decision.denied:
+                denials += 1
+                continue
+            assert decision.value is not None
+            answered.append((query, decision.value))
+            posterior = self.posterior_oracle(answered)
+            prior = uniform_prior(self.grid)
+            if not ratios_within_band(posterior, prior, self.lam):
+                return GameResult(True, t, t, denials, history)
+        return GameResult(False, None, self.rounds, denials, history)
+
+
+def make_max_posterior_oracle(grid: IntervalGrid, n: int) -> PosteriorOracle:
+    """Exact posterior oracle for pure max-query histories (§3.1 math)."""
+    from ..synopsis.extreme_synopsis import MaxSynopsis
+
+    def oracle(answered: List[Tuple[Query, float]]) -> np.ndarray:
+        synopsis = MaxSynopsis(n, limit=grid.high)
+        for query, value in answered:
+            synopsis.insert(query.query_set, value)
+        return max_synopsis_posterior_matrix(grid, synopsis)
+
+    return oracle
+
+
+def make_maxmin_posterior_oracle(grid: IntervalGrid, n: int,
+                                 num_samples: int = 200,
+                                 rng=None) -> PosteriorOracle:
+    """Monte Carlo posterior oracle for mixed max/min histories (§3.2).
+
+    Builds the combined synopsis from the answered history and estimates
+    bucket probabilities with the Rao-Blackwellised colouring sampler.
+    Noisier than the exact max oracle; suitable for game-level checks with
+    a tolerance.
+    """
+    from ..coloring.sampler import PosteriorSampler
+    from ..rng import as_generator
+    from ..synopsis.combined import CombinedSynopsis
+
+    gen = as_generator(rng)
+
+    def oracle(answered: List[Tuple[Query, float]]) -> np.ndarray:
+        synopsis = CombinedSynopsis(n, grid.low, grid.high)
+        for query, value in answered:
+            synopsis.insert(query.kind, query.query_set, value)
+        sampler = PosteriorSampler(synopsis, rng=gen)
+        return sampler.estimate_interval_probabilities(num_samples,
+                                                       grid.edges)
+
+    return oracle
+
+
+def estimate_privacy(game: PrivacyGame, make_auditor, make_attacker,
+                     make_dataset, trials: int, rng=None) -> float:
+    """Empirical attacker win rate over repeated games.
+
+    ``make_auditor(dataset)``, ``make_attacker(rng)`` and
+    ``make_dataset(rng)`` are factories so each trial is independent.
+    An auditor is empirically ``(lambda, delta, gamma, T)``-private when the
+    returned rate is at most ``delta`` (up to sampling error).
+    """
+    from ..rng import as_generator, spawn
+
+    gen = as_generator(rng)
+    wins = 0
+    for child in spawn(gen, trials):
+        dataset = make_dataset(child)
+        auditor = make_auditor(dataset)
+        attacker = make_attacker(child)
+        result = game.play(auditor, attacker)
+        wins += int(result.attacker_won)
+    return wins / trials

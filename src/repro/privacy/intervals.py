@@ -1,0 +1,68 @@
+"""The interval grid ``I`` used by probabilistic compromise (§2.2).
+
+The paper partitions the data range ``[alpha, beta]`` into ``gamma`` equal
+intervals ``I_j = [alpha + (j-1)(beta-alpha)/gamma, alpha + j(beta-alpha)/gamma]``
+for ``j = 1..gamma``; compromise is judged per element per interval.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..exceptions import PrivacyParameterError
+
+
+class IntervalGrid:
+    """``gamma`` equal-width buckets over ``[low, high]``.
+
+    Buckets are indexed 1-based to match the paper's ``j = 1..gamma``.
+    """
+
+    def __init__(self, gamma: int, low: float = 0.0, high: float = 1.0):
+        if gamma < 1:
+            raise PrivacyParameterError("gamma must be a positive integer")
+        if low >= high:
+            raise PrivacyParameterError("require low < high")
+        self.gamma = int(gamma)
+        self.low = float(low)
+        self.high = float(high)
+        self.edges = np.linspace(self.low, self.high, self.gamma + 1)
+
+    @property
+    def width(self) -> float:
+        """Width of each bucket."""
+        return (self.high - self.low) / self.gamma
+
+    @property
+    def prior(self) -> float:
+        """Prior bucket probability for a uniform value: ``1/gamma``."""
+        return 1.0 / self.gamma
+
+    def bucket(self, j: int) -> Tuple[float, float]:
+        """The interval ``I_j`` (1-based)."""
+        if not 1 <= j <= self.gamma:
+            raise PrivacyParameterError(f"bucket index {j} out of 1..{self.gamma}")
+        return float(self.edges[j - 1]), float(self.edges[j])
+
+    def containing(self, value: float) -> int:
+        """1-based index of the bucket containing ``value``.
+
+        Matches the paper's ``ceil(M * gamma)`` convention for values in
+        ``(low, high]``; ``value == low`` maps to bucket 1.
+        """
+        if not self.low <= value <= self.high:
+            raise PrivacyParameterError(
+                f"value {value} outside [{self.low}, {self.high}]"
+            )
+        scaled = (value - self.low) / (self.high - self.low) * self.gamma
+        j = int(np.ceil(scaled))
+        return min(max(j, 1), self.gamma)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        for j in range(1, self.gamma + 1):
+            yield self.bucket(j)
+
+    def __len__(self) -> int:
+        return self.gamma

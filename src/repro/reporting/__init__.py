@@ -1,0 +1,6 @@
+"""ASCII reporting for benchmark output (tables and simple line plots)."""
+
+from .ascii_plots import ascii_plot
+from .tables import format_table
+
+__all__ = ["ascii_plot", "format_table"]

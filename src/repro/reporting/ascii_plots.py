@@ -1,0 +1,30 @@
+"""Minimal ASCII line plots so benches can show curve *shapes* inline."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_plot(values: Sequence[float], width: int = 72, height: int = 12,
+               title: str = "", y_label: str = "") -> str:
+    """Render a series as a fixed-size ASCII chart (row 0 = max value)."""
+    if len(values) == 0:
+        return "(empty series)"
+    n = len(values)
+    xs = [int(i * (n - 1) / max(1, width - 1)) for i in range(min(width, n))]
+    series = [float(values[i]) for i in xs]
+    lo, hi = min(series), max(series)
+    span = hi - lo or 1.0
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = lo + span * level / height
+        line = "".join(
+            "*" if v >= threshold - span / (2 * height) else " "
+            for v in series
+        )
+        label = f"{threshold:8.3f} |" if level in (0, height) else "         |"
+        rows.append(label + line)
+    header = f"{title}\n" if title else ""
+    footer = f"         +{'-' * len(series)}\n"
+    axis = f"          1 .. {n} ({y_label})" if y_label else f"          1 .. {n}"
+    return header + "\n".join(rows) + "\n" + footer + axis

@@ -1,0 +1,45 @@
+"""CSV export of experiment series (for external plotting).
+
+The bench harness prints ASCII; for publication-quality figures the raw
+series export to CSV and load anywhere.  The CLI's ``fig*`` commands accept
+``--out-csv`` and route through these writers.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Mapping, Sequence
+
+
+def write_series_csv(path: str, series: Mapping[str, Sequence[float]],
+                     index_name: str = "step") -> int:
+    """Write named equal-length series as CSV columns; returns row count.
+
+    Shorter series are padded with empty cells so ragged collections export
+    cleanly.
+    """
+    if not series:
+        raise ValueError("no series to write")
+    names = list(series)
+    length = max(len(series[name]) for name in names)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([index_name] + names)
+        for row in range(length):
+            cells = [row + 1]
+            for name in names:
+                values = series[name]
+                cells.append(values[row] if row < len(values) else "")
+            writer.writerow(cells)
+    return length
+
+
+def write_table_csv(path: str, headers: Sequence[str],
+                    rows: Sequence[Sequence]) -> int:
+    """Write a simple table as CSV; returns the number of data rows."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return len(rows)

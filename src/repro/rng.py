@@ -1,0 +1,58 @@
+"""Seedable random-number helpers.
+
+Every stochastic component in the library accepts either a seed or a
+:class:`numpy.random.Generator`; this module centralises the coercion so
+experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a fresh nondeterministic generator, an ``int`` seeds a new
+    generator, and an existing generator is passed through unchanged.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Used when an experiment fans out trials that must not share streams.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def random_subset(rng: np.random.Generator, n: int,
+                  min_size: int = 1, max_size: Optional[int] = None) -> frozenset:
+    """A uniformly random non-empty subset of ``range(n)``.
+
+    When ``max_size`` is ``None`` the subset is uniform over all non-empty
+    subsets (each element included with probability 1/2, resampled if empty) —
+    the paper's "random query" model (footnote 6).  Otherwise the size is
+    drawn uniformly from ``[min_size, max_size]`` and the members uniformly
+    without replacement.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if max_size is None:
+        while True:
+            mask = rng.integers(0, 2, size=n).astype(bool)
+            if mask.any():
+                return frozenset(int(i) for i in np.flatnonzero(mask))
+    max_size = min(max_size, n)
+    min_size = max(1, min(min_size, max_size))
+    size = int(rng.integers(min_size, max_size + 1))
+    members = rng.choice(n, size=size, replace=False)
+    return frozenset(int(i) for i in members)

@@ -1,0 +1,41 @@
+"""Statistical-database substrate.
+
+A statistical database (paper, Section 1) holds one sensitive attribute and
+several public attributes.  Users specify record subsets via predicates over
+the public attributes; aggregates are computed over the corresponding
+sensitive values — and every aggregate request is routed through an auditor.
+
+* :mod:`~repro.sdb.dataset` — sensitive-value multisets and generators;
+* :mod:`~repro.sdb.predicates` — a small predicate DSL over public columns;
+* :mod:`~repro.sdb.table` — records with typed public attributes;
+* :mod:`~repro.sdb.aggregates` — aggregate evaluation;
+* :mod:`~repro.sdb.updates` — insert / delete / modify events;
+* :mod:`~repro.sdb.engine` — the user-facing :class:`StatisticalDatabase`.
+"""
+
+from .aggregates import evaluate_aggregate
+from .dataset import Dataset
+from .engine import StatisticalDatabase
+from .predicates import All, And, Eq, In, Not, Or, Range
+from .sql import execute_sql, parse_statistical_query
+from .table import Table
+from .updates import Delete, Insert, Modify
+
+__all__ = [
+    "Dataset",
+    "Table",
+    "StatisticalDatabase",
+    "evaluate_aggregate",
+    "execute_sql",
+    "parse_statistical_query",
+    "All",
+    "And",
+    "Eq",
+    "In",
+    "Not",
+    "Or",
+    "Range",
+    "Insert",
+    "Delete",
+    "Modify",
+]

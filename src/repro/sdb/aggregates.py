@@ -1,0 +1,34 @@
+"""Aggregate evaluation for statistical queries."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Sequence
+
+from ..exceptions import InvalidQueryError
+from ..types import AggregateKind, Query
+from .dataset import Dataset
+
+
+def evaluate_aggregate(kind: AggregateKind, values: Sequence[float]) -> float:
+    """Apply the aggregate ``f`` to the selected sensitive values."""
+    if not values:
+        raise InvalidQueryError("aggregate over empty value set")
+    if kind is AggregateKind.SUM:
+        return float(sum(values))
+    if kind is AggregateKind.MAX:
+        return float(max(values))
+    if kind is AggregateKind.MIN:
+        return float(min(values))
+    if kind is AggregateKind.AVG:
+        return float(sum(values) / len(values))
+    if kind is AggregateKind.COUNT:
+        return float(len(values))
+    if kind is AggregateKind.MEDIAN:
+        return float(statistics.median(values))
+    raise InvalidQueryError(f"unknown aggregate kind: {kind!r}")
+
+
+def true_answer(query: Query, dataset: Dataset) -> float:
+    """The exact answer ``f(Q)`` over the dataset."""
+    return evaluate_aggregate(query.kind, dataset.subset(query.query_set))

@@ -1,0 +1,135 @@
+"""Sensitive-value datasets and synthetic generators.
+
+The paper's algorithms assume the dataset ``X = {x_1, ..., x_n}`` of
+real-valued sensitive attributes, drawn in Sections 3–4 uniformly at random
+from the *duplicate-free* points of ``[alpha, beta]^n`` (duplicates occur with
+probability zero under continuous distributions, and the synopsis blackbox
+relies on their absence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..exceptions import DuplicateValueError, InvalidQueryError
+from ..rng import RngLike, as_generator
+
+
+@dataclass
+class Dataset:
+    """A multiset of real-valued sensitive attributes.
+
+    Parameters
+    ----------
+    values:
+        The sensitive values ``x_1, ..., x_n`` (index = record id).
+    low, high:
+        The public value range ``[alpha, beta]`` the probabilistic-compromise
+        machinery assumes.  Defaults to the unit interval.
+    """
+
+    values: List[float]
+    low: float = 0.0
+    high: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.values = [float(v) for v in self.values]
+        if self.low >= self.high:
+            raise ValueError("require low < high")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def uniform(n: int, low: float = 0.0, high: float = 1.0,
+                rng: RngLike = None, duplicate_free: bool = True) -> "Dataset":
+        """Draw ``n`` values uniformly from ``[low, high]``.
+
+        With ``duplicate_free`` (the Sections 3–4 assumption) the draw is
+        rejected and repeated until all values are distinct — an event of
+        probability zero for continuous draws, so this loop effectively never
+        repeats.
+        """
+        gen = as_generator(rng)
+        while True:
+            vals = gen.uniform(low, high, size=n)
+            if not duplicate_free or len(set(vals.tolist())) == n:
+                return Dataset(vals.tolist(), low=low, high=high)
+
+    @staticmethod
+    def gaussian(n: int, mean: float = 0.5, std: float = 0.15,
+                 low: float = 0.0, high: float = 1.0,
+                 rng: RngLike = None) -> "Dataset":
+        """Truncated-gaussian values in ``[low, high]`` (clipped resampling)."""
+        gen = as_generator(rng)
+        out: List[float] = []
+        while len(out) < n:
+            draw = gen.normal(mean, std, size=n)
+            out.extend(float(v) for v in draw if low <= v <= high)
+        return Dataset(out[:n], low=low, high=high)
+
+    @staticmethod
+    def salaries(n: int, base: float = 30_000.0, scale: float = 45_000.0,
+                 rng: RngLike = None) -> "Dataset":
+        """A salary-like heavy-tailed dataset (lognormal), for examples."""
+        gen = as_generator(rng)
+        vals = base + scale * gen.lognormal(mean=0.0, sigma=0.6, size=n)
+        high = float(vals.max()) * 1.1
+        return Dataset(vals.tolist(), low=0.0, high=high)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of records."""
+        return len(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, i: int) -> float:
+        return self.values[i]
+
+    def subset(self, indices) -> List[float]:
+        """Sensitive values for a query set."""
+        try:
+            return [self.values[i] for i in indices]
+        except IndexError:
+            raise InvalidQueryError("query set references unknown record") from None
+
+    def as_array(self) -> np.ndarray:
+        """Values as a numpy array (copy)."""
+        return np.asarray(self.values, dtype=float)
+
+    def has_duplicates(self) -> bool:
+        """Whether any two sensitive values coincide."""
+        return len(set(self.values)) != len(self.values)
+
+    def require_duplicate_free(self) -> None:
+        """Raise :class:`DuplicateValueError` if duplicates are present."""
+        if self.has_duplicates():
+            raise DuplicateValueError(
+                "dataset contains duplicate sensitive values; Sections 3-4 "
+                "algorithms require a duplicate-free dataset"
+            )
+
+    # ------------------------------------------------------------------
+    # Mutation (update support)
+    # ------------------------------------------------------------------
+
+    def set_value(self, index: int, value: float) -> float:
+        """Overwrite a sensitive value, returning the previous one."""
+        old = self.values[index]
+        self.values[index] = float(value)
+        return old
+
+    def append(self, value: float) -> int:
+        """Add a record; returns its new index."""
+        self.values.append(float(value))
+        return len(self.values) - 1

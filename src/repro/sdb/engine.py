@@ -1,0 +1,103 @@
+"""The user-facing statistical database.
+
+:class:`StatisticalDatabase` glues the three layers together: a
+:class:`~repro.sdb.table.Table` of public attributes, a
+:class:`~repro.sdb.dataset.Dataset` of sensitive values, and an auditor that
+gatekeeps every aggregate request.  It is the library's equivalent of the
+paper's running example::
+
+    db.query(Eq("zipcode", 94305), AggregateKind.SUM)   # sum(Salary) WHERE ...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from ..exceptions import InvalidQueryError
+from ..types import AggregateKind, AuditDecision, Query
+from .dataset import Dataset
+from .predicates import Predicate
+from .table import Table
+from .updates import Delete, Insert, Modify, UpdateEvent
+
+
+class StatisticalDatabase:
+    """An SDB that only releases audited aggregate statistics."""
+
+    def __init__(self, table: Table, dataset: Dataset, auditor) -> None:
+        if table.n != dataset.n:
+            raise InvalidQueryError(
+                f"table has {table.n} records but dataset has {dataset.n}"
+            )
+        self.table = table
+        self.dataset = dataset
+        self.auditor = auditor
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_records(records: Sequence[Mapping[str, Any]],
+                     sensitive_column: str,
+                     auditor_factory,
+                     low: Optional[float] = None,
+                     high: Optional[float] = None) -> "StatisticalDatabase":
+        """Build an SDB from row dicts, splitting off the sensitive column.
+
+        ``auditor_factory`` is called with the resulting
+        :class:`~repro.sdb.dataset.Dataset` and must return an auditor.
+        """
+        if not records:
+            raise InvalidQueryError("need at least one record")
+        values = []
+        public_rows = []
+        for rec in records:
+            if sensitive_column not in rec:
+                raise InvalidQueryError(
+                    f"record missing sensitive column {sensitive_column!r}"
+                )
+            values.append(float(rec[sensitive_column]))
+            public_rows.append({k: v for k, v in rec.items() if k != sensitive_column})
+        columns = sorted({k for row in public_rows for k in row})
+        table = Table(columns)
+        for row in public_rows:
+            table.insert(row)
+        lo = min(values) if low is None else low
+        hi = max(values) if high is None else high
+        if lo >= hi:
+            lo, hi = lo - 1.0, hi + 1.0
+        dataset = Dataset(values, low=lo, high=hi)
+        return StatisticalDatabase(table, dataset, auditor_factory(dataset))
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def query(self, predicate: Predicate, kind: AggregateKind) -> AuditDecision:
+        """Pose an aggregate query through the auditor."""
+        query_set = self.table.select(predicate)
+        if not query_set:
+            raise InvalidQueryError("predicate selects no records")
+        return self.auditor.audit(Query(kind, query_set))
+
+    def query_indices(self, indices, kind: AggregateKind) -> AuditDecision:
+        """Pose a query over explicit record indices (for experiments)."""
+        return self.auditor.audit(Query(kind, frozenset(indices)))
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def apply(self, event: UpdateEvent) -> None:
+        """Apply an update to the data *and* the auditor's bookkeeping."""
+        if isinstance(event, Insert):
+            self.table.insert(dict(event.public or {}))
+            self.dataset.append(event.value)
+        elif isinstance(event, Delete):
+            self.table.delete(event.index)
+        elif isinstance(event, Modify):
+            self.dataset.set_value(event.index, event.value)
+        else:  # pragma: no cover - defensive
+            raise InvalidQueryError(f"unknown update event {event!r}")
+        self.auditor.apply_update(event)

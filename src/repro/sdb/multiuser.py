@@ -1,0 +1,77 @@
+"""Multi-user serving and the collusion problem (paper §§5, 7).
+
+"All users would have to be considered as one in order to prevent collusion
+attacks … the queries of all the users would have to be pooled together and
+this may result in a user receiving more than his fair share of denials."
+
+:class:`MultiUserFrontend` serves named users in either mode:
+
+* ``"pooled"`` (safe, the paper's assumption) — a single auditor sees the
+  union of everyone's queries;
+* ``"independent"`` (insecure, for demonstration) — one auditor per user,
+  so colluders can stitch their individually-safe answers together.
+
+The collusion demo in ``tests/sdb/test_multiuser.py`` shows two users
+extracting an exact value in independent mode while pooled mode denies the
+completing query.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..exceptions import InvalidQueryError
+from ..types import AuditDecision, Query
+from .dataset import Dataset
+
+AuditorFactory = Callable[[Dataset], object]
+
+
+class MultiUserFrontend:
+    """Routes per-user queries to pooled or per-user auditors."""
+
+    MODES = ("pooled", "independent")
+
+    def __init__(self, dataset: Dataset, auditor_factory: AuditorFactory,
+                 mode: str = "pooled"):
+        if mode not in self.MODES:
+            raise InvalidQueryError(f"mode must be one of {self.MODES}")
+        self.dataset = dataset
+        self.mode = mode
+        self._factory = auditor_factory
+        self._pooled = auditor_factory(dataset) if mode == "pooled" else None
+        self._per_user: Dict[str, object] = {}
+        self.history: List[Tuple[str, Query, AuditDecision]] = []
+
+    def _auditor_for(self, user: str):
+        if self.mode == "pooled":
+            return self._pooled
+        if user not in self._per_user:
+            self._per_user[user] = self._factory(self.dataset)
+        return self._per_user[user]
+
+    def ask(self, user: str, query: Query) -> AuditDecision:
+        """Audit ``query`` on behalf of ``user``."""
+        decision = self._auditor_for(user).audit(query)
+        self.history.append((user, query, decision))
+        return decision
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def denial_counts(self) -> Dict[str, int]:
+        """Denials per user (the "fair share" the paper worries about)."""
+        out: Dict[str, int] = {}
+        for user, _query, decision in self.history:
+            out.setdefault(user, 0)
+            out[user] += int(decision.denied)
+        return out
+
+    def users(self) -> List[str]:
+        """Users seen so far."""
+        seen: List[str] = []
+        for user, _q, _d in self.history:
+            if user not in seen:
+                seen.append(user)
+        return seen

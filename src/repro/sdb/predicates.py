@@ -1,0 +1,125 @@
+"""Predicate DSL over public attributes.
+
+Queries in the paper's model select record subsets via predicates on public
+attribute values, e.g.::
+
+    SELECT sum(Salary) FROM CompanyTable WHERE ZipCode = 94305
+
+Predicates here are small composable objects evaluated row-by-row against a
+:class:`~repro.sdb.table.Table`; the resulting record-index set is the query
+set ``Q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence, Tuple
+
+
+class Predicate:
+    """Base class; subclasses implement :meth:`matches`."""
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        """Whether a record's public attributes satisfy the predicate."""
+        raise NotImplementedError
+
+    # Composition sugar -------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class All(Predicate):
+    """Matches every record."""
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """``column == value``."""
+
+    column: str
+    value: Any
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return row.get(self.column) == self.value
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """``column`` takes one of the given values."""
+
+    column: str
+    values: Tuple[Any, ...]
+
+    def __init__(self, column: str, values: Sequence[Any]):
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", tuple(values))
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return row.get(self.column) in self.values
+
+
+@dataclass(frozen=True)
+class Range(Predicate):
+    """``low <= column <= high`` (either bound may be None for open-ended)."""
+
+    column: str
+    low: Any = None
+    high: Any = None
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        value = row.get(self.column)
+        if value is None:
+            return False
+        try:
+            if self.low is not None and value < self.low:
+                return False
+            if self.high is not None and value > self.high:
+                return False
+        except TypeError:
+            # Incomparable types (e.g. a numeric range on a string column)
+            # simply do not match.
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return self.left.matches(row) and self.right.matches(row)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return self.left.matches(row) or self.right.matches(row)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    inner: Predicate
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return not self.inner.matches(row)

@@ -1,0 +1,309 @@
+"""A small SQL dialect for statistical queries.
+
+The paper presents queries in SQL form::
+
+    SELECT sum(Salary) FROM CompanyTable WHERE ZipCode = 94305
+
+This module parses that dialect into ``(AggregateKind, Predicate)`` pairs
+for :meth:`repro.sdb.engine.StatisticalDatabase.query`.  Supported grammar::
+
+    query     := SELECT agg '(' column ')' [FROM name] [WHERE condition]
+    agg       := SUM | MAX | MIN | AVG | COUNT | MEDIAN
+    condition := disjunct (OR disjunct)*
+    disjunct  := conjunct (AND conjunct)*
+    conjunct  := NOT conjunct | '(' condition ')' | comparison
+    comparison:= column op literal
+               | column BETWEEN literal AND literal
+               | column IN '(' literal (',' literal)* ')'
+    op        := '=' | '!=' | '<' | '<=' | '>' | '>='
+
+Literals are numbers or single/double-quoted strings; identifiers are
+case-preserving, keywords case-insensitive.  The selected column must be the
+database's sensitive attribute — selecting anything else is rejected, which
+is itself part of the SDB security model (only audited aggregates of the
+sensitive attribute leave the system).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..exceptions import InvalidQueryError
+from ..types import AggregateKind
+from .predicates import All, And, Eq, In, Not, Or, Predicate, Range
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+        (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<string>'[^']*'|"[^"]*")
+      | (?P<op><=|>=|!=|<>|=|<|>)
+      | (?P<punct>[(),])
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    )
+""", re.VERBOSE)
+
+_KEYWORDS = {"select", "from", "where", "and", "or", "not", "between", "in"}
+_AGGREGATES = {
+    "sum": AggregateKind.SUM,
+    "max": AggregateKind.MAX,
+    "min": AggregateKind.MIN,
+    "avg": AggregateKind.AVG,
+    "count": AggregateKind.COUNT,
+    "median": AggregateKind.MEDIAN,
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str   # number | string | op | punct | word
+    text: str
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise InvalidQueryError(
+                    f"cannot tokenize SQL near: {text[pos:pos + 20]!r}"
+                )
+            break
+        pos = match.end()
+        for kind in ("number", "string", "op", "punct", "word"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def peek(self) -> Optional[_Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise InvalidQueryError("unexpected end of SQL query")
+        self._pos += 1
+        return token
+
+    def expect_word(self, word: str) -> None:
+        token = self.next()
+        if token.kind != "word" or token.lowered != word:
+            raise InvalidQueryError(f"expected {word.upper()!r}, "
+                                    f"got {token.text!r}")
+
+    def expect_punct(self, punct: str) -> None:
+        token = self.next()
+        if token.kind != "punct" or token.text != punct:
+            raise InvalidQueryError(f"expected {punct!r}, got {token.text!r}")
+
+    def at_word(self, word: str) -> bool:
+        token = self.peek()
+        return (token is not None and token.kind == "word"
+                and token.lowered == word)
+
+    # -- grammar --------------------------------------------------------
+
+    def parse_query(self) -> Tuple[AggregateKind, str, Optional[str],
+                                   Predicate]:
+        self.expect_word("select")
+        agg_token = self.next()
+        kind = _AGGREGATES.get(agg_token.lowered)
+        if agg_token.kind != "word" or kind is None:
+            raise InvalidQueryError(
+                f"unknown aggregate {agg_token.text!r}; expected one of "
+                f"{sorted(_AGGREGATES)}"
+            )
+        self.expect_punct("(")
+        column = self._identifier()
+        self.expect_punct(")")
+        table = None
+        if self.at_word("from"):
+            self.next()
+            table = self._identifier()
+        predicate: Predicate = All()
+        if self.at_word("where"):
+            self.next()
+            predicate = self.parse_condition()
+        trailing = self.peek()
+        if trailing is not None:
+            raise InvalidQueryError(f"unexpected trailing token "
+                                    f"{trailing.text!r}")
+        return kind, column, table, predicate
+
+    def parse_condition(self) -> Predicate:
+        left = self.parse_disjunct()
+        while self.at_word("or"):
+            self.next()
+            left = Or(left, self.parse_disjunct())
+        return left
+
+    def parse_disjunct(self) -> Predicate:
+        left = self.parse_conjunct()
+        while self.at_word("and"):
+            self.next()
+            left = And(left, self.parse_conjunct())
+        return left
+
+    def parse_conjunct(self) -> Predicate:
+        if self.at_word("not"):
+            self.next()
+            return Not(self.parse_conjunct())
+        token = self.peek()
+        if token is not None and token.kind == "punct" and token.text == "(":
+            self.next()
+            inner = self.parse_condition()
+            self.expect_punct(")")
+            return inner
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Predicate:
+        column = self._identifier()
+        if self.at_word("between"):
+            self.next()
+            low = self._literal()
+            self.expect_word("and")
+            high = self._literal()
+            return Range(column, low, high)
+        if self.at_word("in"):
+            self.next()
+            self.expect_punct("(")
+            values = [self._literal()]
+            while (self.peek() is not None and self.peek().text == ","):
+                self.next()
+                values.append(self._literal())
+            self.expect_punct(")")
+            return In(column, values)
+        op_token = self.next()
+        if op_token.kind != "op":
+            raise InvalidQueryError(f"expected comparison operator, got "
+                                    f"{op_token.text!r}")
+        value = self._literal()
+        op = op_token.text
+        if op == "=":
+            return Eq(column, value)
+        if op in ("!=", "<>"):
+            return Not(Eq(column, value))
+        if op == "<":
+            return And(Range(column, None, value), Not(Eq(column, value)))
+        if op == "<=":
+            return Range(column, None, value)
+        if op == ">":
+            return And(Range(column, value, None), Not(Eq(column, value)))
+        if op == ">=":
+            return Range(column, value, None)
+        raise InvalidQueryError(f"unsupported operator {op!r}")
+
+    # -- terminals ------------------------------------------------------
+
+    def _identifier(self) -> str:
+        token = self.next()
+        if token.kind != "word" or token.lowered in _KEYWORDS:
+            raise InvalidQueryError(f"expected identifier, got "
+                                    f"{token.text!r}")
+        return token.text
+
+    def _literal(self) -> Any:
+        token = self.next()
+        if token.kind == "number":
+            value = float(token.text)
+            return int(value) if value.is_integer() else value
+        if token.kind == "string":
+            return token.text[1:-1]
+        raise InvalidQueryError(f"expected literal, got {token.text!r}")
+
+
+def parse_statistical_query(text: str) -> Tuple[AggregateKind, str,
+                                                Optional[str], Predicate]:
+    """Parse SQL text into ``(aggregate, column, table, predicate)``."""
+    return _Parser(_tokenize(text)).parse_query()
+
+
+def _render_literal(value: Any) -> str:
+    if isinstance(value, str):
+        return "'" + value + "'"
+    return repr(value)
+
+
+def render_predicate(predicate: Predicate) -> str:
+    """Render a predicate tree back into WHERE-clause SQL.
+
+    Inverse of the parser on its supported surface:
+    ``parse(render(p))`` selects the same rows as ``p``.
+    """
+    if isinstance(predicate, All):
+        raise InvalidQueryError(
+            "All() renders as an absent WHERE clause; use render_query"
+        )
+    return _render(predicate)
+
+
+def _render(predicate: Predicate) -> str:
+    if isinstance(predicate, Eq):
+        return f"{predicate.column} = {_render_literal(predicate.value)}"
+    if isinstance(predicate, In):
+        body = ", ".join(_render_literal(v) for v in predicate.values)
+        return f"{predicate.column} IN ({body})"
+    if isinstance(predicate, Range):
+        if predicate.low is not None and predicate.high is not None:
+            return (f"{predicate.column} BETWEEN "
+                    f"{_render_literal(predicate.low)} AND "
+                    f"{_render_literal(predicate.high)}")
+        if predicate.low is not None:
+            return f"{predicate.column} >= {_render_literal(predicate.low)}"
+        if predicate.high is not None:
+            return f"{predicate.column} <= {_render_literal(predicate.high)}"
+        raise InvalidQueryError("unbounded Range cannot be rendered")
+    if isinstance(predicate, And):
+        return f"({_render(predicate.left)} AND {_render(predicate.right)})"
+    if isinstance(predicate, Or):
+        return f"({_render(predicate.left)} OR {_render(predicate.right)})"
+    if isinstance(predicate, Not):
+        return f"NOT ({_render(predicate.inner)})"
+    raise InvalidQueryError(f"cannot render predicate {predicate!r}")
+
+
+def render_query(kind: AggregateKind, column: str,
+                 predicate: Optional[Predicate] = None,
+                 table: Optional[str] = None) -> str:
+    """Render a full statistical query back into the SQL dialect."""
+    sql = f"SELECT {kind.value}({column})"
+    if table:
+        sql += f" FROM {table}"
+    if predicate is not None and not isinstance(predicate, All):
+        sql += f" WHERE {_render(predicate)}"
+    return sql
+
+
+def execute_sql(db, text: str, sensitive_column: str):
+    """Parse and run a SQL statistical query through an audited database.
+
+    ``db`` is a :class:`~repro.sdb.engine.StatisticalDatabase`; the selected
+    column must name the sensitive attribute (only audited aggregates of it
+    ever leave the system).
+    """
+    kind, column, _table, predicate = parse_statistical_query(text)
+    if column.lower() != sensitive_column.lower():
+        raise InvalidQueryError(
+            f"only the sensitive column {sensitive_column!r} may be "
+            f"aggregated; got {column!r}"
+        )
+    return db.query(predicate, kind)

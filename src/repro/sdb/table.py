@@ -1,0 +1,85 @@
+"""Records with typed public attributes.
+
+A :class:`Table` stores, per record, a mapping of public attribute values;
+the sensitive values live separately in a
+:class:`~repro.sdb.dataset.Dataset` keyed by the same record index.  Deleted
+records keep their index (the auditing machinery reasons about past values)
+but stop matching predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional
+
+from ..exceptions import InvalidQueryError
+from .predicates import Predicate
+
+
+class Table:
+    """Public-attribute store mapping record index -> row dict."""
+
+    def __init__(self, columns: Iterable[str]):
+        self._columns = tuple(columns)
+        self._rows: List[Optional[Dict[str, Any]]] = []
+
+    @property
+    def columns(self):
+        """The declared public-attribute names."""
+        return self._columns
+
+    @property
+    def n(self) -> int:
+        """Total records ever inserted (including deleted)."""
+        return len(self._rows)
+
+    def live_indices(self) -> List[int]:
+        """Indices of records that are not deleted."""
+        return [i for i, row in enumerate(self._rows) if row is not None]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, row: Mapping[str, Any]) -> int:
+        """Insert a record; unknown columns are rejected.  Returns its index."""
+        unknown = set(row) - set(self._columns)
+        if unknown:
+            raise InvalidQueryError(f"unknown public columns: {sorted(unknown)}")
+        self._rows.append(dict(row))
+        return len(self._rows) - 1
+
+    def delete(self, index: int) -> None:
+        """Mark a record deleted; its index is never reused."""
+        self._check(index)
+        self._rows[index] = None
+
+    def update_public(self, index: int, row: Mapping[str, Any]) -> None:
+        """Overwrite public attributes of a live record."""
+        self._check(index)
+        unknown = set(row) - set(self._columns)
+        if unknown:
+            raise InvalidQueryError(f"unknown public columns: {sorted(unknown)}")
+        assert self._rows[index] is not None
+        self._rows[index].update(row)
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+
+    def row(self, index: int) -> Mapping[str, Any]:
+        """The public attributes of a live record."""
+        self._check(index)
+        row = self._rows[index]
+        assert row is not None
+        return row
+
+    def select(self, predicate: Predicate) -> FrozenSet[int]:
+        """Record indices of live rows matching ``predicate`` (query set)."""
+        return frozenset(
+            i for i, row in enumerate(self._rows)
+            if row is not None and predicate.matches(row)
+        )
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < len(self._rows) or self._rows[index] is None:
+            raise InvalidQueryError(f"no live record with index {index}")

@@ -1,0 +1,39 @@
+"""Update events for dynamic statistical databases.
+
+Section 5 of the paper observes that utility improves under updates —
+"as old information gathered by a user ... becomes out of date, more queries
+can be answered" — and Section 6 (Figure 2, Plot 2) measures this with
+modifications interleaved into the query stream.  These event records are the
+interface between update streams, the engine, and update-aware auditors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+
+@dataclass(frozen=True)
+class Insert:
+    """A new record with the given sensitive value and public attributes."""
+
+    value: float
+    public: Optional[Mapping[str, Any]] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Remove the record at ``index`` (its past values remain protected)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Modify:
+    """Overwrite the sensitive value of the record at ``index``."""
+
+    index: int
+    value: float
+
+
+UpdateEvent = Union[Insert, Delete, Modify]

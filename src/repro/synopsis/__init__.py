@@ -1,0 +1,28 @@
+"""The synopsis-computing blackbox ``B`` (paper, Section 2.2; Chin [8]).
+
+Over *duplicate-free* data, an audit trail of max queries compresses — with
+no loss of derivable information — into ``O(n)`` pairwise-disjoint predicates
+of the form ``[max(S) = M]`` and ``[max(S) < M]`` (mirror forms for min).
+The blackbox maintains the synopsis incrementally as each new (query, answer)
+pair arrives, detecting answers that are inconsistent with the past and
+flagging sensitive values that become uniquely determined.
+
+* :class:`~repro.synopsis.extreme_synopsis.ExtremeSynopsis` — the
+  direction-generic engine (``direction=+1`` for max, ``-1`` for min);
+* :func:`MaxSynopsis` / :func:`MinSynopsis` — convenience constructors;
+* :class:`~repro.synopsis.combined.CombinedSynopsis` — ``B = (B_max, B_min)``
+  with the Section 3.2 cross rules (same-value split, witness trickle,
+  per-element ranges ``R_i``).
+"""
+
+from .combined import CombinedSynopsis
+from .extreme_synopsis import ExtremeSynopsis, MaxSynopsis, MinSynopsis
+from .predicates import SynopsisPredicate
+
+__all__ = [
+    "CombinedSynopsis",
+    "ExtremeSynopsis",
+    "MaxSynopsis",
+    "MinSynopsis",
+    "SynopsisPredicate",
+]

@@ -1,0 +1,73 @@
+"""Predicate records stored in synopses.
+
+A synopsis predicate is one of (for the max direction)::
+
+    [max(S) = M]   equality   — every x in S is <= M and exactly one equals M
+    [max(S) < M]   strict     — every x in S is strictly below M
+
+and the mirror image for min (``direction = -1``)::
+
+    [min(S) = m]   equality   — every x in S is >= m and exactly one equals m
+    [min(S) > m]   strict     — every x in S is strictly above m
+
+Strict predicates carry no coupling between elements — they are just shared
+per-element bounds — whereas equality predicates additionally assert the
+existence of exactly one *witness* achieving the bound (unique because the
+data is duplicate-free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Set
+
+
+@dataclass
+class SynopsisPredicate:
+    """One synopsis predicate: a disjoint element set, a value, a form."""
+
+    elements: Set[int]
+    value: float
+    equality: bool
+    direction: int = +1  # +1 => max predicate, -1 => min predicate
+
+    def __post_init__(self) -> None:
+        if self.direction not in (+1, -1):
+            raise ValueError("direction must be +1 (max) or -1 (min)")
+        if not self.elements:
+            raise ValueError("predicate over empty element set")
+        self.elements = set(self.elements)
+        self.value = float(self.value)
+
+    @property
+    def is_max(self) -> bool:
+        """True for a max-direction predicate."""
+        return self.direction == +1
+
+    @property
+    def size(self) -> int:
+        """Number of elements constrained by the predicate."""
+        return len(self.elements)
+
+    @property
+    def determines_value(self) -> bool:
+        """A singleton equality predicate pins its element exactly."""
+        return self.equality and len(self.elements) == 1
+
+    def frozen_elements(self) -> FrozenSet[int]:
+        """Immutable view of the element set."""
+        return frozenset(self.elements)
+
+    def copy(self) -> "SynopsisPredicate":
+        """Independent copy."""
+        return SynopsisPredicate(set(self.elements), self.value,
+                                 self.equality, self.direction)
+
+    def __repr__(self) -> str:
+        func = "max" if self.is_max else "min"
+        if self.equality:
+            op = "="
+        else:
+            op = "<" if self.is_max else ">"
+        ids = ",".join(str(i) for i in sorted(self.elements))
+        return f"[{func}({{{ids}}}) {op} {self.value}]"

@@ -1,0 +1,47 @@
+"""Utility measurement: how many queries does an auditing scheme answer?
+
+Section 5 analyses the *time to first denial* for the classical sum auditor
+(``Theta(n)``, Theorems 6–7); Section 6 measures denial-probability curves
+under several workloads.  This package provides the metric machinery, the
+theoretical bound functions, and the experiment drivers the benchmarks and
+examples share.
+"""
+
+from .experiments import (
+    estimate_denial_curve,
+    run_max_denial_trial,
+    run_range_trial,
+    run_sum_denial_trial,
+    run_update_trial,
+    time_to_first_denial_vs_size,
+)
+from .metrics import denial_curve, first_denial_index, moving_average
+from .parallel import estimate_denial_curve_parallel, run_trials
+from .price_of_simulatability import (
+    SimulatabilityPrice,
+    measure_price_of_simulatability,
+)
+from .theory import (
+    rank_growth_probability,
+    theorem6_lower_bound,
+    theorem7_upper_bound,
+)
+
+__all__ = [
+    "SimulatabilityPrice",
+    "denial_curve",
+    "measure_price_of_simulatability",
+    "estimate_denial_curve_parallel",
+    "run_trials",
+    "estimate_denial_curve",
+    "first_denial_index",
+    "moving_average",
+    "rank_growth_probability",
+    "run_max_denial_trial",
+    "run_range_trial",
+    "run_sum_denial_trial",
+    "run_update_trial",
+    "theorem6_lower_bound",
+    "theorem7_upper_bound",
+    "time_to_first_denial_vs_size",
+]

@@ -1,0 +1,105 @@
+"""Experiment drivers behind the Section 6 figures.
+
+Each ``run_*_trial`` function plays one full query stream against a fresh
+auditor and returns the per-query denial flags;
+:func:`estimate_denial_curve` averages many trials into the
+denial-probability curves the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..auditors.max_classic import MaxClassicAuditor
+from ..auditors.sum_classic import SumClassicAuditor
+from ..rng import RngLike, as_generator, spawn
+from ..sdb.dataset import Dataset
+from ..types import AggregateKind
+from ..workloads.random_subsets import random_query_stream
+from ..workloads.range_queries import range_query_stream
+from ..workloads.update_stream import interleave_updates
+from .metrics import denial_curve, first_denial_index
+
+TrialFn = Callable[[np.random.Generator], List[bool]]
+
+
+def run_sum_denial_trial(n: int, horizon: int,
+                         rng: RngLike = None,
+                         backend: str = "modular") -> List[bool]:
+    """One Figure 1 / Figure 2 Plot 1 trial: random sum queries, static DB."""
+    gen = as_generator(rng)
+    dataset = Dataset.uniform(n, rng=gen, duplicate_free=False)
+    auditor = SumClassicAuditor(dataset, backend=backend)
+    stream = random_query_stream(n, horizon, AggregateKind.SUM, rng=gen)
+    return denial_curve(auditor, stream)
+
+
+def run_update_trial(n: int, horizon: int, update_every: int = 10,
+                     rng: RngLike = None,
+                     backend: str = "modular") -> List[bool]:
+    """One Figure 2 Plot 2 trial: a modification every ``update_every``
+    queries (versioned sum auditing)."""
+    gen = as_generator(rng)
+    dataset = Dataset.uniform(n, rng=gen, duplicate_free=False)
+    auditor = SumClassicAuditor(dataset, backend=backend)
+    queries = random_query_stream(n, horizon, AggregateKind.SUM, rng=gen)
+    stream = interleave_updates(queries, n, update_every=update_every,
+                                rng=gen)
+    return denial_curve(auditor, stream)
+
+
+def run_range_trial(n: int, horizon: int, rng: RngLike = None,
+                    min_span: int = 50, max_span: int = 100,
+                    backend: str = "modular") -> List[bool]:
+    """One Figure 2 Plot 3 trial: 1-d range sum queries of width 50-100."""
+    gen = as_generator(rng)
+    dataset = Dataset.uniform(n, rng=gen, duplicate_free=False)
+    auditor = SumClassicAuditor(dataset, backend=backend)
+    stream = range_query_stream(n, horizon, rng=gen, min_span=min_span,
+                                max_span=max_span)
+    return denial_curve(auditor, stream)
+
+
+def run_max_denial_trial(n: int, horizon: int,
+                         rng: RngLike = None) -> List[bool]:
+    """One Figure 3 trial: random max queries against the classical max
+    auditor of [21]."""
+    gen = as_generator(rng)
+    dataset = Dataset.uniform(n, rng=gen, duplicate_free=True)
+    auditor = MaxClassicAuditor(dataset)
+    stream = random_query_stream(n, horizon, AggregateKind.MAX, rng=gen)
+    return denial_curve(auditor, stream)
+
+
+def estimate_denial_curve(trial_fn: TrialFn, trials: int,
+                          rng: RngLike = None) -> np.ndarray:
+    """Average per-query denial probability across independent trials."""
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    gen = as_generator(rng)
+    curves = [np.asarray(trial_fn(child), dtype=float)
+              for child in spawn(gen, trials)]
+    horizon = min(len(c) for c in curves)
+    return np.mean([c[:horizon] for c in curves], axis=0)
+
+
+def time_to_first_denial_vs_size(sizes: Sequence[int], trials: int,
+                                 rng: RngLike = None,
+                                 horizon_factor: float = 2.0,
+                                 backend: str = "modular"
+                                 ) -> Dict[int, float]:
+    """Figure 1 driver: mean time to first denial per database size."""
+    gen = as_generator(rng)
+    out: Dict[int, float] = {}
+    for n in sizes:
+        horizon = int(horizon_factor * n) + 8
+        times: List[float] = []
+        for child in spawn(gen, trials):
+            flags = run_sum_denial_trial(n, horizon, rng=child,
+                                         backend=backend)
+            first = first_denial_index(flags)
+            times.append(float(first) if first is not None else float(horizon))
+        out[n] = float(np.mean(times))
+    return out

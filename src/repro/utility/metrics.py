@@ -1,0 +1,50 @@
+"""Denial metrics over query streams."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..sdb.updates import Modify
+
+
+def denial_curve(auditor, stream: Iterable, engine=None) -> List[bool]:
+    """Audit a stream; return one denial flag per *query*.
+
+    Stream items are :class:`~repro.types.Query` objects, optionally
+    interleaved with :class:`~repro.sdb.updates.Modify` events (which require
+    an ``engine`` — a :class:`~repro.sdb.engine.StatisticalDatabase` — or an
+    update-aware auditor to apply them to).
+    """
+    flags: List[bool] = []
+    for item in stream:
+        if isinstance(item, Modify):
+            if engine is not None:
+                engine.apply(item)
+            else:
+                auditor.dataset.set_value(item.index, item.value)
+                auditor.apply_update(item)
+            continue
+        decision = auditor.audit(item)
+        flags.append(decision.denied)
+    return flags
+
+
+def first_denial_index(flags: Sequence[bool]) -> Optional[int]:
+    """1-based index of the first denial, or None if none occurred."""
+    for idx, denied in enumerate(flags, start=1):
+        if denied:
+            return idx
+    return None
+
+
+def moving_average(values: Sequence[float], window: int) -> np.ndarray:
+    """Simple moving average (edge-truncated) for smoothing denial curves."""
+    if window < 1:
+        raise ValueError("window must be positive")
+    arr = np.asarray(values, dtype=float)
+    if window == 1 or arr.size == 0:
+        return arr
+    kernel = np.ones(min(window, arr.size)) / min(window, arr.size)
+    return np.convolve(arr, kernel, mode="same")

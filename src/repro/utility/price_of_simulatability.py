@@ -1,0 +1,61 @@
+"""The price of simulatability (paper §7).
+
+"Simulatability is conservative and could deny more often than necessary.
+One could try to analyze the *price of simulatability* — how many queries
+were denied when they could have been safely answered because we did not
+look at the true answers when choosing to deny."
+
+This driver replays a query stream against a simulatable auditor and, at
+every denial, asks the auditor's (non-simulatable, analysis-only)
+``hindsight_breach`` diagnostic whether the *true* answer would actually
+have disclosed a value given the same audit state.  Denials whose true
+answer was harmless are the price paid for keeping denials data-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..types import Query
+
+
+@dataclass
+class SimulatabilityPrice:
+    """Tally of one replayed stream."""
+
+    answered: int = 0
+    necessary_denials: int = 0    # true answer would have disclosed a value
+    conservative_denials: int = 0  # denied only for simulatability
+
+    @property
+    def denials(self) -> int:
+        """Total denials."""
+        return self.necessary_denials + self.conservative_denials
+
+    @property
+    def price(self) -> float:
+        """Fraction of denials that were conservative (0 when no denials)."""
+        if self.denials == 0:
+            return 0.0
+        return self.conservative_denials / self.denials
+
+
+def measure_price_of_simulatability(auditor, stream: Iterable[Query]
+                                    ) -> SimulatabilityPrice:
+    """Replay ``stream`` through ``auditor`` and classify every denial.
+
+    ``auditor`` must expose ``hindsight_breach(query)`` (the classical sum,
+    max, and max/min auditors all do).
+    """
+    tally = SimulatabilityPrice()
+    for query in stream:
+        hindsight = auditor.hindsight_breach(query)
+        decision = auditor.audit(query)
+        if decision.answered:
+            tally.answered += 1
+        elif hindsight:
+            tally.necessary_denials += 1
+        else:
+            tally.conservative_denials += 1
+    return tally

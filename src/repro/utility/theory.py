@@ -1,0 +1,52 @@
+"""Theoretical bounds on the time to first denial (§5, Theorems 6–7).
+
+* Theorem 6: ``E[T_denial] >= (n/4)(1 - o(1))`` — with probability at least
+  ``(1 - 1/n^2)^2`` no denial occurs among the first
+  ``n/4 - sqrt(n ln n)`` random sum queries;
+* Theorem 7: ``E[T_denial] <= n + lg n + 1``;
+* Lemma 4 machinery: a rank-``l`` hyperplane meets the Boolean cube
+  ``B^m`` in at most ``2^l`` points, so a fresh random 0-1 row raises the
+  rank with probability at least ``1 - 2^(l - m) >= 1/2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def theorem6_lower_bound(n: int) -> float:
+    """The high-probability denial-free horizon ``n/4 - sqrt(n ln n)``."""
+    if n < 2:
+        return 0.0
+    return max(0.0, n / 4.0 - math.sqrt(n * math.log(n)))
+
+
+def theorem7_upper_bound(n: int) -> float:
+    """The Theorem 7 expectation bound ``n + lg n + 1``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return n + math.log2(n) + 1.0
+
+
+def rank_growth_probability(current_rank: int, m: int) -> float:
+    """Lower bound on the chance a random 0-1 ``m``-vector raises the rank.
+
+    From Lemma 4: at most ``2^l`` cube points lie on a rank-``l`` hyperplane,
+    so the growth probability is at least ``1 - 2^(l - m)``.
+    """
+    if not 0 <= current_rank <= m:
+        raise ValueError("need 0 <= current_rank <= m")
+    return 1.0 - 2.0 ** (current_rank - m)
+
+
+def expected_queries_to_rank(m: int) -> float:
+    """Coupon-style upper bound on queries needed to reach full rank ``m``.
+
+    Each query independently raises the rank with probability at least 1/2
+    until rank ``m`` (stochastic dominance over fair-coin heads), so at most
+    ``2m`` queries are expected; the exact dominated expectation is
+    ``sum_l 1 / (1 - 2^(l - m))``.
+    """
+    if m < 1:
+        raise ValueError("m must be positive")
+    return sum(1.0 / (1.0 - 2.0 ** (l - m)) for l in range(m))

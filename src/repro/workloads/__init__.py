@@ -1,0 +1,25 @@
+"""Query and update workloads for the Section 6 experiments.
+
+* :mod:`~repro.workloads.random_subsets` — uniform random subset queries
+  (Figures 1–3);
+* :mod:`~repro.workloads.range_queries` — 1-dimensional range sum queries
+  over an ordered public attribute, 50–100 records each (Figure 2, Plot 3);
+* :mod:`~repro.workloads.update_stream` — query streams interleaved with
+  modifications (Figure 2, Plot 2);
+* :mod:`~repro.workloads.subcube` — Kam-Ullman [20] subcube sum queries
+  (patterns over 0/1/*; paper §2.1).
+"""
+
+from .random_subsets import random_query_stream
+from .range_queries import RangeQueryWorkload, range_query_stream
+from .subcube import SubcubeAddressing, random_subcube_patterns
+from .update_stream import interleave_updates
+
+__all__ = [
+    "RangeQueryWorkload",
+    "SubcubeAddressing",
+    "random_subcube_patterns",
+    "interleave_updates",
+    "random_query_stream",
+    "range_query_stream",
+]

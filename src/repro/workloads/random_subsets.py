@@ -1,0 +1,29 @@
+"""Uniform random subset queries — the paper's random-query model."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..rng import RngLike, as_generator, random_subset
+from ..types import AggregateKind, Query
+
+
+def random_query_stream(n: int, count: int,
+                        kind: AggregateKind = AggregateKind.SUM,
+                        rng: RngLike = None,
+                        min_size: Optional[int] = None,
+                        max_size: Optional[int] = None) -> Iterator[Query]:
+    """Yield ``count`` i.i.d. uniform random queries over ``n`` records.
+
+    With no size bounds each record is included with probability 1/2
+    (footnote 6's uniform model); with bounds, sizes are uniform in
+    ``[min_size, max_size]``.
+    """
+    gen = as_generator(rng)
+    for _ in range(count):
+        if min_size is None and max_size is None:
+            subset = random_subset(gen, n)
+        else:
+            subset = random_subset(gen, n, min_size=min_size or 1,
+                                   max_size=max_size)
+        yield Query(kind, subset)

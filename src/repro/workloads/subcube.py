@@ -1,0 +1,123 @@
+"""Subcube sum queries (Kam & Ullman [20]; paper §2.1).
+
+Records are addressed by binary public attributes; a query is a pattern
+string over ``{0, 1, *}`` ("don't care"), and "the elements to be summed up
+are those whose public attribute values match the query string pattern".
+Patterns translate into ordinary query sets, so the paper's row-space sum
+auditor protects subcube workloads unchanged — this module provides the
+addressing, the pattern algebra, and a workload generator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..exceptions import InvalidQueryError
+from ..rng import RngLike, as_generator
+from ..types import AggregateKind, Query
+
+Bits = Tuple[int, ...]
+
+
+class SubcubeAddressing:
+    """Maps records to binary attribute vectors and patterns to query sets.
+
+    Parameters
+    ----------
+    attributes:
+        Per-record binary attribute vectors (all the same length ``d``).
+        Multiple records may share an address (real tables do).
+    """
+
+    def __init__(self, attributes: Sequence[Sequence[int]]):
+        if not attributes:
+            raise InvalidQueryError("need at least one record")
+        width = len(attributes[0])
+        if width == 0:
+            raise InvalidQueryError("need at least one binary attribute")
+        self._by_record: List[Bits] = []
+        self._index: Dict[Bits, List[int]] = {}
+        for record, bits in enumerate(attributes):
+            key = tuple(int(b) for b in bits)
+            if len(key) != width or any(b not in (0, 1) for b in key):
+                raise InvalidQueryError(
+                    f"record {record}: attributes must be 0/1 vectors of "
+                    f"width {width}"
+                )
+            self._by_record.append(key)
+            self._index.setdefault(key, []).append(record)
+        self.width = width
+
+    @property
+    def n(self) -> int:
+        """Number of records."""
+        return len(self._by_record)
+
+    def address_of(self, record: int) -> Bits:
+        """The record's binary attribute vector."""
+        return self._by_record[record]
+
+    # ------------------------------------------------------------------
+    # Patterns
+    # ------------------------------------------------------------------
+
+    def _validate(self, pattern: str) -> str:
+        if len(pattern) != self.width or any(c not in "01*" for c in pattern):
+            raise InvalidQueryError(
+                f"pattern must be a length-{self.width} string over 0/1/*"
+            )
+        return pattern
+
+    def matches(self, pattern: str, bits: Bits) -> bool:
+        """Whether an address matches the pattern."""
+        self._validate(pattern)
+        return all(c == "*" or int(c) == b for c, b in zip(pattern, bits))
+
+    def query_set(self, pattern: str) -> frozenset:
+        """All record indices whose address matches ``pattern``."""
+        self._validate(pattern)
+        fixed = [(i, int(c)) for i, c in enumerate(pattern) if c != "*"]
+        out: List[int] = []
+        free = [i for i, c in enumerate(pattern) if c == "*"]
+        if len(free) <= self.width // 2 or len(self._index) > 2 ** len(free):
+            # Enumerate matching addresses (cheap when few stars).
+            for combo in itertools.product((0, 1), repeat=len(free)):
+                bits = [0] * self.width
+                for i, b in fixed:
+                    bits[i] = b
+                for i, b in zip(free, combo):
+                    bits[i] = b
+                out.extend(self._index.get(tuple(bits), ()))
+        else:
+            # Scan addresses (cheap when many stars).
+            for key, records in self._index.items():
+                if all(key[i] == b for i, b in fixed):
+                    out.extend(records)
+        return frozenset(out)
+
+    def sum_query(self, pattern: str) -> Query:
+        """The subcube sum query for ``pattern``.
+
+        Raises :class:`InvalidQueryError` when no record matches.
+        """
+        members = self.query_set(pattern)
+        if not members:
+            raise InvalidQueryError(f"pattern {pattern!r} matches no record")
+        return Query(AggregateKind.SUM, members)
+
+
+def random_subcube_patterns(width: int, count: int, rng: RngLike = None,
+                            star_probability: float = 0.5) -> Iterator[str]:
+    """Random patterns over ``{0,1,*}^width`` (i.i.d. per position)."""
+    if not 0.0 <= star_probability <= 1.0:
+        raise InvalidQueryError("star_probability must be in [0, 1]")
+    gen = as_generator(rng)
+    for _ in range(count):
+        chars = []
+        for _ in range(width):
+            if gen.random() < star_probability:
+                chars.append("*")
+            else:
+                chars.append(str(int(gen.integers(2))))
+        yield "".join(chars)

@@ -1,0 +1,32 @@
+"""Query streams interleaved with database updates (§6, Figure 2 Plot 2).
+
+The paper's update experiment modifies one record's sensitive value every
+``update_every`` queries (10 in the paper); past information held by the
+user goes stale, so more queries can be answered.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+from ..rng import RngLike, as_generator
+from ..sdb.updates import Modify
+from ..types import Query
+
+StreamItem = Union[Query, Modify]
+
+
+def interleave_updates(queries: Iterable[Query], n: int,
+                       update_every: int = 10,
+                       low: float = 0.0, high: float = 1.0,
+                       rng: RngLike = None) -> Iterator[StreamItem]:
+    """Yield the query stream with a :class:`Modify` before every
+    ``update_every``-th query (uniform new value, uniform victim record)."""
+    if update_every < 1:
+        raise ValueError("update_every must be positive")
+    gen = as_generator(rng)
+    for idx, query in enumerate(queries):
+        if idx and idx % update_every == 0:
+            victim = int(gen.integers(n))
+            yield Modify(victim, float(gen.uniform(low, high)))
+        yield query

@@ -1,0 +1,45 @@
+"""The §7 denial-of-service attack and its pre-seeding mitigation."""
+
+import pytest
+
+from repro.attack.dos_attack import (
+    DosOutcome,
+    flood,
+    important_panel,
+    run_dos_experiment,
+)
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.sdb.dataset import Dataset
+
+
+def test_important_panel_shape():
+    panel = important_panel(20, groups=4)
+    assert panel[0].size == 20            # the grand total
+    assert len(panel) == 5
+    covered = set()
+    for q in panel[1:]:
+        covered |= q.query_set
+    assert covered == set(range(20))
+
+
+def test_flood_saturates_the_budget():
+    data = Dataset.uniform(20, rng=0, duplicate_free=False)
+    auditor = SumClassicAuditor(data)
+    answered = flood(auditor, 20, 80, rng=1)
+    # Rank caps below n, after which random queries are mostly denied.
+    assert auditor.rank <= 20
+    assert answered < 80
+
+
+def test_dos_damages_and_preseeding_recovers():
+    outcome = run_dos_experiment(n=60, flood_queries=120, rng=3)
+    assert outcome.baseline_rate == 1.0          # fresh panel fully served
+    assert outcome.attacked_rate < 1.0           # the flood hurt the victim
+    assert outcome.preseeded_rate == 1.0         # pre-seeding immunises it
+    assert outcome.damage > 0
+    assert outcome.recovered == pytest.approx(1.0 - outcome.attacked_rate)
+
+
+def test_panel_validation():
+    with pytest.raises(ValueError):
+        important_panel(3, groups=9)

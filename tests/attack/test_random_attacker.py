@@ -1,0 +1,37 @@
+"""Unit tests for workload attackers."""
+
+import numpy as np
+import pytest
+
+from repro.attack.interval_attack import IntervalAttacker
+from repro.attack.random_attacker import RandomQueryAttacker
+from repro.types import AggregateKind
+
+
+def test_random_attacker_produces_valid_queries():
+    attacker = RandomQueryAttacker(10, AggregateKind.SUM, rng=0)
+    for round_no in range(20):
+        query = attacker(round_no, [])
+        assert query.kind is AggregateKind.SUM
+        assert 1 <= query.size <= 10
+        assert all(0 <= i < 10 for i in query.query_set)
+
+
+def test_random_attacker_size_bounds():
+    attacker = RandomQueryAttacker(20, AggregateKind.MAX, rng=1,
+                                   min_size=3, max_size=5)
+    sizes = {attacker.next_query().size for _ in range(50)}
+    assert sizes <= {3, 4, 5}
+
+
+def test_interval_attacker_small_max_queries():
+    attacker = IntervalAttacker(15, rng=2, min_size=1, max_size=3)
+    for round_no in range(20):
+        query = attacker(round_no, [])
+        assert query.kind is AggregateKind.MAX
+        assert 1 <= query.size <= 3
+
+
+def test_rejects_bad_n():
+    with pytest.raises(ValueError):
+        RandomQueryAttacker(0)

@@ -1,0 +1,81 @@
+"""The Auditor base-class contract."""
+
+import pytest
+
+from repro.auditors.base import Auditor
+from repro.exceptions import UnsupportedQueryError, UnsupportedUpdateError
+from repro.sdb.dataset import Dataset
+from repro.sdb.updates import Modify
+from repro.types import (
+    AggregateKind,
+    AuditDecision,
+    DenialReason,
+    Query,
+    sum_query,
+)
+
+
+class _ProbeAuditor(Auditor):
+    """Records the order of hook invocations."""
+
+    supported_kinds = frozenset({AggregateKind.SUM})
+
+    def __init__(self, dataset, deny=False):
+        super().__init__(dataset)
+        self.deny = deny
+        self.calls = []
+
+    def _deny_reason(self, query):
+        self.calls.append("decide")
+        if self.deny:
+            return AuditDecision.deny(DenialReason.POLICY, "probe")
+        return None
+
+    def _record_answer(self, query, value):
+        self.calls.append(("record", value))
+
+
+def test_answer_flow_runs_decide_then_record():
+    auditor = _ProbeAuditor(Dataset([1.0, 2.0]))
+    decision = auditor.audit(sum_query([0, 1]))
+    assert decision.answered and decision.value == 3.0
+    assert auditor.calls == ["decide", ("record", 3.0)]
+    assert len(auditor.trail) == 1
+
+
+def test_denial_flow_never_evaluates_answer():
+    auditor = _ProbeAuditor(Dataset([1.0, 2.0]), deny=True)
+    decision = auditor.audit(sum_query([0, 1]))
+    assert decision.denied
+    assert auditor.calls == ["decide"]   # no record hook, no aggregate
+    assert auditor.trail.denial_count() == 1
+
+
+def test_unsupported_kind_raises():
+    auditor = _ProbeAuditor(Dataset([1.0, 2.0]))
+    with pytest.raises(UnsupportedQueryError):
+        auditor.audit(Query(AggregateKind.MAX, frozenset({0})))
+
+
+def test_default_update_handler_rejects():
+    auditor = _ProbeAuditor(Dataset([1.0, 2.0]))
+    with pytest.raises(UnsupportedUpdateError):
+        auditor.apply_update(Modify(0, 5.0))
+
+
+def test_abstract_base_cannot_instantiate():
+    with pytest.raises(TypeError):
+        Auditor(Dataset([1.0]))  # abstract _deny_reason
+
+
+def test_would_answer_probe_is_side_effect_free():
+    from repro.auditors.sum_classic import SumClassicAuditor
+
+    auditor = SumClassicAuditor(Dataset([1.0, 2.0, 3.0]))
+    auditor.audit(sum_query([0, 1, 2]))
+    assert auditor.would_answer(sum_query([0, 1])) is False
+    assert auditor.would_answer(sum_query([0, 1])) is False   # unchanged
+    assert len(auditor.trail) == 1                            # not recorded
+    assert auditor.would_answer(sum_query([0, 1, 2])) is True
+    with pytest.raises(UnsupportedQueryError):
+        auditor.would_answer(Query(AggregateKind.MEDIAN, frozenset({0})))

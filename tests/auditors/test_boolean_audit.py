@@ -1,0 +1,158 @@
+"""Tests for 1-d boolean range-count auditing ([22]; paper §7)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean_audit import BooleanRangeAuditor, BooleanRangeLog
+from repro.exceptions import InconsistentAnswersError, InvalidQueryError
+
+
+# ----------------------------------------------------------------------
+# The log / difference-constraint engine
+# ----------------------------------------------------------------------
+
+def brute_force_possible(n, answers, i):
+    """All values x_i takes over boolean vectors satisfying the answers."""
+    values = set()
+    for bits in itertools.product((0, 1), repeat=n):
+        if all(sum(bits[a:b + 1]) == c for a, b, c in answers):
+            values.add(bits[i])
+    return sorted(values)
+
+
+def test_full_range_all_ones_discloses_everything():
+    log = BooleanRangeLog(4)
+    log.record(0, 3, 4)
+    assert log.disclosed_bits() == {0: 1, 1: 1, 2: 1, 3: 1}
+
+
+def test_zero_count_discloses_zeros():
+    log = BooleanRangeLog(3)
+    log.record(0, 2, 0)
+    assert log.disclosed_bits() == {0: 0, 1: 0, 2: 0}
+
+
+def test_difference_of_ranges_discloses_bit():
+    log = BooleanRangeLog(4)
+    log.record(0, 3, 2)
+    log.record(0, 2, 1)
+    # x_3 = 2 - 1 = 1 exactly.
+    assert log.disclosed_bits() == {3: 1}
+
+
+def test_inconsistent_answer_rejected():
+    log = BooleanRangeLog(4)
+    log.record(0, 3, 1)
+    assert not log.is_consistent(0, 1, 2)
+    with pytest.raises(InconsistentAnswersError):
+        log.record(0, 1, 2)
+    assert not log.is_consistent(0, 0, 5)  # count above range width
+
+
+def test_validation():
+    log = BooleanRangeLog(4)
+    with pytest.raises(InvalidQueryError):
+        log.is_consistent(2, 1, 0)
+    with pytest.raises(InvalidQueryError):
+        log.possible_values(9)
+    with pytest.raises(ValueError):
+        BooleanRangeLog(0)
+
+
+@st.composite
+def boolean_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    seed = draw(st.integers(min_value=0, max_value=2_000))
+    num_queries = draw(st.integers(min_value=1, max_value=5))
+    rng = np.random.default_rng(seed)
+    bits = [int(b) for b in rng.integers(0, 2, size=n)]
+    answers = []
+    for _ in range(num_queries):
+        a = int(rng.integers(0, n))
+        b = int(rng.integers(a, n))
+        answers.append((a, b, sum(bits[a:b + 1])))
+    return n, bits, answers
+
+
+@given(boolean_instances())
+@settings(max_examples=80, deadline=None)
+def test_possible_values_match_bruteforce(case):
+    n, bits, answers = case
+    log = BooleanRangeLog(n)
+    for a, b, c in answers:
+        log.record(a, b, c)
+    for i in range(n):
+        assert log.possible_values(i) == brute_force_possible(n, answers, i)
+
+
+# ----------------------------------------------------------------------
+# The online simulatable auditor
+# ----------------------------------------------------------------------
+
+def test_auditor_answers_safe_ranges():
+    auditor = BooleanRangeAuditor([1, 0, 1, 1, 0, 1])
+    decision = auditor.audit_range(0, 5)
+    # The full range with count 4 of 6 is safe only if no count value in
+    # 0..6 would disclose -- counts 0 and 6 disclose everything, so denied.
+    assert decision.denied
+
+
+def test_auditor_denies_singleton():
+    auditor = BooleanRangeAuditor([1, 0, 1])
+    assert auditor.audit_range(1, 1).denied
+
+
+def test_auditor_simulatable_same_denials_for_any_bits():
+    probes = [(0, 3), (0, 2), (1, 3), (2, 3)]
+    patterns = []
+    for bits in ([1, 0, 1, 0], [0, 1, 0, 1]):
+        auditor = BooleanRangeAuditor(bits)
+        pattern = []
+        for a, b in probes:
+            pattern.append(auditor.audit_range(a, b).denied)
+        patterns.append(pattern)
+    assert patterns[0] == patterns[1]
+
+
+def test_auditor_never_discloses():
+    rng = np.random.default_rng(4)
+    bits = [int(b) for b in rng.integers(0, 2, size=10)]
+    auditor = BooleanRangeAuditor(bits)
+    for _ in range(30):
+        a = int(rng.integers(0, 10))
+        b = int(rng.integers(a, 10))
+        auditor.audit_range(a, b)
+    assert auditor.log.disclosed_bits() == {}
+
+
+def test_auditor_rejects_non_boolean():
+    with pytest.raises(InvalidQueryError):
+        BooleanRangeAuditor([0, 2, 1])
+
+
+def test_preseeded_query_stays_answerable():
+    auditor = BooleanRangeAuditor([1, 0, 1, 1, 0, 1])
+    count = auditor.preseed(0, 5)
+    assert count == 4
+    # Re-asking the pre-seeded query: the only consistent candidate is the
+    # recorded count, which discloses nothing -> answered.
+    decision = auditor.audit_range(0, 5)
+    assert decision.answered and decision.value == 4.0
+
+
+def test_preseed_refuses_disclosing_counts():
+    auditor = BooleanRangeAuditor([1, 1, 1])
+    with pytest.raises(InvalidQueryError):
+        auditor.preseed(0, 2)  # count 3 of 3 pins every bit
+
+
+def test_simulatable_policy_is_conservative_negative_result():
+    # The known discrete-data phenomenon: without pre-seeds, fresh range
+    # queries are denied because the extreme counts stay consistent.
+    auditor = BooleanRangeAuditor([1, 0, 1, 0, 1, 0, 1, 0])
+    assert auditor.audit_range(0, 7).denied
+    assert auditor.audit_range(2, 5).denied

@@ -1,0 +1,61 @@
+"""Unit tests for Algorithm 3 candidate-answer enumeration."""
+
+from repro.auditors.candidates import (
+    candidate_answers,
+    interior_point,
+    outer_point,
+)
+
+
+def test_structure_of_candidate_list():
+    answers = [1.0, 3.0, 7.0]
+    cands = candidate_answers(answers)
+    # 2l + 1 = 7 points: below, a1, mid, a2, mid, a3, above.
+    assert len(cands) == 7
+    assert cands[0] < 1.0
+    assert cands[1] == 1.0
+    assert 1.0 < cands[2] < 3.0
+    assert cands[3] == 3.0
+    assert 3.0 < cands[4] < 7.0
+    assert cands[5] == 7.0
+    assert cands[6] > 7.0
+
+
+def test_single_answer_gives_three_points():
+    cands = candidate_answers([5.0])
+    assert len(cands) == 3
+    assert cands[0] < 5.0 < cands[2]
+    assert cands[1] == 5.0
+
+
+def test_empty_answers_gives_one_point():
+    assert len(candidate_answers([])) == 1
+
+
+def test_duplicates_collapsed():
+    assert len(candidate_answers([2.0, 2.0, 2.0])) == 3
+
+
+def test_interior_point_avoids_forbidden_values():
+    forbidden = {1.5, 4 / 3, 5 / 3}  # midpoint and both third-points
+    point = interior_point(1.0, 2.0, forbidden)
+    assert 1.0 < point < 2.0
+    assert point not in forbidden
+
+
+def test_outer_point_avoids_forbidden_values():
+    forbidden = {6.0, 6.7318530718}
+    point = outer_point(5.0, +1, forbidden)
+    assert point > 5.0 and point not in forbidden
+    below = outer_point(5.0, -1, {4.0})
+    assert below < 5.0 and below != 4.0
+
+
+def test_candidates_avoid_foreign_answers():
+    # Non-intersecting queries' answers must never be picked as interior or
+    # bounding points (they would create spurious duplicate collisions).
+    answers = [1.0, 3.0]
+    foreign = {2.0, 0.0, 4.0}
+    cands = candidate_answers(answers, forbidden=foreign)
+    for c in cands:
+        assert c in answers or c not in foreign

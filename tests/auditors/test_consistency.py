@@ -1,0 +1,98 @@
+"""Theorem 3/4 checks and the constructive consistent-dataset builder."""
+
+import pytest
+
+from repro.auditors.consistency import (
+    audit_log_status,
+    construct_consistent_dataset,
+    is_consistent,
+    is_secure,
+)
+from repro.auditors.extreme import Constraint, compute_extremes
+from repro.exceptions import InconsistentAnswersError
+from repro.types import AggregateKind
+
+MAX = AggregateKind.MAX
+MIN = AggregateKind.MIN
+
+
+def c(kind, members, answer):
+    return Constraint(kind, frozenset(members), answer)
+
+
+def test_secure_requires_multiple_extremes():
+    secure_log = [c(MAX, {0, 1, 2}, 0.8)]
+    insecure_log = [c(MAX, {0, 1, 2}, 0.8), c(MAX, {0, 1}, 0.5)]
+    assert is_secure(compute_extremes(secure_log))
+    # Second log pins element 2 (= 0.8): its extreme set is a singleton.
+    analysis = compute_extremes(insecure_log)
+    assert not is_secure(analysis)
+
+
+def test_equal_max_min_answers_insecure():
+    log = [c(MAX, {0, 1}, 0.5), c(MIN, {1, 2}, 0.5)]
+    analysis = compute_extremes(log)
+    assert is_consistent(analysis)
+    assert not is_secure(analysis)   # x1 = 0.5 is pinned
+
+
+def test_inconsistent_empty_extreme_set():
+    log = [c(MAX, {0, 1}, 0.5), c(MAX, {0, 1, 2}, 0.9), c(MAX, {2}, 0.3)]
+    # q2's answer 0.9 needs a witness; 0,1 <= 0.5 and 2 <= 0.3: impossible.
+    assert not is_consistent(compute_extremes(log))
+
+
+def test_inconsistent_crossed_bounds():
+    log = [c(MAX, {0, 1}, 0.3), c(MIN, {0, 1}, 0.6)]
+    assert not is_consistent(compute_extremes(log))
+
+
+def test_equal_answers_disjoint_sets_inconsistent():
+    log = [c(MAX, {0, 1}, 0.5), c(MIN, {2, 3}, 0.5)]
+    assert not is_consistent(compute_extremes(log))
+
+
+def test_equal_answers_two_common_elements_inconsistent():
+    log = [c(MAX, {0, 1}, 0.5), c(MIN, {0, 1}, 0.5)]
+    assert not is_consistent(compute_extremes(log))
+
+
+def test_audit_log_status_combines_checks():
+    consistent, secure, determined = audit_log_status([
+        c(MAX, {0, 1, 2}, 0.8),
+        c(MIN, {0, 1, 2}, 0.1),
+    ])
+    assert consistent and secure and determined == {}
+
+
+def test_construct_consistent_dataset_satisfies_log():
+    log = [
+        c(MAX, {0, 1, 2, 3}, 0.9),
+        c(MIN, {0, 1}, 0.2),
+        c(MAX, {4, 5}, 0.6),
+    ]
+    values = construct_consistent_dataset(log, n=6, rng=3)
+    assert len(set(values)) == 6
+    assert max(values[i] for i in (0, 1, 2, 3)) == 0.9
+    assert min(values[i] for i in (0, 1)) == 0.2
+    assert max(values[i] for i in (4, 5)) == 0.6
+
+
+def test_construct_raises_on_inconsistent_log():
+    log = [c(MAX, {0, 1}, 0.3), c(MIN, {0, 1}, 0.6)]
+    with pytest.raises(InconsistentAnswersError):
+        construct_consistent_dataset(log, n=2, rng=0)
+
+
+def test_secure_log_admits_two_datasets_per_element():
+    # Constructive direction of Theorem 3: secure => every element varies
+    # across consistent datasets.
+    log = [c(MAX, {0, 1, 2, 3}, 0.9), c(MIN, {0, 1, 2, 3}, 0.1)]
+    consistent, secure, _ = audit_log_status(log)
+    assert consistent and secure
+    seen = [set() for _ in range(4)]
+    for seed in range(12):
+        values = construct_consistent_dataset(log, n=4, rng=seed)
+        for i, v in enumerate(values):
+            seen[i].add(round(v, 12))
+    assert all(len(s) >= 2 for s in seen)

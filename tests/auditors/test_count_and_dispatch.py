@@ -1,0 +1,62 @@
+"""Count queries are free; dispatching routes kinds to their auditors."""
+
+import pytest
+
+from repro.auditors.count_trivial import CountAuditor, DispatchingAuditor
+from repro.auditors.max_classic import MaxClassicAuditor
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.exceptions import UnsupportedQueryError
+from repro.sdb.dataset import Dataset
+from repro.sdb.updates import Modify
+from repro.types import AggregateKind, Query, max_query, sum_query
+
+
+def count_query(ids):
+    return Query(AggregateKind.COUNT, frozenset(ids))
+
+
+def test_count_auditor_always_answers():
+    auditor = CountAuditor(Dataset([1.0, 2.0, 3.0]))
+    for ids in ([0], [0, 1], [0, 1, 2]):
+        decision = auditor.audit(count_query(ids))
+        assert decision.answered
+        assert decision.value == float(len(ids))
+    auditor.apply_update(Modify(0, 9.0))  # no-op, accepted
+
+
+def test_dispatching_routes_by_kind():
+    data = Dataset([1.0, 2.0, 3.0], low=0.0, high=5.0)
+    front = DispatchingAuditor({
+        AggregateKind.SUM: SumClassicAuditor(data),
+        AggregateKind.COUNT: CountAuditor(data),
+    })
+    assert front.audit(sum_query([0, 1, 2])).answered
+    assert front.audit(sum_query([0, 1])).denied       # differencing
+    assert front.audit(count_query([0])).answered       # counts stay free
+    assert front.would_answer(count_query([2]))
+    assert not front.would_answer(sum_query([2]))
+
+
+def test_dispatching_rejects_unregistered_kind():
+    data = Dataset([1.0, 2.0])
+    front = DispatchingAuditor({AggregateKind.COUNT: CountAuditor(data)})
+    with pytest.raises(UnsupportedQueryError):
+        front.audit(max_query([0]))
+    with pytest.raises(UnsupportedQueryError):
+        front.would_answer(max_query([0]))
+    with pytest.raises(UnsupportedQueryError):
+        DispatchingAuditor({})
+
+
+def test_dispatching_broadcasts_updates():
+    data = Dataset([1.0, 2.0, 3.0], low=0.0, high=5.0)
+    sum_auditor = SumClassicAuditor(data)
+    front = DispatchingAuditor({
+        AggregateKind.SUM: sum_auditor,
+        AggregateKind.COUNT: CountAuditor(data),
+    })
+    assert front.audit(sum_query([0, 1, 2])).answered
+    assert front.audit(sum_query([0, 1])).denied
+    data.set_value(0, 4.0)
+    front.apply_update(Modify(0, 4.0))
+    assert front.audit(sum_query([0, 1])).answered      # version bump applied

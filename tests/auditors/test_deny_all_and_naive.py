@@ -1,0 +1,47 @@
+"""Tests for the deny-all baseline and the naive (leaky) auditors."""
+
+import pytest
+
+from repro.auditors.deny_all import DenyAllAuditor
+from repro.auditors.naive import NaiveMaxAuditor, OracleMaxAuditor
+from repro.sdb.dataset import Dataset
+from repro.sdb.updates import Modify
+from repro.types import DenialReason, max_query, sum_query
+
+
+def test_deny_all_denies_everything():
+    data = Dataset([1.0, 2.0, 3.0])
+    auditor = DenyAllAuditor(data)
+    for query in (sum_query([0, 1]), max_query([0, 1, 2])):
+        decision = auditor.audit(query)
+        assert decision.denied
+        assert decision.reason is DenialReason.POLICY
+    auditor.apply_update(Modify(0, 9.0))  # accepted silently
+
+
+def test_oracle_answers_everything():
+    data = Dataset([1.0, 2.0, 3.0])
+    auditor = OracleMaxAuditor(data)
+    assert auditor.audit(max_query([0, 1, 2])).value == 3.0
+    assert auditor.audit(max_query([2])).value == 3.0  # outright disclosure
+
+
+def test_naive_denial_depends_on_hidden_values():
+    # The §2.2 example: the naive auditor's verdict on max{a,b} after
+    # max{a,b,c} differs with the hidden data -- the denial leaks.
+    def verdict(values):
+        auditor = NaiveMaxAuditor(Dataset(list(values), high=10.0))
+        assert auditor.audit(max_query([0, 1, 2])).answered
+        return auditor.audit(max_query([0, 1])).denied
+
+    # c holds the max -> answering max{a,b} (< 9) would pin c -> denied.
+    assert verdict([1.0, 2.0, 9.0]) is True
+    # a holds the max -> answering repeats 9, harmless -> answered.
+    assert verdict([9.0, 2.0, 1.0]) is False
+
+
+def test_naive_answers_when_value_is_safe():
+    auditor = NaiveMaxAuditor(Dataset([9.0, 2.0, 1.0], high=10.0))
+    auditor.audit(max_query([0, 1, 2]))
+    decision = auditor.audit(max_query([0, 1]))
+    assert decision.answered and decision.value == 9.0

@@ -1,0 +1,96 @@
+"""Unit tests for Algorithm 4 extreme-element computation."""
+
+import pytest
+
+from repro.auditors.extreme import Constraint, compute_extremes
+from repro.types import AggregateKind
+
+MAX = AggregateKind.MAX
+MIN = AggregateKind.MIN
+
+
+def c(kind, members, answer):
+    return Constraint(kind, frozenset(members), answer)
+
+
+def test_bounds_from_max_and_min():
+    analysis = compute_extremes([
+        c(MAX, {0, 1, 2}, 5.0),
+        c(MIN, {1, 2, 3}, 1.0),
+        c(MAX, {1, 3}, 4.0),
+    ])
+    assert analysis.upper == {0: 5.0, 1: 4.0, 2: 5.0, 3: 4.0}
+    assert analysis.lower == {1: 1.0, 2: 1.0, 3: 1.0}
+
+
+def test_initial_extremes_are_bound_attainers():
+    analysis = compute_extremes([
+        c(MAX, {0, 1, 2}, 5.0),
+        c(MAX, {1, 2}, 3.0),
+    ])
+    # mu: 0 -> 5, 1 -> 3, 2 -> 3; extremes of q1: only element 0.
+    assert analysis.extremes[0] == {0}
+    assert analysis.extremes[1] == {1, 2}
+    assert analysis.determined_elements() == {0: 5.0}
+
+
+def test_same_answer_max_queries_share_witness():
+    analysis = compute_extremes([
+        c(MAX, {0, 1, 2}, 5.0),
+        c(MAX, {1, 2, 3}, 5.0),
+    ])
+    # No duplicates: the shared witness lies in the intersection {1, 2}.
+    assert analysis.extremes[0] == {1, 2}
+    assert analysis.extremes[1] == {1, 2}
+
+
+def test_trickle_effect_cross_kind():
+    # min{0} = 3 pins x0; x0 cannot witness max{0,1} = 5 -> x1 = 5.
+    analysis = compute_extremes([
+        c(MAX, {0, 1}, 5.0),
+        c(MIN, {0}, 3.0),
+    ])
+    assert analysis.determined_elements() == {0: 3.0, 1: 5.0}
+
+
+def test_trickle_cascades_through_chain():
+    # min{0}=1 pins x0 -> x1 witnesses max{0,1}=5 -> x1 leaves
+    # min{1,2}=2's extreme set -> x2 = 2 pinned.
+    analysis = compute_extremes([
+        c(MAX, {0, 1}, 5.0),
+        c(MIN, {1, 2}, 2.0),
+        c(MIN, {0}, 1.0),
+    ])
+    determined = analysis.determined_elements()
+    assert determined[0] == 1.0
+    assert determined[1] == 5.0
+    assert determined[2] == 2.0
+
+
+def test_attainability_tracks_extremes():
+    analysis = compute_extremes([
+        c(MAX, {0, 1, 2}, 5.0),
+        c(MAX, {1, 2}, 3.0),
+    ])
+    assert analysis.upper_attainable[0] is True
+    assert analysis.upper_attainable[1] is True   # extreme for q2
+    # Element 0 is the sole extreme of q1; 1 and 2 can attain 3.0 in q2.
+    assert analysis.upper_attainable[2] is True
+
+
+def test_non_attainable_bound():
+    # Same-answer merge removes 0 from q1's extremes: max{0,1}=5, max{1,2}=5.
+    analysis = compute_extremes([
+        c(MAX, {0, 1}, 5.0),
+        c(MAX, {1, 2}, 5.0),
+    ])
+    assert analysis.extremes[0] == {1}
+    assert analysis.upper_attainable[0] is False
+    assert analysis.upper_attainable[1] is True
+
+
+def test_constraint_validation():
+    with pytest.raises(ValueError):
+        Constraint(AggregateKind.SUM, frozenset({0}), 1.0)
+    with pytest.raises(ValueError):
+        Constraint(MAX, frozenset(), 1.0)

@@ -1,0 +1,112 @@
+"""Update support for the max and max/min auditors (versioned slots).
+
+Versioning keeps every past and present value protected, but its utility
+profile differs from sum auditing: a query containing exactly *one* fresh
+(post-update) element is always deniable — a candidate answer above every
+known bound would pin that element — so single modifications do not unlock
+overlapping probes the way they do for sums.  Two fresh elements do.
+"""
+
+import numpy as np
+import pytest
+
+from repro.auditors.max_classic import MaxClassicAuditor
+from repro.auditors.maxmin_classic import MaxMinClassicAuditor
+from repro.sdb.dataset import Dataset
+from repro.sdb.updates import Delete, Insert, Modify
+from repro.types import max_query, min_query
+
+
+def test_single_fresh_element_probe_still_denied():
+    data = Dataset([1.0, 2.0, 9.0], low=0.0, high=10.0)
+    auditor = MaxClassicAuditor(data)
+    assert auditor.audit(max_query([0, 1, 2])).answered
+    assert auditor.audit(max_query([1, 2])).denied
+    data.set_value(2, 5.0)
+    auditor.apply_update(Modify(2, 5.0))
+    # Record 2 is a fresh variable now, but it is the only unbounded element
+    # of the probe: an answer above 9 would pin it -> still denied.
+    assert auditor.audit(max_query([1, 2])).denied
+
+
+def test_two_fresh_elements_unlock_their_pair():
+    data = Dataset([1.0, 2.0, 9.0], low=0.0, high=10.0)
+    auditor = MaxClassicAuditor(data)
+    assert auditor.audit(max_query([0, 1, 2])).answered
+    for victim, value in ((1, 4.0), (2, 5.0)):
+        data.set_value(victim, value)
+        auditor.apply_update(Modify(victim, value))
+    # Both probe members are fresh: every candidate keeps two witnesses.
+    decision = auditor.audit(max_query([1, 2]))
+    assert decision.answered
+    assert decision.value == 5.0
+
+
+def test_insert_extends_max_auditor():
+    data = Dataset([1.0, 2.0], low=0.0, high=10.0)
+    auditor = MaxClassicAuditor(data)
+    assert auditor.audit(max_query([0, 1])).answered
+    data.append(7.0)
+    auditor.apply_update(Insert(7.0))
+    # One fresh element joins the answered pair: a higher answer would pin
+    # it -> denied, exactly as for a static database.
+    assert auditor.audit(max_query([0, 1, 2])).denied
+    data.append(3.0)
+    auditor.apply_update(Insert(3.0))
+    decision = auditor.audit(max_query([0, 1, 2, 3]))
+    assert decision.answered
+    assert decision.value == 7.0
+
+
+def test_maxmin_modification_unlocks_overlapping_min_probe():
+    # min{2,3} overlaps max{0,1,2} in exactly one element, so the
+    # equal-answer candidate would pin x_2 -> denied.  Once record 2 is
+    # modified, the probe touches only a fresh slot and a free one.
+    data = Dataset([1.0, 2.0, 9.0, 3.0], low=0.0, high=10.0)
+    auditor = MaxMinClassicAuditor(data)
+    assert auditor.audit(max_query([0, 1, 2])).answered
+    assert auditor.audit(min_query([2, 3])).denied
+    data.set_value(2, 5.0)
+    auditor.apply_update(Modify(2, 5.0))
+    decision = auditor.audit(min_query([2, 3]))
+    assert decision.answered
+    assert decision.value == 3.0
+    assert auditor.synopsis.determined == {}
+
+
+def test_maxmin_delete_keeps_protection():
+    data = Dataset([1.0, 2.0, 9.0], low=0.0, high=10.0)
+    auditor = MaxMinClassicAuditor(data)
+    assert auditor.audit(max_query([0, 1, 2])).answered
+    auditor.apply_update(Delete(0))
+    # Remaining records still guarded by the old constraint.
+    assert auditor.audit(max_query([1, 2])).denied
+
+
+def test_update_validation():
+    data = Dataset([1.0, 2.0], low=0.0, high=10.0)
+    for auditor in (MaxClassicAuditor(Dataset([1.0, 2.0], high=10.0)),
+                    MaxMinClassicAuditor(data)):
+        with pytest.raises(Exception):
+            auditor.apply_update(Modify(9, 1.0))
+
+
+def test_soundness_preserved_through_update_storm():
+    # Invariant under arbitrary interleavings: no extreme set collapses and
+    # answers stay truthful for the *current* data.
+    rng = np.random.default_rng(11)
+    data = Dataset.uniform(12, rng=rng)
+    auditor = MaxClassicAuditor(data)
+    for step in range(150):
+        if step % 5 == 4:
+            victim = int(rng.integers(12))
+            value = float(rng.uniform())
+            data.set_value(victim, value)
+            auditor.apply_update(Modify(victim, value))
+        size = int(rng.integers(2, 13))
+        members = [int(i) for i in rng.choice(12, size=size, replace=False)]
+        decision = auditor.audit(max_query(members))
+        if decision.answered:
+            assert decision.value == max(data[i] for i in members)
+    for record in auditor._records:
+        assert len(record.extremes) >= 2

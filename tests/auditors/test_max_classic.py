@@ -1,0 +1,92 @@
+"""Unit tests for the classical max auditor ([21], used in Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.auditors.max_classic import MaxClassicAuditor
+from repro.exceptions import UnsupportedQueryError
+from repro.sdb.dataset import Dataset
+from repro.types import max_query, sum_query
+
+
+def make(values):
+    data = Dataset(list(values), low=0.0, high=max(values) + 1)
+    return MaxClassicAuditor(data), data
+
+
+def test_first_query_answered():
+    auditor, data = make([1.0, 2.0, 3.0])
+    decision = auditor.audit(max_query([0, 1, 2]))
+    assert decision.answered and decision.value == 3.0
+
+
+def test_singleton_query_denied():
+    auditor, _ = make([1.0, 2.0, 3.0])
+    assert auditor.audit(max_query([1])).denied
+
+
+def test_shrinking_query_denied_simulatably():
+    # After max{a,b,c}: asking max{a,b} could pin c (if the answer dropped),
+    # so the simulatable auditor must deny regardless of the actual values.
+    for values in ([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]):
+        auditor, _ = make(values)
+        assert auditor.audit(max_query([0, 1, 2])).answered
+        assert auditor.audit(max_query([0, 1])).denied
+
+
+def test_disjoint_queries_answered():
+    auditor, _ = make([1.0, 2.0, 3.0, 4.0])
+    assert auditor.audit(max_query([0, 1])).answered
+    assert auditor.audit(max_query([2, 3])).answered
+
+
+def test_overlapping_query_denied_for_high_candidate():
+    # After max{a,b} = 5, asking max{b,c} must be denied: were the answer
+    # above 5, c would be pinned -- and the simulatable auditor cannot look.
+    auditor, _ = make([5.0, 4.0, 3.0])
+    assert auditor.audit(max_query([0, 1])).answered
+    assert auditor.audit(max_query([1, 2])).denied
+
+
+def test_growing_superset_by_one_is_unsafe():
+    # max{a,b} then max{a,b,c}: an answer above the first would pin c.
+    auditor, _ = make([1.0, 4.0, 2.0, 3.0])
+    assert auditor.audit(max_query([0, 1])).answered
+    assert auditor.audit(max_query([0, 1, 2])).denied
+    # Two or more fresh elements leave every candidate with >= 2 witnesses.
+    assert auditor.audit(max_query([0, 1, 2, 3])).answered
+
+
+def test_decision_never_uses_true_answer():
+    # Poison the dataset accessor after setup: _deny_reason must not touch it.
+    auditor, data = make([1.0, 2.0, 3.0, 4.0])
+    auditor.audit(max_query([0, 1, 2, 3]))
+    poisoned = auditor.dataset
+    auditor.dataset = None
+    try:
+        # Dropping one element would leave a singleton extreme set -> deny;
+        # both computed without touching the data.
+        denied = auditor._deny_reason(max_query([0, 1, 2]))
+        allowed = auditor._deny_reason(max_query([0, 1]))
+    finally:
+        auditor.dataset = poisoned
+    assert denied is not None
+    assert allowed is None
+
+
+def test_rejects_non_max_queries():
+    auditor, _ = make([1.0, 2.0])
+    with pytest.raises(UnsupportedQueryError):
+        auditor.audit(sum_query([0, 1]))
+
+
+def test_long_random_stream_never_discloses():
+    # Invariant: no extreme set ever becomes a singleton after answers.
+    rng = np.random.default_rng(5)
+    data = Dataset.uniform(12, rng=rng)
+    auditor = MaxClassicAuditor(data)
+    for _ in range(150):
+        members = rng.choice(12, size=int(rng.integers(1, 13)), replace=False)
+        auditor.audit(max_query(int(i) for i in members))
+    for record in auditor._records:
+        assert len(record.extremes) >= 2

@@ -1,0 +1,114 @@
+"""Unit and property tests for the Section 4 max-and-min auditor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auditors.maxmin_classic import MaxMinClassicAuditor
+from repro.exceptions import DuplicateValueError
+from repro.sdb.dataset import Dataset
+from repro.types import max_query, min_query
+
+
+def make(values, engine="synopsis"):
+    data = Dataset(list(values), low=0.0, high=max(values) + 1.0)
+    return MaxMinClassicAuditor(data, engine=engine)
+
+
+def test_requires_duplicate_free_data():
+    with pytest.raises(DuplicateValueError):
+        make([1.0, 1.0, 2.0])
+
+
+def test_first_queries_answered():
+    auditor = make([1.0, 2.0, 3.0, 4.0])
+    assert auditor.audit(max_query([0, 1, 2])).answered
+    assert auditor.audit(min_query([0, 1, 2])).answered
+
+
+def test_paper_overlap_example_denied():
+    # Paper §4: max{a,b,c} then max{a,d,e} -- denied, because equal answers
+    # would force the shared element a to hold both maxima (no duplicates).
+    auditor = make([5.0, 1.0, 2.0, 3.0, 4.0])
+    assert auditor.audit(max_query([0, 1, 2])).answered
+    assert auditor.audit(max_query([0, 3, 4])).denied
+
+
+def test_min_after_max_on_same_set_is_safe():
+    auditor = make([1.0, 2.0, 3.0, 4.0])
+    assert auditor.audit(max_query([0, 1, 2, 3])).answered
+    assert auditor.audit(min_query([0, 1, 2, 3])).answered
+
+
+def test_equal_max_min_candidate_forces_denial():
+    # After max{a,b}: min{b,c} could share the answer, pinning b.
+    auditor = make([3.0, 5.0, 1.0])
+    assert auditor.audit(max_query([0, 1])).answered
+    assert auditor.audit(min_query([1, 2])).denied
+
+
+def test_singleton_queries_always_denied():
+    auditor = make([1.0, 2.0, 3.0])
+    assert auditor.audit(max_query([0])).denied
+    assert auditor.audit(min_query([2])).denied
+
+
+def test_simulatability_identical_denials_across_datasets():
+    # Classical decisions depend on past ANSWERS; use datasets that yield
+    # the same answers for the first query, then compare the second verdict.
+    stream_sets = [[0, 1, 2, 3], [0, 1]]
+    verdicts = []
+    for values in ([1.0, 2.0, 3.0, 4.0], [4.0, 3.0, 2.0, 1.0]):
+        auditor = make(values)
+        first = auditor.audit(max_query(stream_sets[0]))
+        assert first.answered and first.value == 4.0
+        verdicts.append(auditor.audit(max_query(stream_sets[1])).denied)
+    assert verdicts[0] == verdicts[1]
+
+
+@st.composite
+def random_streams(draw):
+    n = draw(st.integers(min_value=3, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    num_queries = draw(st.integers(min_value=2, max_value=7))
+    return n, seed, num_queries
+
+
+@given(random_streams())
+@settings(max_examples=40, deadline=None)
+def test_synopsis_and_log_engines_agree(case):
+    n, seed, num_queries = case
+    rng = np.random.default_rng(seed)
+    values = rng.permutation(np.linspace(0.1, 0.9, n)).tolist()
+    data_a = Dataset(list(values), low=0.0, high=1.0)
+    data_b = Dataset(list(values), low=0.0, high=1.0)
+    synopsis_engine = MaxMinClassicAuditor(data_a, engine="synopsis")
+    log_engine = MaxMinClassicAuditor(data_b, engine="log")
+    for _ in range(num_queries):
+        size = int(rng.integers(1, n + 1))
+        members = frozenset(int(i) for i in rng.choice(n, size=size,
+                                                       replace=False))
+        build = max_query if rng.integers(2) else min_query
+        query = build(members)
+        d1 = synopsis_engine.audit(query)
+        d2 = log_engine.audit(query)
+        assert d1.denied == d2.denied, (values, query)
+
+
+@given(random_streams())
+@settings(max_examples=40, deadline=None)
+def test_no_disclosure_invariant(case):
+    n, seed, num_queries = case
+    rng = np.random.default_rng(seed)
+    values = rng.permutation(np.linspace(0.1, 0.9, n)).tolist()
+    data = Dataset(list(values), low=0.0, high=1.0)
+    auditor = MaxMinClassicAuditor(data)
+    for _ in range(num_queries):
+        size = int(rng.integers(1, n + 1))
+        members = frozenset(int(i) for i in rng.choice(n, size=size,
+                                                       replace=False))
+        build = max_query if rng.integers(2) else min_query
+        auditor.audit(build(members))
+    # Answered information never pins any value.
+    assert auditor.synopsis.determined == {}

@@ -1,0 +1,79 @@
+"""Tests for the Section 3.2 probabilistic max-and-min auditor."""
+
+import pytest
+
+from repro.auditors.maxmin_prob import MaxMinProbabilisticAuditor
+from repro.exceptions import PrivacyParameterError
+from repro.sdb.dataset import Dataset
+from repro.types import DenialReason, max_query, min_query
+
+
+def gentle_auditor(n=260, rng=0, **overrides):
+    params = dict(lam=0.35, gamma=4, delta=0.6, rounds=4,
+                  num_outer=4, num_inner=40, rng=rng)
+    params.update(overrides)
+    data = Dataset.uniform(n, rng=rng)
+    return MaxMinProbabilisticAuditor(data, **params), data
+
+
+def test_small_queries_denied():
+    auditor, _ = gentle_auditor(n=40)
+    first = auditor.audit(max_query([0, 1]))
+    second = auditor.audit(min_query([2, 3]))
+    assert first.denied and second.denied
+    # Pairs pass the Lemma 2 structural guard (|S| = 2 >= d + 2 = 2) and
+    # are rejected by the sampling check itself.
+    assert first.reason is DenialReason.PARTIAL_DISCLOSURE
+    assert second.reason is DenialReason.PARTIAL_DISCLOSURE
+
+
+def test_large_max_query_answered():
+    auditor, data = gentle_auditor()
+    decision = auditor.audit(max_query(range(250)))
+    assert decision.answered
+    assert decision.value == pytest.approx(max(data[i] for i in range(250)))
+
+
+def test_large_min_query_answered():
+    auditor, data = gentle_auditor(rng=3)
+    decision = auditor.audit(min_query(range(250)))
+    assert decision.answered
+    assert decision.value == pytest.approx(min(data[i] for i in range(250)))
+
+
+def test_structural_guard_blocks_lemma2_violations():
+    # After a big max query, a heavily-overlapping min query could create a
+    # node with too few colours; the guard must deny it outright.
+    auditor, _ = gentle_auditor(rng=5)
+    assert auditor.audit(max_query(range(250))).answered
+    decision = auditor.audit(min_query([0, 1]))
+    assert decision.denied
+    # The 2-element min node would intersect the answered max predicate:
+    # |S(v)| = 2 < d_v + 2 = 3 -> outright (Lemma 2) denial.
+    assert decision.reason is DenialReason.STRUCTURAL
+    # Three elements satisfy the bound (3 >= 3), so that probe reaches the
+    # sampling check instead.
+    three = auditor.audit(min_query([0, 1, 2]))
+    assert three.denied
+    assert three.reason is DenialReason.PARTIAL_DISCLOSURE
+
+
+def test_bag_of_max_and_min_over_disjoint_halves():
+    auditor, data = gentle_auditor(n=520, rng=7)
+    first = auditor.audit(max_query(range(250)))
+    second = auditor.audit(min_query(range(260, 510)))
+    assert first.answered
+    assert second.answered
+
+
+def test_parameter_validation():
+    data = Dataset.uniform(10, rng=1)
+    with pytest.raises(PrivacyParameterError):
+        MaxMinProbabilisticAuditor(data, delta=1.5)
+
+
+def test_denial_leaves_synopsis_unchanged():
+    auditor, _ = gentle_auditor(n=40)
+    before = len(auditor.synopsis.predicates())
+    auditor.audit(max_query([0, 1]))
+    assert len(auditor.synopsis.predicates()) == before

@@ -1,0 +1,127 @@
+"""Tests for the offline (batch) auditors."""
+
+import pytest
+
+from repro.offline import (
+    audit_max_log,
+    audit_maxmin_log,
+    audit_min_log,
+    audit_sum_log,
+)
+from repro.types import AggregateKind
+
+MAX = AggregateKind.MAX
+MIN = AggregateKind.MIN
+
+
+def test_sum_log_detects_differencing_disclosure():
+    report = audit_sum_log([({0, 1, 2}, 6.0), ({0, 1}, 3.0)], n=3)
+    assert report.consistent
+    assert report.compromised
+    assert report.disclosed == {2: 3.0}
+
+
+def test_sum_log_secure_case():
+    report = audit_sum_log([({0, 1}, 3.0), ({1, 2}, 5.0)], n=3)
+    assert report.secure
+    assert report.disclosed == {}
+
+
+def test_sum_log_recovers_cascaded_values():
+    # {0,1}, {1,2}, {0,2} jointly solve all three values.
+    report = audit_sum_log(
+        [({0, 1}, 3.0), ({1, 2}, 5.0), ({0, 2}, 4.0)], n=3
+    )
+    assert report.compromised
+    assert report.disclosed == {0: 1.0, 1: 2.0, 2: 3.0}
+
+
+def test_max_log_detects_witness_disclosure():
+    report = audit_max_log([({0, 1, 2}, 9.0), ({0}, 9.0)], n=3)
+    assert report.compromised
+    assert report.disclosed == {0: 9.0}
+
+
+def test_max_log_flags_inconsistency():
+    report = audit_max_log([({0, 1, 2}, 4.0), ({0, 1}, 6.0)], n=3)
+    assert not report.consistent
+    assert not report.compromised
+    assert not report.secure
+
+
+def test_min_log_mirror():
+    report = audit_min_log([({0, 1}, 1.0), ({0}, 3.0)], n=2)
+    assert report.compromised
+    assert report.disclosed == {0: 3.0, 1: 1.0}
+
+
+def test_maxmin_log_trickle_detection():
+    report = audit_maxmin_log(
+        [(MAX, {0, 1}, 5.0), (MIN, {0}, 3.0)], n=2
+    )
+    assert report.consistent
+    assert report.compromised
+    assert report.disclosed == {0: 3.0, 1: 5.0}
+
+
+def test_maxmin_log_secure():
+    report = audit_maxmin_log(
+        [(MAX, {0, 1, 2, 3}, 0.9), (MIN, {0, 1, 2, 3}, 0.1)], n=4
+    )
+    assert report.secure
+
+
+# ----------------------------------------------------------------------
+# Bounded-sum auditing (LP-exact)
+# ----------------------------------------------------------------------
+
+def test_bounded_sum_boundary_pinning_detected():
+    from repro.offline import audit_bounded_sum_log
+    # sum{x0, x1} = 2 over [0, 1]^2 pins both at 1 -- invisible to the
+    # unbounded rank test, caught by the LP audit.
+    unbounded = audit_sum_log([({0, 1}, 2.0)], n=2)
+    assert not unbounded.compromised
+    bounded = audit_bounded_sum_log([({0, 1}, 2.0)], n=2)
+    assert bounded.compromised
+    assert bounded.disclosed == {0: 1.0, 1: 1.0}
+
+
+def test_bounded_sum_partial_pinning():
+    from repro.offline import audit_bounded_sum_log
+    # sum{x0, x1, x2} = 2.5 with x2 <= 0.5 known via sum{x2} unavailable;
+    # instead: sum{0,1}=2 pins x0,x1; x2 free.
+    report = audit_bounded_sum_log([({0, 1}, 2.0), ({0, 1, 2}, 2.5)], n=3)
+    assert report.compromised
+    assert report.disclosed[0] == 1.0 and report.disclosed[1] == 1.0
+    assert report.disclosed[2] == 0.5
+
+
+def test_bounded_sum_interior_answers_safe():
+    from repro.offline import audit_bounded_sum_log
+    report = audit_bounded_sum_log([({0, 1}, 1.0), ({1, 2}, 0.9)], n=3)
+    assert report.consistent
+    assert not report.compromised
+
+
+def test_bounded_sum_inconsistency_detected():
+    from repro.offline import audit_bounded_sum_log
+    report = audit_bounded_sum_log([({0, 1}, 2.5)], n=2)  # above 2*high
+    assert not report.consistent
+
+
+def test_bounded_sum_agrees_with_rank_test_in_interior():
+    import numpy as np
+    from repro.offline import audit_bounded_sum_log
+    # Values well inside the box: the bounded and unbounded audits agree.
+    rng = np.random.default_rng(3)
+    values = rng.uniform(0.3, 0.7, size=5)
+    entries = []
+    for _ in range(4):
+        members = {int(i) for i in
+                   rng.choice(5, size=int(rng.integers(2, 5)),
+                              replace=False)}
+        entries.append((members, float(sum(values[i] for i in members))))
+    unbounded = audit_sum_log(entries, n=5)
+    bounded = audit_bounded_sum_log(entries, n=5)
+    assert bounded.consistent
+    assert set(bounded.disclosed) == set(unbounded.disclosed)

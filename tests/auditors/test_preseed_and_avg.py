@@ -1,0 +1,51 @@
+"""Pre-seeded important queries (§7) and avg auditing."""
+
+import pytest
+
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.exceptions import InvalidQueryError
+from repro.sdb.dataset import Dataset
+from repro.types import AggregateKind, Query, sum_query
+
+
+def make(values=(10.0, 20.0, 30.0, 40.0)):
+    data = Dataset(list(values), low=0.0, high=100.0)
+    return SumClassicAuditor(data), data
+
+
+def test_preseeded_queries_always_answered():
+    auditor, _ = make()
+    answers = auditor.preseed([{0, 1, 2, 3}, {0, 1}])
+    assert answers == [100.0, 30.0]
+    # Re-asks of pre-seeded (or spanned) queries are answered forever.
+    assert auditor.audit(sum_query([0, 1, 2, 3])).answered
+    assert auditor.audit(sum_query([0, 1])).answered
+    assert auditor.audit(sum_query([2, 3])).answered   # difference of seeds
+    # But the protection still holds where it matters.
+    assert auditor.audit(sum_query([0])).denied
+
+
+def test_preseed_rejects_disclosing_seed():
+    auditor, _ = make()
+    with pytest.raises(InvalidQueryError):
+        auditor.preseed([{0, 1}, {0}])
+
+
+def test_avg_queries_audited_like_sums():
+    auditor, data = make()
+    avg = auditor.audit(Query(AggregateKind.AVG, frozenset({0, 1})))
+    assert avg.answered
+    assert avg.value == pytest.approx(15.0)
+    # avg over {0,1} released sum(x0, x1); a follow-up isolating x0 is
+    # denied, whether phrased as sum or avg.
+    assert auditor.audit(Query(AggregateKind.AVG, frozenset({0}))).denied
+    assert auditor.audit(sum_query([1])).denied
+
+
+def test_avg_and_sum_share_one_row_space():
+    auditor, _ = make()
+    auditor.audit(Query(AggregateKind.AVG, frozenset({0, 1, 2})))
+    # The avg answer spans the sum query: answered without rank growth.
+    rank = auditor.rank
+    assert auditor.audit(sum_query([0, 1, 2])).answered
+    assert auditor.rank == rank

@@ -1,0 +1,80 @@
+"""Unit tests for the classical sum auditor."""
+
+import pytest
+
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.exceptions import UnsupportedQueryError
+from repro.sdb.dataset import Dataset
+from repro.types import AggregateKind, Query, max_query, sum_query
+
+
+def make_auditor(n=6, backend="modular"):
+    data = Dataset([float(i + 1) for i in range(n)], low=0.0, high=float(n + 1))
+    return SumClassicAuditor(data, backend=backend), data
+
+
+@pytest.mark.parametrize("backend", ["modular", "fraction"])
+def test_differencing_attack_denied(backend):
+    auditor, data = make_auditor(backend=backend)
+    assert auditor.audit(sum_query([0, 1, 2])).answered
+    assert auditor.audit(sum_query([0, 1])).denied   # difference pins x_2
+    assert auditor.audit(sum_query([3, 4])).answered
+
+
+def test_singleton_query_always_denied():
+    auditor, _ = make_auditor()
+    assert auditor.audit(sum_query([3])).denied
+
+
+def test_dependent_query_answered_without_rank_growth():
+    auditor, data = make_auditor()
+    auditor.audit(sum_query([0, 1]))
+    auditor.audit(sum_query([2, 3]))
+    rank = auditor.rank
+    decision = auditor.audit(sum_query([0, 1, 2, 3]))
+    assert decision.answered
+    assert decision.value == pytest.approx(data[0] + data[1] + data[2] + data[3])
+    assert auditor.rank == rank
+
+
+def test_decision_is_simulatable_only_query_sets_matter():
+    # Two different datasets, same query stream -> identical denial pattern.
+    stream = [sum_query(s) for s in
+              ([0, 1, 2], [1, 2, 3], [0, 3], [2, 3], [0, 1], [4, 5])]
+    patterns = []
+    for seed in (1, 2):
+        data = Dataset.uniform(6, rng=seed)
+        auditor = SumClassicAuditor(data)
+        patterns.append([auditor.audit(q).denied for q in stream])
+    assert patterns[0] == patterns[1]
+
+
+def test_answers_are_true_sums():
+    auditor, data = make_auditor()
+    decision = auditor.audit(sum_query([1, 3, 5]))
+    assert decision.value == pytest.approx(data[1] + data[3] + data[5])
+
+
+def test_never_reveals_invariant():
+    # After any sequence of decisions, no elementary vector is derivable.
+    auditor, _ = make_auditor(n=8)
+    import numpy as np
+    rng = np.random.default_rng(0)
+    for _ in range(60):
+        members = rng.choice(8, size=rng.integers(1, 8), replace=False)
+        auditor.audit(sum_query(int(i) for i in members))
+    assert auditor._space.revealed == set()
+
+
+def test_rejects_non_sum_queries():
+    auditor, _ = make_auditor()
+    with pytest.raises(UnsupportedQueryError):
+        auditor.audit(max_query([0, 1]))
+
+
+def test_trail_records_everything():
+    auditor, _ = make_auditor()
+    auditor.audit(sum_query([0, 1]))
+    auditor.audit(sum_query([0]))
+    assert len(auditor.trail) == 2
+    assert auditor.trail.denial_count() == 1

@@ -1,0 +1,50 @@
+"""Tests for the polytope-based probabilistic sum auditor ([21] baseline)."""
+
+import pytest
+
+from repro.auditors.sum_prob import SumProbabilisticAuditor
+from repro.exceptions import PrivacyParameterError
+from repro.sdb.dataset import Dataset
+from repro.types import sum_query
+
+
+def gentle_auditor(n=30, rng=0, **overrides):
+    params = dict(lam=0.5, gamma=2, delta=0.6, rounds=3,
+                  num_outer=3, num_inner=60, mc_tolerance=0.25, rng=rng)
+    params.update(overrides)
+    data = Dataset.uniform(n, rng=rng, duplicate_free=False)
+    return SumProbabilisticAuditor(data, **params), data
+
+
+def test_singleton_query_denied():
+    auditor, _ = gentle_auditor()
+    assert auditor.audit(sum_query([4])).denied
+
+
+def test_large_sum_query_answered():
+    # A sum over many uniform values concentrates; each element's posterior
+    # stays near its prior -> safe under a loose lambda.
+    auditor, data = gentle_auditor()
+    decision = auditor.audit(sum_query(range(30)))
+    assert decision.answered
+    assert decision.value == pytest.approx(sum(data.values))
+
+
+def test_pair_query_denied():
+    # Two-element sums sharply constrain both members.
+    auditor, _ = gentle_auditor(rng=2)
+    assert auditor.audit(sum_query([0, 1])).denied
+
+
+def test_answered_queries_accumulate_constraints():
+    auditor, _ = gentle_auditor(rng=3)
+    assert auditor.audit(sum_query(range(30))).answered
+    assert auditor._slice.num_constraints == 1
+    assert auditor.audit(sum_query([0])).denied
+    assert auditor._slice.num_constraints == 1
+
+
+def test_parameter_validation():
+    data = Dataset.uniform(5, rng=1)
+    with pytest.raises(PrivacyParameterError):
+        SumProbabilisticAuditor(data, delta=0.0)

@@ -1,0 +1,157 @@
+"""The chain's empirical distribution must converge to P~ (Lemmas 1-3),
+reproducing the paper's exact worked example: Pr{x_a = 1 | B} = 5/18."""
+
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.coloring.chain import ColoringChain
+from repro.coloring.graph import ColoringGraph, enumerate_colorings
+from repro.coloring.sampler import PosteriorSampler, dataset_from_coloring
+from repro.synopsis.combined import CombinedSynopsis
+from repro.types import AggregateKind
+
+MAX = AggregateKind.MAX
+MIN = AggregateKind.MIN
+
+
+def example_graph():
+    syn = CombinedSynopsis(3, 0.0, 1.0)
+    syn.insert(MAX, {0, 1, 2}, 1.0)
+    syn.insert(MIN, {0, 1}, 0.2)
+    return ColoringGraph(syn)
+
+
+def exact_distribution(graph):
+    colorings = list(enumerate_colorings(graph))
+    weights = [math.exp(graph.log_weight(c)) for c in colorings]
+    total = sum(weights)
+    return {tuple(sorted(c.items())): w / total
+            for c, w in zip(colorings, weights)}
+
+
+def test_paper_example_exact_posterior_is_five_eighteenths():
+    graph = example_graph()
+    exact = exact_distribution(graph)
+    max_node = next(v.node_id for v in graph.nodes if v.is_max)
+    p_a_is_max = sum(p for key, p in exact.items()
+                     if dict(key)[max_node] == 0)
+    assert p_a_is_max == pytest.approx(5 / 18)
+
+
+def test_chain_matches_exact_distribution():
+    graph = example_graph()
+    exact = exact_distribution(graph)
+    initial = graph.find_valid_coloring()
+    chain = ColoringChain(graph, initial, rng=42)
+    chain.run(500)  # burn-in
+    counts = Counter()
+    draws = 20_000
+    for _ in range(draws):
+        chain.run(5)
+        counts[tuple(sorted(chain.state.items()))] += 1
+    tv = 0.5 * sum(abs(counts.get(key, 0) / draws - p)
+                   for key, p in exact.items())
+    assert tv < 0.03
+
+
+def test_posterior_sampler_point_mass_matches_paper():
+    syn = CombinedSynopsis(3, 0.0, 1.0)
+    syn.insert(MAX, {0, 1, 2}, 1.0)
+    syn.insert(MIN, {0, 1}, 0.2)
+    sampler = PosteriorSampler(syn, initial_dataset=[1.0, 0.2, 0.5], rng=7)
+    hits = 0
+    draws = 6000
+    for _ in range(draws):
+        data = sampler.sample_dataset()
+        hits += data[0] == 1.0
+    assert hits / draws == pytest.approx(5 / 18, abs=0.03)
+
+
+def test_sampled_datasets_respect_ranges():
+    syn = CombinedSynopsis(4, 0.0, 1.0)
+    syn.insert(MAX, {0, 1, 2, 3}, 0.9)
+    syn.insert(MIN, {0, 1}, 0.3)
+    sampler = PosteriorSampler(syn, rng=5)
+    for _ in range(50):
+        data = sampler.sample_dataset()
+        assert max(data[i] for i in (0, 1, 2, 3)) == 0.9
+        assert min(data[i] for i in (0, 1)) == 0.3
+        assert all(0.0 <= v <= 1.0 for v in data)
+
+
+def test_default_steps_scale_klogk():
+    graph = example_graph()
+    chain = ColoringChain(graph, graph.find_valid_coloring(), rng=0)
+    assert chain.default_steps() >= graph.k
+
+
+def test_invalid_initial_coloring_rejected():
+    graph = example_graph()
+    max_node = next(v.node_id for v in graph.nodes if v.is_max)
+    min_node = next(v.node_id for v in graph.nodes if not v.is_max)
+    bad = {max_node: 0, min_node: 0}  # shared witness
+    with pytest.raises(Exception):
+        ColoringChain(graph, bad)
+
+
+def test_interval_probability_estimation_shape():
+    syn = CombinedSynopsis(3, 0.0, 1.0)
+    syn.insert(MAX, {0, 1, 2}, 0.8)
+    sampler = PosteriorSampler(syn, rng=3)
+    edges = np.linspace(0, 1, 5)
+    probs = sampler.estimate_interval_probabilities(200, edges)
+    assert probs.shape == (3, 4)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+    # No mass above 0.8 (bucket [0.75, 1] only gets the 0.8 witness mass).
+    assert probs[:, 3].max() <= 0.5
+
+
+def test_interval_probabilities_match_exact_mixture_on_paper_example():
+    """The Rao-Blackwellised estimator vs the exactly-computed posterior.
+
+    For the worked example ([max{a,b,c}=1], [min{a,b}=0.2]) the posterior
+    bucket matrix is computable in closed form from the exact colouring
+    distribution: P(x_i in I) = sum_c P(c) * [contribution of c], where a
+    witness contributes a point mass and everyone else uniform mass on
+    their range.
+    """
+    syn = CombinedSynopsis(3, 0.0, 1.0)
+    syn.insert(MAX, {0, 1, 2}, 1.0)
+    syn.insert(MIN, {0, 1}, 0.2)
+    graph = ColoringGraph(syn)
+    edges = np.linspace(0.0, 1.0, 5)  # gamma = 4 buckets
+
+    # Exact mixture.
+    weights = {}
+    total = 0.0
+    for coloring in enumerate_colorings(graph):
+        w = math.exp(graph.log_weight(coloring))
+        weights[tuple(sorted(coloring.items()))] = w
+        total += w
+    exact = np.zeros((3, 4))
+    for key, w in weights.items():
+        p = w / total
+        coloring = dict(key)
+        assigned = {}
+        for node in graph.nodes:
+            assigned[coloring[node.node_id]] = node.value
+        for i in range(3):
+            if i in assigned:
+                bucket = min(int(np.ceil(assigned[i] * 4)) - 1, 3)
+                bucket = max(bucket, 0)
+                exact[i, bucket] += p
+            else:
+                rng_i = syn.range_of(i)
+                for j in range(4):
+                    lo = max(rng_i.lo, edges[j])
+                    hi = min(rng_i.hi, edges[j + 1])
+                    if hi > lo:
+                        exact[i, j] += p * (hi - lo) / rng_i.length
+
+    sampler = PosteriorSampler(syn, initial_dataset=[1.0, 0.2, 0.5], rng=11)
+    estimated = sampler.estimate_interval_probabilities(8000, edges)
+    assert np.allclose(estimated, exact, atol=0.02)
+    assert np.allclose(estimated.sum(axis=1), 1.0)

@@ -1,0 +1,53 @@
+"""Lemma 2's precondition is not decorative: chains on graphs violating
+``|S(v)| >= d_v + 2`` can freeze, which is why the Section 3.2 auditor
+denies queries that could create such synopses."""
+
+from repro.coloring.chain import ColoringChain
+from repro.coloring.graph import ColoringGraph, enumerate_colorings
+from repro.synopsis.combined import CombinedSynopsis
+from repro.types import AggregateKind
+
+MAX = AggregateKind.MAX
+MIN = AggregateKind.MIN
+
+
+def frozen_graph():
+    """max over {0,1} and min over {0,1}: each node has 2 colours, degree 1
+    -> |S(v)| = 2 < d_v + 2 = 3, violating Lemma 2."""
+    syn = CombinedSynopsis(2, 0.0, 1.0)
+    syn.insert(MAX, {0, 1}, 0.9)
+    syn.insert(MIN, {0, 1}, 0.1)
+    return ColoringGraph(syn)
+
+
+def test_violating_graph_detected():
+    graph = frozen_graph()
+    assert not graph.satisfies_lemma2()
+    # Two valid colourings exist (witness pairs (0,1) and (1,0))...
+    assert len(list(enumerate_colorings(graph))) == 2
+
+
+def test_chain_freezes_without_lemma2():
+    # ...but the single-site chain cannot move between them: flipping one
+    # node alone always collides with its neighbour.
+    graph = frozen_graph()
+    initial = graph.find_valid_coloring()
+    chain = ColoringChain(graph, initial, rng=0)
+    start = dict(chain.state)
+    chain.run(2_000)
+    assert chain.state == start   # reducible: stuck in its component
+
+
+def test_satisfying_graph_moves():
+    syn = CombinedSynopsis(8, 0.0, 1.0)
+    syn.insert(MAX, {0, 1, 2, 3}, 0.9)
+    syn.insert(MIN, {2, 3, 4, 5}, 0.1)
+    graph = ColoringGraph(syn)
+    assert graph.satisfies_lemma2()
+    chain = ColoringChain(graph, graph.find_valid_coloring(), rng=0)
+    seen = set()
+    for _ in range(500):
+        chain.step()
+        seen.add(tuple(sorted(chain.state.items())))
+    # Irreducible enough to visit several colourings.
+    assert len(seen) >= 4

@@ -1,0 +1,71 @@
+"""Shared fixtures and brute-force helpers for the test suite."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence
+
+import numpy as np
+import pytest
+
+from repro.sdb.dataset import Dataset
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dataset():
+    """A small duplicate-free dataset in [0, 1]."""
+    return Dataset.uniform(8, rng=7, duplicate_free=True)
+
+
+# ----------------------------------------------------------------------
+# Independent exact linear algebra (reference for the linalg package)
+# ----------------------------------------------------------------------
+
+def gaussian_rank(rows: Sequence[Sequence]) -> int:
+    """Rank over the rationals by fresh (non-incremental) elimination."""
+    mat: List[List[Fraction]] = [[Fraction(v) for v in row] for row in rows]
+    rank = 0
+    ncols = len(mat[0]) if mat else 0
+    col = 0
+    while rank < len(mat) and col < ncols:
+        pivot_row = next(
+            (r for r in range(rank, len(mat)) if mat[r][col] != 0), None
+        )
+        if pivot_row is None:
+            col += 1
+            continue
+        mat[rank], mat[pivot_row] = mat[pivot_row], mat[rank]
+        inv = Fraction(1) / mat[rank][col]
+        mat[rank] = [v * inv for v in mat[rank]]
+        for r in range(len(mat)):
+            if r != rank and mat[r][col] != 0:
+                coeff = mat[r][col]
+                mat[r] = [a - coeff * b for a, b in zip(mat[r], mat[rank])]
+        rank += 1
+        col += 1
+    return rank
+
+
+def in_rowspace(rows: Sequence[Sequence], vector: Sequence) -> bool:
+    """Exact row-space membership: rank unchanged when appending."""
+    rows = list(rows)
+    if not rows:
+        return not any(vector)
+    return gaussian_rank(rows) == gaussian_rank(rows + [list(vector)])
+
+
+def revealed_coordinates(rows: Sequence[Sequence], ncols: int) -> set:
+    """All i with e_i in the rational row space (brute force)."""
+    out = set()
+    for i in range(ncols):
+        e_i = [0] * ncols
+        e_i[i] = 1
+        if in_rowspace(rows, e_i):
+            out.add(i)
+    return out

@@ -1,0 +1,72 @@
+"""Adversarial robustness: targeted strategies never breach the auditors."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auditors.max_classic import MaxClassicAuditor
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.exceptions import InvalidQueryError, ReproError
+from repro.sdb.dataset import Dataset
+from repro.sdb.sql import parse_statistical_query
+from repro.types import max_query, sum_query
+
+
+def test_differencing_chains_never_isolate_a_value():
+    # A determined attacker poses nested chains Q, Q-{i}, Q-{i,j}, ... and
+    # every pairwise difference; the row-space auditor must hold the line.
+    n = 12
+    data = Dataset.uniform(n, rng=0, duplicate_free=False)
+    auditor = SumClassicAuditor(data)
+    full = list(range(n))
+    auditor.audit(sum_query(full))
+    for i in range(n):
+        auditor.audit(sum_query([x for x in full if x != i]))
+    for i in range(n):
+        for j in range(i + 1, n):
+            auditor.audit(sum_query([x for x in full if x not in (i, j)]))
+    assert auditor._space.revealed == set()
+
+
+def test_overlap_ladder_against_max_auditor():
+    # Sliding windows with heavy overlap -- the classic way to squeeze a
+    # max auditor.  No extreme set may ever collapse.
+    n = 20
+    data = Dataset.uniform(n, rng=1)
+    auditor = MaxClassicAuditor(data)
+    for width in (12, 8, 5, 3, 2):
+        for start in range(0, n - width + 1):
+            auditor.audit(max_query(range(start, start + width)))
+    for record in auditor._records:
+        assert len(record.extremes) >= 2
+
+
+def test_repeat_hammering_is_harmless():
+    # Re-asking the same query thousands of times gains nothing and stays
+    # cheap (the dependent-vector fast path).
+    data = Dataset.uniform(10, rng=2, duplicate_free=False)
+    auditor = SumClassicAuditor(data)
+    q = sum_query(range(10))
+    values = {auditor.audit(q).value for _ in range(500)}
+    assert len(values) == 1
+    assert auditor.rank == 1
+
+
+@given(st.text(max_size=60))
+@settings(max_examples=300, deadline=None)
+def test_sql_parser_never_crashes_unexpectedly(text):
+    # Arbitrary input either parses or raises the library's own error type.
+    try:
+        parse_statistical_query(text)
+    except ReproError:
+        pass
+
+
+@given(st.text(alphabet="SELECT sumaxin()'\"<>=!,WHEREANDORBETWEEN0123456789 _",
+               max_size=80))
+@settings(max_examples=300, deadline=None)
+def test_sql_parser_fuzz_sqlish_alphabet(text):
+    try:
+        parse_statistical_query(text)
+    except ReproError:
+        pass

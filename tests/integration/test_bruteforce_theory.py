@@ -1,0 +1,150 @@
+"""First-principles validation of the Section 4 theory.
+
+An independent brute-force model of max/min constraint logs over
+duplicate-free reals: enumerate every *witness assignment* (which element of
+each query achieves its answer), check feasibility from scratch, and derive
+per-element determination.  The library's Theorem 3/4 machinery and synopsis
+must agree with this model exactly.
+
+Model facts used (nothing shared with the library implementation):
+
+* each answered max query has exactly one witness equal to the answer; the
+  other members are strictly below it (no duplicates);
+* two same-kind queries with equal answers share their witness; a max and a
+  min query with equal answers share theirs too;
+* witnesses pinned to different values must be distinct elements, and every
+  pinned value must respect the element's strict bounds from the queries
+  where it is *not* the witness;
+* unpinned elements range over an open interval; the assignment is feasible
+  iff that interval is non-empty, and an element is *determined* iff every
+  feasible assignment pins it to one common value.
+"""
+
+import itertools
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auditors.consistency import audit_log_status
+from repro.auditors.extreme import Constraint
+from repro.synopsis.combined import CombinedSynopsis
+from repro.types import AggregateKind
+
+MAX = AggregateKind.MAX
+MIN = AggregateKind.MIN
+
+
+def brute_force_status(constraints, n):
+    """(consistent, determined_map) via witness-assignment enumeration."""
+    feasible_pins = []
+    queries = list(constraints)
+    for witnesses in itertools.product(*[sorted(c.elements)
+                                         for c in queries]):
+        pins = {}
+        ok = True
+        for c, w in zip(queries, witnesses):
+            if w in pins and pins[w] != c.answer:
+                ok = False
+                break
+            pins[w] = c.answer
+        if not ok:
+            continue
+        # No duplicates: two pinned elements cannot share a value.
+        if len(set(pins.values())) != len(pins):
+            continue
+        # Same-kind equal answers must share the witness (else two elements
+        # would equal that answer) -- already enforced by the distinct-pin
+        # rule above, since distinct witnesses with equal answers collide.
+        # Derive bounds for every element.
+        lo = {i: -math.inf for i in range(n)}
+        hi = {i: math.inf for i in range(n)}
+        for c, w in zip(queries, witnesses):
+            for i in c.elements:
+                if i == w:
+                    continue
+                if c.is_max:
+                    hi[i] = min(hi[i], c.answer)   # strictly below
+                else:
+                    lo[i] = max(lo[i], c.answer)   # strictly above
+        for i, v in pins.items():
+            if not lo[i] < v < hi[i]:   # all bounds are strict
+                ok = False
+                break
+        if not ok:
+            continue
+        for i in range(n):
+            if i not in pins and not lo[i] < hi[i]:
+                ok = False
+                break
+        if not ok:
+            continue
+        feasible_pins.append((pins, lo, hi))
+
+    if not feasible_pins:
+        return False, {}
+    determined = {}
+    for i in range(n):
+        values = set()
+        varies = False
+        for pins, lo, hi in feasible_pins:
+            if i in pins:
+                values.add(pins[i])
+            else:
+                varies = True  # open non-empty interval: uncountably many
+        if not varies and len(values) == 1:
+            determined[i] = values.pop()
+    return True, determined
+
+
+@st.composite
+def small_logs(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=4_000))
+    num_queries = draw(st.integers(min_value=1, max_value=4))
+    from_truth = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    values = rng.permutation(np.linspace(0.1, 0.9, n)).tolist()
+    log = []
+    for _ in range(num_queries):
+        size = int(rng.integers(1, n + 1))
+        members = frozenset(int(i) for i in rng.choice(n, size=size,
+                                                       replace=False))
+        kind = MAX if rng.integers(2) else MIN
+        if from_truth:
+            agg = max if kind is MAX else min
+            answer = float(agg(values[i] for i in members))
+        else:
+            answer = float(np.round(rng.uniform(0.1, 0.9), 2))
+        log.append(Constraint(kind, members, answer))
+    return n, log
+
+
+@given(small_logs())
+@settings(max_examples=120, deadline=None)
+def test_theorem_3_4_match_bruteforce(case):
+    n, log = case
+    bf_consistent, bf_determined = brute_force_status(log, n)
+    lib_consistent, lib_secure, lib_determined = audit_log_status(log)
+    assert lib_consistent == bf_consistent, (log, n)
+    if bf_consistent:
+        assert lib_secure == (not bf_determined), (log, n, bf_determined)
+        assert lib_determined == bf_determined, (log, n)
+
+
+@given(small_logs())
+@settings(max_examples=100, deadline=None)
+def test_synopsis_matches_bruteforce(case):
+    n, log = case
+    bf_consistent, bf_determined = brute_force_status(log, n)
+    syn = CombinedSynopsis(n, low=-math.inf, high=math.inf)
+    raised = False
+    try:
+        for c in log:
+            syn.insert(c.kind, c.elements, c.answer)
+    except Exception:
+        raised = True
+    assert (not raised) == bf_consistent, (log, n)
+    if bf_consistent:
+        assert syn.determined == bf_determined, (log, n)

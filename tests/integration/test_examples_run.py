@@ -1,0 +1,25 @@
+"""Smoke tests: every example script runs to completion.
+
+The slower probabilistic examples get a generous timeout; each script is a
+public-API consumer, so breakage here means a breaking API change.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()   # every example prints a report

@@ -1,0 +1,57 @@
+"""Simulatability: denial decisions never depend on the hidden current answer.
+
+The operational test: run the same query stream against datasets that agree
+on all *past answers* but differ in the values the current query would
+expose; the denial pattern must be identical.
+"""
+
+import numpy as np
+
+from repro.auditors.max_classic import MaxClassicAuditor
+from repro.auditors.maxmin_classic import MaxMinClassicAuditor
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.sdb.dataset import Dataset
+from repro.types import max_query, min_query, sum_query
+
+
+def test_sum_denials_depend_only_on_query_sets():
+    stream = [sum_query(s) for s in
+              ([0, 1, 2, 3], [0, 1], [2, 3], [0, 2], [1, 3], [0, 3])]
+    patterns = []
+    for seed in (1, 2, 3):
+        auditor = SumClassicAuditor(Dataset.uniform(4, rng=seed))
+        patterns.append([auditor.audit(q).denied for q in stream])
+    assert patterns[0] == patterns[1] == patterns[2]
+
+
+def _denial_pattern(auditor_cls, values, stream):
+    auditor = auditor_cls(Dataset(list(values), low=0.0, high=100.0))
+    return [auditor.audit(q).denied for q in stream]
+
+
+def test_max_denials_identical_when_answers_agree():
+    # Both datasets give max{0,1,2,3} = 9; which element holds it differs.
+    stream = [max_query([0, 1, 2, 3]), max_query([0, 1, 2]),
+              max_query([0, 1]), max_query([2, 3])]
+    a = _denial_pattern(MaxClassicAuditor, [9.0, 1.0, 2.0, 3.0], stream)
+    b = _denial_pattern(MaxClassicAuditor, [1.0, 2.0, 3.0, 9.0], stream)
+    assert a == b
+
+
+def test_maxmin_denials_identical_when_answers_agree():
+    stream = [max_query([0, 1, 2, 3]), min_query([0, 1, 2, 3]),
+              max_query([0, 1]), min_query([2, 3])]
+    a = _denial_pattern(MaxMinClassicAuditor, [9.0, 1.0, 2.0, 3.0], stream)
+    b = _denial_pattern(MaxMinClassicAuditor, [9.0, 1.0, 3.0, 2.0], stream)
+    assert a == b
+
+
+def test_denied_query_answer_never_computed():
+    # The base class only evaluates the aggregate after the deny decision;
+    # verify by auditing a query whose evaluation would crash.
+    auditor = SumClassicAuditor(Dataset([1.0, 2.0]))
+    auditor.audit(sum_query([0, 1]))
+    # Query referencing an unknown record: denial check happens first and
+    # the (denied) singleton never evaluates the aggregate.
+    decision = auditor.audit(sum_query([0]))
+    assert decision.denied

@@ -1,0 +1,94 @@
+"""Property tests: the two row-space backends agree with each other and with
+an independent brute-force Gaussian elimination."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import FractionRowSpace, ModularRowSpace, make_rowspace
+from repro.linalg.rowspace import indicator_vector
+
+from ..conftest import gaussian_rank, revealed_coordinates
+
+
+@st.composite
+def binary_matrices(draw):
+    ncols = draw(st.integers(min_value=1, max_value=6))
+    nrows = draw(st.integers(min_value=1, max_value=8))
+    rows = [
+        draw(st.lists(st.integers(0, 1), min_size=ncols, max_size=ncols))
+        for _ in range(nrows)
+    ]
+    # Avoid all-zero rows (not valid query vectors).
+    rows = [r for r in rows if any(r)] or [[1] + [0] * (ncols - 1)]
+    return ncols, rows
+
+
+@given(binary_matrices())
+@settings(max_examples=150, deadline=None)
+def test_backends_agree_on_rank_and_reveals(case):
+    ncols, rows = case
+    frac = FractionRowSpace(ncols)
+    mod = ModularRowSpace(ncols)
+    for row in rows:
+        grew_f = frac.add(row)
+        grew_m = mod.add(row)
+        assert grew_f == grew_m
+        assert frac.rank == mod.rank
+        assert frac.revealed == mod.revealed
+
+
+@given(binary_matrices())
+@settings(max_examples=100, deadline=None)
+def test_rank_matches_bruteforce(case):
+    ncols, rows = case
+    frac = FractionRowSpace(ncols)
+    for row in rows:
+        frac.add(row)
+    assert frac.rank == gaussian_rank(rows)
+
+
+@given(binary_matrices())
+@settings(max_examples=100, deadline=None)
+def test_revealed_matches_bruteforce(case):
+    ncols, rows = case
+    frac = FractionRowSpace(ncols)
+    for row in rows:
+        frac.add(row)
+    assert frac.revealed == revealed_coordinates(rows, ncols)
+
+
+@given(binary_matrices(), st.lists(st.integers(0, 1), min_size=1, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_would_reveal_predicts_add(case, extra_bits):
+    ncols, rows = case
+    extra = (extra_bits * ncols)[:ncols]
+    if not any(extra):
+        extra[0] = 1
+    for backend in ("fraction", "modular"):
+        space = make_rowspace(ncols, backend)
+        for row in rows:
+            space.add(row)
+        before = space.revealed
+        predicted = space.would_reveal(extra)
+        space.add(extra)
+        assert space.revealed == before | predicted
+
+
+def test_indicator_vector_helper():
+    assert indicator_vector([0, 2], 4) == [1, 0, 1, 0]
+    try:
+        indicator_vector([5], 4)
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")
+
+
+def test_make_rowspace_rejects_unknown_backend():
+    try:
+        make_rowspace(3, "nope")
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")

@@ -1,0 +1,118 @@
+"""Unit tests for the exact Fraction row-space backend."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.linalg.fraction_matrix import FractionRowSpace
+
+from ..conftest import in_rowspace, revealed_coordinates
+
+
+def test_empty_space_contains_only_zero():
+    space = FractionRowSpace(4)
+    assert space.rank == 0
+    assert space.contains([0, 0, 0, 0])
+    assert not space.contains([1, 0, 0, 0])
+
+
+def test_add_grows_rank_for_independent_vectors():
+    space = FractionRowSpace(3)
+    assert space.add([1, 1, 0])
+    assert space.add([0, 1, 1])
+    assert space.rank == 2
+    # Dependent: (1,1,0) + (0,1,1) - (0,1,1) ... (1,2,1) = sum of both.
+    assert not space.add([1, 2, 1])
+    assert space.rank == 2
+
+
+def test_contains_detects_linear_combinations():
+    space = FractionRowSpace(3)
+    space.add([1, 1, 0])
+    space.add([0, 1, 1])
+    assert space.contains([1, 2, 1])
+    assert space.contains([1, 0, -1])
+    assert not space.contains([1, 0, 0])
+
+
+def test_reveal_by_difference_of_sums():
+    # sum{0,1,2} and sum{0,1} reveal x_2.
+    space = FractionRowSpace(3)
+    space.add([1, 1, 1])
+    newly = space.would_reveal([1, 1, 0])
+    assert newly == {2}
+    space.add([1, 1, 0])
+    assert space.revealed == {2}
+
+
+def test_would_reveal_does_not_mutate():
+    space = FractionRowSpace(3)
+    space.add([1, 1, 1])
+    space.would_reveal([1, 1, 0])
+    assert space.rank == 1
+    assert space.revealed == set()
+
+
+def test_would_reveal_empty_for_dependent_vector():
+    space = FractionRowSpace(3)
+    space.add([1, 1, 0])
+    assert space.would_reveal([2, 2, 0]) == set()
+
+
+def test_singleton_vector_reveals_directly():
+    space = FractionRowSpace(3)
+    assert space.would_reveal([0, 1, 0]) == {1}
+    space.add([0, 1, 0])
+    assert space.revealed == {1}
+
+
+def test_cascading_reveal_through_existing_rows():
+    # Rows {0,1} and {1,2}; adding {0,2} makes all three revealable?
+    # span{110,011,101} has rank 3 over Q -> all e_i revealed.
+    space = FractionRowSpace(3)
+    space.add([1, 1, 0])
+    space.add([0, 1, 1])
+    newly = space.would_reveal([1, 0, 1])
+    assert newly == {0, 1, 2}
+
+
+def test_revealed_matches_bruteforce_on_fixed_cases():
+    rows = [[1, 1, 0, 0], [0, 0, 1, 1], [1, 1, 1, 0]]
+    space = FractionRowSpace(4)
+    for row in rows:
+        space.add(row)
+    assert space.revealed == revealed_coordinates(rows, 4)
+
+
+def test_add_column_extends_rows():
+    space = FractionRowSpace(2)
+    space.add([1, 1])
+    idx = space.add_column()
+    assert idx == 2
+    assert space.ncols == 3
+    assert space.contains([1, 1, 0])
+    assert not space.contains([1, 1, 1])
+
+
+def test_copy_is_independent():
+    space = FractionRowSpace(3)
+    space.add([1, 1, 0])
+    dup = space.copy()
+    dup.add([0, 1, 0])
+    assert space.rank == 1
+    assert dup.rank == 2
+    assert dup.revealed == {0, 1}
+
+
+def test_fractional_vectors_supported():
+    space = FractionRowSpace(2)
+    space.add([Fraction(1, 2), Fraction(1, 3)])
+    assert space.contains([3, 2])
+
+
+def test_rejects_bad_dimensions():
+    space = FractionRowSpace(3)
+    with pytest.raises(ValueError):
+        space.reduce([1, 0])
+    with pytest.raises(ValueError):
+        FractionRowSpace(0)

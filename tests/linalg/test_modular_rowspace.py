@@ -1,0 +1,69 @@
+"""Unit tests for the modular (GF(p)) row-space backend."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.modular_matrix import ModularRowSpace
+
+
+def test_basic_rank_and_membership():
+    space = ModularRowSpace(3)
+    assert space.add([1, 1, 0])
+    assert space.add([0, 1, 1])
+    assert not space.add([1, 2, 1])
+    assert space.rank == 2
+    assert space.contains([1, 0, -1])
+    assert not space.contains([1, 0, 0])
+
+
+def test_reveal_by_difference_of_sums():
+    space = ModularRowSpace(3)
+    space.add([1, 1, 1])
+    assert space.would_reveal([1, 1, 0]) == {2}
+    space.add([1, 1, 0])
+    assert space.revealed == {2}
+
+
+def test_large_chunked_reduce():
+    # Force multiple chunks by exceeding the per-chunk row budget.
+    n = 40
+    space = ModularRowSpace(n, prime=11)  # tiny prime -> tiny chunk size
+    rng = np.random.default_rng(3)
+    added = 0
+    for _ in range(60):
+        if space.add(rng.integers(0, 2, size=n)):
+            added += 1
+    assert space.rank == added <= n
+    # Every stored row reduces to zero.
+    for row in space.rows():
+        assert space.contains(row)
+
+
+def test_add_column_and_copy():
+    space = ModularRowSpace(2)
+    space.add([1, 1])
+    space.add_column()
+    assert space.ncols == 3
+    dup = space.copy()
+    dup.add([0, 0, 1])
+    assert dup.rank == 2 and space.rank == 1
+    assert dup.revealed == {2}
+
+
+def test_row_capacity_growth():
+    space = ModularRowSpace(4)
+    vectors = [[1, 0, 0, 0], [1, 1, 0, 0], [1, 1, 1, 0], [1, 1, 1, 1]]
+    for v in vectors:
+        space.add(v)
+    assert space.rank == 4
+    assert space.revealed == {0, 1, 2, 3}
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ModularRowSpace(0)
+    with pytest.raises(ValueError):
+        ModularRowSpace(3, prime=1)
+    space = ModularRowSpace(3)
+    with pytest.raises(ValueError):
+        space.reduce([1, 0])

@@ -1,0 +1,58 @@
+"""Unit tests for affine slices of the box."""
+
+import numpy as np
+import pytest
+
+from repro.polytope.halfspace import AffineSlice
+
+
+def test_no_constraints_is_full_box():
+    s = AffineSlice(3)
+    assert s.dimension == 3
+    assert s.contains(np.array([0.5, 0.5, 0.5]))
+    assert not s.contains(np.array([1.5, 0.5, 0.5]))
+
+
+def test_equality_reduces_dimension():
+    s = AffineSlice(3)
+    s.add_equality([1, 1, 0], 1.0)
+    assert s.dimension == 2
+    assert s.contains(np.array([0.4, 0.6, 0.9]))
+    assert not s.contains(np.array([0.4, 0.5, 0.9]))
+
+
+def test_null_basis_orthogonal_to_constraints():
+    s = AffineSlice(4)
+    s.add_equality([1, 1, 0, 0], 1.0)
+    s.add_equality([0, 0, 1, 1], 0.8)
+    basis = s.null_basis()
+    a, _ = s.matrix()
+    assert np.allclose(a @ basis, 0.0, atol=1e-10)
+    assert basis.shape == (4, 2)
+
+
+def test_chord_respects_box():
+    s = AffineSlice(2)
+    s.add_equality([1, 1], 1.0)
+    x = np.array([0.5, 0.5])
+    direction = s.null_basis()[:, 0]
+    t_lo, t_hi = s.chord(x, direction)
+    assert t_lo < 0 < t_hi
+    for t in (t_lo, t_hi):
+        point = x + t * direction
+        assert np.all(point >= -1e-9) and np.all(point <= 1 + 1e-9)
+
+
+def test_redundant_constraint_keeps_dimension():
+    s = AffineSlice(3)
+    s.add_equality([1, 1, 0], 1.0)
+    s.add_equality([2, 2, 0], 2.0)
+    assert s.dimension == 2
+
+
+def test_bad_inputs():
+    with pytest.raises(ValueError):
+        AffineSlice(0)
+    s = AffineSlice(2)
+    with pytest.raises(ValueError):
+        s.add_equality([1.0], 0.5)

@@ -1,0 +1,83 @@
+"""Statistical tests for the hit-and-run sampler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.polytope.halfspace import AffineSlice
+from repro.polytope.hit_and_run import HitAndRunSampler
+
+
+def test_samples_stay_feasible():
+    s = AffineSlice(3)
+    s.add_equality([1, 1, 1], 1.5)
+    sampler = HitAndRunSampler(s, np.array([0.5, 0.5, 0.5]), rng=0)
+    for x in sampler.samples(50):
+        assert s.contains(x, tol=1e-6)
+
+
+def test_uniformity_on_unconstrained_box():
+    s = AffineSlice(2)
+    sampler = HitAndRunSampler(s, np.array([0.5, 0.5]), rng=1,
+                               steps_per_sample=8)
+    xs = sampler.samples(4000)
+    # Uniform marginals: mean ~ 0.5, var ~ 1/12.
+    assert np.allclose(xs.mean(axis=0), 0.5, atol=0.03)
+    assert np.allclose(xs.var(axis=0), 1 / 12, atol=0.02)
+
+
+def test_uniformity_on_diagonal_slice():
+    # {x0 + x1 = 1} inside the unit square: x0 uniform on [0, 1].
+    s = AffineSlice(2)
+    s.add_equality([1, 1], 1.0)
+    sampler = HitAndRunSampler(s, np.array([0.5, 0.5]), rng=2,
+                               steps_per_sample=4)
+    xs = sampler.samples(4000)
+    assert np.allclose(xs[:, 0] + xs[:, 1], 1.0, atol=1e-9)
+    assert abs(xs[:, 0].mean() - 0.5) < 0.03
+    assert abs(xs[:, 0].var() - 1 / 12) < 0.02
+
+
+def test_point_slice_stays_put():
+    s = AffineSlice(2)
+    s.add_equality([1, 0], 0.3)
+    s.add_equality([0, 1], 0.7)
+    start = np.array([0.3, 0.7])
+    sampler = HitAndRunSampler(s, start, rng=3)
+    assert np.allclose(sampler.sample(), start)
+
+
+def test_infeasible_start_rejected():
+    s = AffineSlice(2)
+    s.add_equality([1, 1], 1.0)
+    with pytest.raises(SamplingError):
+        HitAndRunSampler(s, np.array([0.1, 0.1]))
+
+
+def test_conditional_marginal_is_uniform_on_slice():
+    # Given x0 + x1 = 0.8 inside the unit square, x0 | sum is uniform on
+    # [0, 0.8] -- the exact conditional the probabilistic sum auditor needs.
+    s = AffineSlice(2)
+    s.add_equality([1, 1], 0.8)
+    sampler = HitAndRunSampler(s, np.array([0.4, 0.4]), rng=9,
+                               steps_per_sample=4)
+    xs = sampler.samples(6000)[:, 0]
+    assert xs.min() >= -1e-9 and xs.max() <= 0.8 + 1e-9
+    assert abs(xs.mean() - 0.4) < 0.02
+    assert abs(xs.var() - 0.8**2 / 12) < 0.01
+    # Quartile check for uniformity.
+    for q, expected in ((0.25, 0.2), (0.5, 0.4), (0.75, 0.6)):
+        assert abs(float(np.quantile(xs, q)) - expected) < 0.03
+
+
+def test_three_dimensional_slice_marginal():
+    # x0 | x0+x1+x2 = 1.5 on [0,1]^3 has a symmetric (triangle-ish) density
+    # centred at 0.5.
+    s = AffineSlice(3)
+    s.add_equality([1, 1, 1], 1.5)
+    sampler = HitAndRunSampler(s, np.array([0.5, 0.5, 0.5]), rng=10,
+                               steps_per_sample=6)
+    xs = sampler.samples(6000)[:, 0]
+    assert abs(xs.mean() - 0.5) < 0.02
+    # Symmetry of the conditional around 0.5.
+    assert abs(float(np.mean(xs < 0.25)) - float(np.mean(xs > 0.75))) < 0.03

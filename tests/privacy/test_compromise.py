@@ -1,0 +1,56 @@
+"""Unit tests for the compromise-band arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyParameterError
+from repro.privacy.compromise import (
+    offending_cells,
+    ratio_band,
+    ratios_within_band,
+    s_lambda,
+)
+
+
+def test_ratio_band_endpoints():
+    lo, hi = ratio_band(0.2)
+    assert lo == pytest.approx(0.8)
+    assert hi == pytest.approx(1.25)
+    with pytest.raises(PrivacyParameterError):
+        ratio_band(0.0)
+    with pytest.raises(PrivacyParameterError):
+        ratio_band(1.0)
+
+
+def test_within_band_checks():
+    prior = np.array([0.25, 0.25, 0.25, 0.25])
+    safe = np.array([0.24, 0.26, 0.25, 0.25])
+    assert ratios_within_band(safe, prior, lam=0.2)
+    unsafe = np.array([0.05, 0.45, 0.25, 0.25])
+    assert not ratios_within_band(unsafe, prior, lam=0.2)
+    assert s_lambda(safe, prior, 0.2) == 1
+    assert s_lambda(unsafe, prior, 0.2) == 0
+
+
+def test_exact_band_edges_tolerated():
+    prior = np.array([0.25, 0.25])
+    edge = np.array([0.25 * 0.8, 0.25 * 1.25])
+    assert ratios_within_band(edge, prior, lam=0.2)
+
+
+def test_offending_cells_mask():
+    prior = np.full(4, 0.25)
+    post = np.array([
+        [0.25, 0.25, 0.25, 0.25],
+        [0.0, 0.5, 0.25, 0.25],
+    ])
+    mask = offending_cells(post, prior, lam=0.2)
+    assert not mask[0].any()
+    assert mask[1, 0] and mask[1, 1]
+    assert not mask[1, 2] and not mask[1, 3]
+
+
+def test_zero_posterior_always_offends():
+    prior = np.full(3, 1 / 3)
+    post = np.array([1 / 3, 1 / 3, 0.0]) * np.array([1, 2, 1])
+    assert not ratios_within_band(post, prior, lam=0.5)

@@ -1,0 +1,116 @@
+"""Tests for the general data-distribution extension (§3.1 future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PrivacyParameterError
+from repro.privacy.distributions import (
+    DataDistribution,
+    EmpiricalDistribution,
+    TruncatedGaussianDistribution,
+    UniformDistribution,
+)
+from repro.privacy.intervals import IntervalGrid
+from repro.privacy.posterior import (
+    general_prior,
+    max_predicate_bucket_probabilities,
+    max_predicate_bucket_probabilities_general,
+)
+from repro.synopsis.predicates import SynopsisPredicate
+
+
+def test_uniform_cdf_ppf_roundtrip():
+    dist = UniformDistribution(0.0, 2.0)
+    assert dist.cdf(1.0) == 0.5
+    assert dist.ppf(0.25) == 0.5
+    assert dist.interval_probability(0.5, 1.5) == pytest.approx(0.5)
+
+
+def test_truncated_gaussian_basic_shape():
+    dist = TruncatedGaussianDistribution(0.0, 1.0, mean=0.5, std=0.2)
+    assert dist.cdf(0.0) == 0.0
+    assert dist.cdf(1.0) == 1.0
+    assert dist.cdf(0.5) == pytest.approx(0.5, abs=1e-9)
+    # More mass near the mean than at the tails.
+    centre = dist.interval_probability(0.4, 0.6)
+    tail = dist.interval_probability(0.0, 0.2)
+    assert centre > tail
+
+
+def test_truncated_gaussian_ppf_inverts_cdf():
+    dist = TruncatedGaussianDistribution(0.0, 1.0, mean=0.4, std=0.3)
+    for q in (0.1, 0.37, 0.5, 0.9):
+        assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-9)
+
+
+def test_truncated_gaussian_sampling_matches_cdf(rng):
+    dist = TruncatedGaussianDistribution(0.0, 1.0, mean=0.5, std=0.25)
+    draws = dist.sample(rng, 20_000)
+    assert np.all((draws >= 0.0) & (draws <= 1.0))
+    assert abs(float(np.mean(draws < 0.5)) - dist.cdf(0.5)) < 0.02
+    below = dist.sample_below(rng, 0.6, 20_000)
+    assert np.all(below <= 0.6)
+    # Truncated CDF check at 0.3.
+    expected = dist.cdf(0.3) / dist.cdf(0.6)
+    assert abs(float(np.mean(below <= 0.3)) - expected) < 0.02
+
+
+def test_empirical_distribution_interpolates():
+    dist = EmpiricalDistribution([0.0, 1.0, 2.0, 4.0])
+    assert dist.cdf(1.0) == pytest.approx(1 / 3)
+    assert dist.cdf(3.0) == pytest.approx(1 / 3 * 2 + 1 / 3 * 0.5)
+    assert dist.cdf(-1.0) == 0.0 and dist.cdf(9.0) == 1.0
+    with pytest.raises(PrivacyParameterError):
+        EmpiricalDistribution([1.0, 1.0])
+
+
+def test_generic_ppf_bisection_fallback():
+    class Quadratic(DataDistribution):
+        def cdf(self, x):
+            if x <= self.low:
+                return 0.0
+            if x >= self.high:
+                return 1.0
+            return ((x - self.low) / (self.high - self.low)) ** 2
+
+    dist = Quadratic(0.0, 1.0)
+    assert dist.ppf(0.25) == pytest.approx(0.5, abs=1e-9)
+
+
+def test_general_posterior_reduces_to_uniform_closed_form():
+    grid = IntervalGrid(5)
+    uniform = UniformDistribution(0.0, 1.0)
+    for pred in (
+        None,
+        SynopsisPredicate({0, 1, 2}, 0.75, equality=True),
+        SynopsisPredicate({0, 1}, 0.42, equality=False),
+    ):
+        general = max_predicate_bucket_probabilities_general(grid, pred,
+                                                             uniform)
+        closed = max_predicate_bucket_probabilities(grid, pred)
+        assert np.allclose(general, closed)
+    assert np.allclose(general_prior(grid, uniform), grid.prior)
+
+
+def test_general_posterior_sums_to_one_under_gaussian():
+    grid = IntervalGrid(8)
+    dist = TruncatedGaussianDistribution(0.0, 1.0, mean=0.5, std=0.2)
+    pred = SynopsisPredicate({0, 1, 2, 3}, 0.7, equality=True)
+    probs = max_predicate_bucket_probabilities_general(grid, pred, dist)
+    assert probs.sum() == pytest.approx(1.0)
+    assert np.all(probs[grid.containing(0.7):] == 0.0)
+
+
+@given(st.floats(min_value=0.05, max_value=0.99),
+       st.integers(min_value=2, max_value=6),
+       st.integers(min_value=2, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_general_posterior_is_valid_distribution(m_val, size, gamma):
+    grid = IntervalGrid(gamma)
+    dist = TruncatedGaussianDistribution(0.0, 1.0, mean=0.45, std=0.3)
+    pred = SynopsisPredicate(set(range(size)), m_val, equality=True)
+    probs = max_predicate_bucket_probabilities_general(grid, pred, dist)
+    assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(probs >= -1e-12)

@@ -1,0 +1,125 @@
+"""The (lambda, gamma, T)-privacy game: probabilistic auditors defend."""
+
+import numpy as np
+import pytest
+
+from repro.attack.interval_attack import IntervalAttacker
+from repro.auditors.max_prob import MaxProbabilisticAuditor
+from repro.auditors.naive import OracleMaxAuditor
+from repro.privacy.game import (
+    PrivacyGame,
+    estimate_privacy,
+    make_max_posterior_oracle,
+)
+from repro.privacy.intervals import IntervalGrid
+from repro.sdb.dataset import Dataset
+
+N = 40
+LAM = 0.2
+GAMMA = 5
+ROUNDS = 6
+
+
+def build_game():
+    grid = IntervalGrid(GAMMA)
+    return PrivacyGame(grid, LAM, ROUNDS, make_max_posterior_oracle(grid, N))
+
+
+def test_oracle_auditor_loses_fast():
+    game = build_game()
+    dataset = Dataset.uniform(N, rng=0)
+    result = game.play(OracleMaxAuditor(dataset), IntervalAttacker(N, rng=1))
+    assert result.attacker_won
+    assert result.breach_round == 1   # the first small max answer breaches
+
+
+def test_probabilistic_auditor_defends():
+    delta = 0.2
+    game = build_game()
+    win_rate = estimate_privacy(
+        game,
+        make_auditor=lambda ds: MaxProbabilisticAuditor(
+            ds, lam=LAM, gamma=GAMMA, delta=delta, rounds=ROUNDS,
+            num_samples=40, rng=0,
+        ),
+        make_attacker=lambda rng: IntervalAttacker(N, rng=rng),
+        make_dataset=lambda rng: Dataset.uniform(N, rng=rng),
+        trials=10,
+        rng=7,
+    )
+    assert win_rate <= delta
+
+
+def test_game_counts_denials_and_rounds():
+    game = build_game()
+    dataset = Dataset.uniform(N, rng=3)
+    auditor = MaxProbabilisticAuditor(dataset, lam=LAM, gamma=GAMMA,
+                                      delta=0.2, rounds=ROUNDS,
+                                      num_samples=30, rng=4)
+    result = game.play(auditor, IntervalAttacker(N, rng=5))
+    assert not result.attacker_won
+    assert result.rounds_played == ROUNDS
+    assert result.denials == ROUNDS   # tiny max queries are all denied
+    assert result.answered == 0
+
+
+def test_attacker_none_ends_game():
+    game = build_game()
+    dataset = Dataset.uniform(N, rng=6)
+
+    def quitting_attacker(round_no, history):
+        return None
+
+    result = game.play(OracleMaxAuditor(dataset), quitting_attacker)
+    assert not result.attacker_won
+    assert result.rounds_played == 0
+
+
+def test_maxmin_posterior_oracle_matches_exact_on_max_history():
+    from repro.privacy.game import make_maxmin_posterior_oracle
+    from repro.types import max_query
+
+    grid = IntervalGrid(4)
+    exact_oracle = make_max_posterior_oracle(grid, 8)
+    mc_oracle = make_maxmin_posterior_oracle(grid, 8, num_samples=4000,
+                                             rng=3)
+    history = [(max_query([0, 1, 2, 3, 4]), 0.91)]
+    exact = exact_oracle(history)
+    estimated = mc_oracle(history)
+    assert np.allclose(exact, estimated, atol=0.05)
+
+
+def test_maxmin_probabilistic_auditor_defends_in_game():
+    from repro.auditors.maxmin_prob import MaxMinProbabilisticAuditor
+    from repro.privacy.game import make_maxmin_posterior_oracle
+    from repro.rng import random_subset
+    from repro.types import AggregateKind, Query
+
+    n, lam, gamma, rounds, delta = 30, 0.3, 4, 3, 0.4
+    grid = IntervalGrid(gamma)
+    game = PrivacyGame(grid, lam, rounds,
+                       make_maxmin_posterior_oracle(grid, n, num_samples=150,
+                                                    rng=1))
+
+    class MixedAttacker:
+        def __init__(self, rng):
+            self._rng = rng
+
+        def __call__(self, round_no, history):
+            kind = (AggregateKind.MAX if self._rng.integers(2)
+                    else AggregateKind.MIN)
+            return Query(kind, random_subset(self._rng, n, min_size=1,
+                                             max_size=3))
+
+    win_rate = estimate_privacy(
+        game,
+        make_auditor=lambda ds: MaxMinProbabilisticAuditor(
+            ds, lam=lam, gamma=gamma, delta=delta, rounds=rounds,
+            num_outer=3, num_inner=30, rng=0,
+        ),
+        make_attacker=lambda rng: MixedAttacker(rng),
+        make_dataset=lambda rng: Dataset.uniform(n, rng=rng),
+        trials=5,
+        rng=17,
+    )
+    assert win_rate <= delta

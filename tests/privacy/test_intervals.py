@@ -1,0 +1,42 @@
+"""Unit tests for the interval grid."""
+
+import pytest
+
+from repro.exceptions import PrivacyParameterError
+from repro.privacy.intervals import IntervalGrid
+
+
+def test_buckets_partition_range():
+    grid = IntervalGrid(4, 0.0, 1.0)
+    assert grid.bucket(1) == (0.0, 0.25)
+    assert grid.bucket(4) == (0.75, 1.0)
+    assert grid.width == pytest.approx(0.25)
+    assert grid.prior == pytest.approx(0.25)
+    assert len(list(grid)) == 4
+
+
+def test_containing_matches_ceil_convention():
+    grid = IntervalGrid(10, 0.0, 1.0)
+    assert grid.containing(0.05) == 1
+    assert grid.containing(0.1) == 1    # boundary belongs to the left bucket
+    assert grid.containing(0.1001) == 2
+    assert grid.containing(1.0) == 10
+    assert grid.containing(0.0) == 1
+
+
+def test_shifted_range():
+    grid = IntervalGrid(5, 10.0, 20.0)
+    assert grid.bucket(3) == (14.0, 16.0)
+    assert grid.containing(15.5) == 3
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(PrivacyParameterError):
+        IntervalGrid(0)
+    with pytest.raises(PrivacyParameterError):
+        IntervalGrid(4, 1.0, 0.0)
+    grid = IntervalGrid(4)
+    with pytest.raises(PrivacyParameterError):
+        grid.bucket(5)
+    with pytest.raises(PrivacyParameterError):
+        grid.containing(2.0)

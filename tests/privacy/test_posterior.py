@@ -1,0 +1,79 @@
+"""Closed-form max-predicate posteriors vs Monte Carlo ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.intervals import IntervalGrid
+from repro.privacy.posterior import (
+    max_predicate_bucket_probabilities,
+    max_synopsis_posterior_matrix,
+    uniform_prior,
+)
+from repro.synopsis.extreme_synopsis import MaxSynopsis
+from repro.synopsis.predicates import SynopsisPredicate
+
+
+def test_free_element_posterior_is_prior():
+    grid = IntervalGrid(5)
+    probs = max_predicate_bucket_probabilities(grid, None)
+    assert np.allclose(probs, uniform_prior(grid))
+
+
+def test_equality_predicate_point_mass_and_density():
+    grid = IntervalGrid(4)
+    pred = SynopsisPredicate({0, 1, 2}, 0.75, equality=True)
+    probs = max_predicate_bucket_probabilities(grid, pred)
+    # Uniform on [0, 0.75) with mass 2/3, plus point mass 1/3 at 0.75.
+    # Buckets 1-2 fully inside: (2/3) * (0.25/0.75) each.
+    assert probs[0] == pytest.approx(2 / 9)
+    assert probs[1] == pytest.approx(2 / 9)
+    # Bucket 3 contains 0.75 (boundary belongs to it): density + point mass.
+    assert probs[2] == pytest.approx(2 / 9 + 1 / 3)
+    assert probs[3] == pytest.approx(0.0)
+    assert probs.sum() == pytest.approx(1.0)
+
+
+def test_strict_predicate_density_only():
+    grid = IntervalGrid(4)
+    pred = SynopsisPredicate({0, 1}, 0.5, equality=False)
+    probs = max_predicate_bucket_probabilities(grid, pred)
+    assert probs[0] == pytest.approx(0.5)
+    assert probs[1] == pytest.approx(0.5)
+    assert probs[2:].sum() == pytest.approx(0.0)
+
+
+def test_partial_containing_bucket():
+    grid = IntervalGrid(10)
+    pred = SynopsisPredicate({0, 1, 2, 3}, 0.55, equality=True)
+    probs = max_predicate_bucket_probabilities(grid, pred)
+    # Containing bucket 6 spans [0.5, 0.6]; only [0.5, 0.55) carries density.
+    density = (1 - 0.25) / 0.55
+    assert probs[5] == pytest.approx(density * 0.05 + 0.25)
+    assert probs.sum() == pytest.approx(1.0)
+
+
+def test_posterior_matches_monte_carlo():
+    rng = np.random.default_rng(0)
+    grid = IntervalGrid(5)
+    size = 3
+    m_val = 0.82
+    draws = 200_000
+    # Simulate: x uniform in [0, M) w.p. 1-1/|S|, x = M w.p. 1/|S|.
+    is_witness = rng.random(draws) < 1 / size
+    xs = np.where(is_witness, m_val, rng.uniform(0, m_val, size=draws))
+    counts = np.histogram(xs, bins=np.nextafter(grid.edges, grid.edges + 1))[0]
+    # (shift edges so the boundary value M lands in the containing bucket)
+    empirical = counts / draws
+    pred = SynopsisPredicate({0, 1, 2}, m_val, equality=True)
+    probs = max_predicate_bucket_probabilities(grid, pred)
+    assert np.allclose(probs, empirical, atol=0.01)
+
+
+def test_matrix_shape_and_rows():
+    grid = IntervalGrid(4)
+    syn = MaxSynopsis(5, limit=1.0)
+    syn.insert({0, 1}, 0.5)
+    matrix = max_synopsis_posterior_matrix(grid, syn)
+    assert matrix.shape == (5, 4)
+    assert np.allclose(matrix[2], uniform_prior(grid))
+    assert np.allclose(matrix[0], matrix[1])

@@ -1,0 +1,56 @@
+"""CSV export of experiment series."""
+
+import csv
+
+import pytest
+
+from repro.cli import main
+from repro.reporting.export import write_series_csv, write_table_csv
+
+
+def test_write_series_csv_pads_ragged(tmp_path):
+    path = tmp_path / "series.csv"
+    rows = write_series_csv(str(path), {"a": [1.0, 2.0, 3.0], "b": [9.0]})
+    assert rows == 3
+    with open(path) as handle:
+        parsed = list(csv.reader(handle))
+    assert parsed[0] == ["step", "a", "b"]
+    assert parsed[1] == ["1", "1.0", "9.0"]
+    assert parsed[3] == ["3", "3.0", ""]
+
+
+def test_write_series_requires_data(tmp_path):
+    with pytest.raises(ValueError):
+        write_series_csv(str(tmp_path / "x.csv"), {})
+
+
+def test_write_table_csv(tmp_path):
+    path = tmp_path / "table.csv"
+    count = write_table_csv(str(path), ["n", "t"], [(1, 2.5), (2, 3.5)])
+    assert count == 2
+    with open(path) as handle:
+        parsed = list(csv.reader(handle))
+    assert parsed == [["n", "t"], ["1", "2.5"], ["2", "3.5"]]
+
+
+def test_cli_fig_commands_write_csv(tmp_path, capsys):
+    fig1 = tmp_path / "fig1.csv"
+    assert main(["fig1", "--sizes", "16", "--trials", "1",
+                 "--out-csv", str(fig1)]) == 0
+    assert fig1.exists()
+
+    fig3 = tmp_path / "fig3.csv"
+    assert main(["fig3", "--n", "20", "--horizon", "30", "--trials", "1",
+                 "--out-csv", str(fig3)]) == 0
+    with open(fig3) as handle:
+        parsed = list(csv.reader(handle))
+    assert parsed[0] == ["query", "denial_probability"]
+    assert len(parsed) == 31
+
+    fig2 = tmp_path / "fig2.csv"
+    assert main(["fig2", "--n", "16", "--horizon", "30", "--trials", "1",
+                 "--out-csv", str(fig2)]) == 0
+    with open(fig2) as handle:
+        header = next(csv.reader(handle))
+    assert header[0] == "query" and len(header) == 4
+    capsys.readouterr()

@@ -1,0 +1,32 @@
+"""Unit tests for ASCII reporting."""
+
+from repro.reporting.ascii_plots import ascii_plot
+from repro.reporting.tables import format_table
+
+
+def test_format_table_alignment_and_floats():
+    out = format_table(
+        ["n", "mean T"],
+        [(100, 101.2345), (1000, 1002.5)],
+        title="Figure 1",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Figure 1"
+    assert "n" in lines[1] and "mean T" in lines[1]
+    assert "101.2" in out and "1002" in out
+
+
+def test_ascii_plot_contains_series():
+    out = ascii_plot([0.0, 0.5, 1.0] * 10, title="curve", y_label="queries")
+    assert "curve" in out
+    assert "*" in out
+    assert "queries" in out
+
+
+def test_ascii_plot_empty():
+    assert ascii_plot([]) == "(empty series)"
+
+
+def test_ascii_plot_constant_series():
+    out = ascii_plot([1.0] * 5)
+    assert "*" in out

@@ -1,0 +1,34 @@
+"""Unit tests for aggregate evaluation."""
+
+import pytest
+
+from repro.exceptions import InvalidQueryError
+from repro.sdb.aggregates import evaluate_aggregate, true_answer
+from repro.sdb.dataset import Dataset
+from repro.types import AggregateKind, Query
+
+
+VALUES = [3.0, 1.0, 4.0, 1.5]
+
+
+@pytest.mark.parametrize("kind,expected", [
+    (AggregateKind.SUM, 9.5),
+    (AggregateKind.MAX, 4.0),
+    (AggregateKind.MIN, 1.0),
+    (AggregateKind.AVG, 2.375),
+    (AggregateKind.COUNT, 4.0),
+    (AggregateKind.MEDIAN, 2.25),
+])
+def test_each_aggregate(kind, expected):
+    assert evaluate_aggregate(kind, VALUES) == pytest.approx(expected)
+
+
+def test_empty_values_rejected():
+    with pytest.raises(InvalidQueryError):
+        evaluate_aggregate(AggregateKind.SUM, [])
+
+
+def test_true_answer_over_query_set():
+    data = Dataset(VALUES, low=0.0, high=5.0)
+    query = Query(AggregateKind.MAX, frozenset({1, 3}))
+    assert true_answer(query, data) == 1.5

@@ -1,0 +1,66 @@
+"""Unit tests for Dataset generators and accessors."""
+
+import pytest
+
+from repro.exceptions import DuplicateValueError, InvalidQueryError
+from repro.sdb.dataset import Dataset
+
+
+def test_uniform_respects_range_and_size(rng):
+    data = Dataset.uniform(50, low=2.0, high=5.0, rng=rng)
+    assert data.n == 50
+    assert all(2.0 <= v <= 5.0 for v in data.values)
+
+
+def test_uniform_duplicate_free_by_default(rng):
+    data = Dataset.uniform(100, rng=rng)
+    assert not data.has_duplicates()
+    data.require_duplicate_free()
+
+
+def test_gaussian_within_bounds(rng):
+    data = Dataset.gaussian(64, mean=0.5, std=0.3, rng=rng)
+    assert data.n == 64
+    assert all(0.0 <= v <= 1.0 for v in data.values)
+
+
+def test_salaries_are_positive_and_heavy_tailed(rng):
+    data = Dataset.salaries(200, rng=rng)
+    assert all(v > 30_000 for v in data.values)
+    assert max(data.values) <= data.high
+
+
+def test_require_duplicate_free_raises():
+    data = Dataset([1.0, 2.0, 1.0], low=0.0, high=3.0)
+    assert data.has_duplicates()
+    with pytest.raises(DuplicateValueError):
+        data.require_duplicate_free()
+
+
+def test_subset_and_indexing():
+    data = Dataset([0.1, 0.2, 0.3])
+    assert data.subset([2, 0]) == [0.3, 0.1]
+    assert data[1] == 0.2
+    assert len(data) == 3
+    with pytest.raises(InvalidQueryError):
+        data.subset([99])
+
+
+def test_mutation_helpers():
+    data = Dataset([0.1, 0.2])
+    old = data.set_value(0, 0.9)
+    assert old == 0.1 and data[0] == 0.9
+    idx = data.append(0.5)
+    assert idx == 2 and data.n == 3
+
+
+def test_rejects_bad_range():
+    with pytest.raises(ValueError):
+        Dataset([0.5], low=1.0, high=0.0)
+
+
+def test_as_array_is_copy():
+    data = Dataset([0.1, 0.2])
+    arr = data.as_array()
+    arr[0] = 99.0
+    assert data[0] == 0.1

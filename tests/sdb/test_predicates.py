@@ -1,0 +1,41 @@
+"""Unit tests for the predicate DSL."""
+
+from repro.sdb.predicates import All, And, Eq, In, Not, Or, Range
+
+
+ROW = {"age": 30, "zip": 94305, "dept": "eng"}
+
+
+def test_eq_and_in():
+    assert Eq("age", 30).matches(ROW)
+    assert not Eq("age", 31).matches(ROW)
+    assert In("dept", ["eng", "sales"]).matches(ROW)
+    assert not In("dept", ["sales"]).matches(ROW)
+
+
+def test_range_bounds():
+    assert Range("age", 20, 40).matches(ROW)
+    assert Range("age", low=30).matches(ROW)
+    assert Range("age", high=29) .matches(ROW) is False
+    assert not Range("missing", 0, 10).matches(ROW)
+
+
+def test_boolean_composition():
+    pred = And(Eq("dept", "eng"), Range("age", 25, 35))
+    assert pred.matches(ROW)
+    assert (Eq("dept", "hr") | Eq("zip", 94305)).matches(ROW)
+    assert (~Eq("dept", "eng")).matches(ROW) is False
+    assert Or(Not(All()), All()).matches(ROW)
+
+
+def test_operator_sugar_builds_expected_types():
+    combined = Eq("a", 1) & Eq("b", 2)
+    assert isinstance(combined, And)
+    combined = Eq("a", 1) | Eq("b", 2)
+    assert isinstance(combined, Or)
+    assert isinstance(~Eq("a", 1), Not)
+
+
+def test_all_matches_everything():
+    assert All().matches({})
+    assert All().matches(ROW)

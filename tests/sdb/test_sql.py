@@ -1,0 +1,118 @@
+"""Tests for the SQL dialect parser and audited execution."""
+
+import pytest
+
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.exceptions import InvalidQueryError
+from repro.sdb.engine import StatisticalDatabase
+from repro.sdb.predicates import All, And, Eq, In, Not, Or, Range
+from repro.sdb.sql import execute_sql, parse_statistical_query
+from repro.types import AggregateKind
+
+
+def test_paper_example_parses():
+    kind, column, table, predicate = parse_statistical_query(
+        "SELECT sum(Salary) FROM CompanyTable WHERE ZipCode = 94305"
+    )
+    assert kind is AggregateKind.SUM
+    assert column == "Salary"
+    assert table == "CompanyTable"
+    assert predicate == Eq("ZipCode", 94305)
+
+
+def test_every_aggregate_keyword():
+    for name, kind in (("sum", AggregateKind.SUM), ("max", AggregateKind.MAX),
+                       ("min", AggregateKind.MIN), ("avg", AggregateKind.AVG),
+                       ("count", AggregateKind.COUNT),
+                       ("median", AggregateKind.MEDIAN)):
+        parsed_kind, _, _, _ = parse_statistical_query(
+            f"SELECT {name}(x) FROM t"
+        )
+        assert parsed_kind is kind
+
+
+def test_where_clause_grammar():
+    _, _, _, predicate = parse_statistical_query(
+        "select sum(v) where a = 1 and (b between 2 and 5 or not c = 'x')"
+    )
+    assert isinstance(predicate, And)
+    assert predicate.left == Eq("a", 1)
+    assert isinstance(predicate.right, Or)
+    assert predicate.right.left == Range("b", 2, 5)
+    assert predicate.right.right == Not(Eq("c", "x"))
+
+
+def test_in_and_inequality_operators():
+    _, _, _, p1 = parse_statistical_query(
+        "select max(v) where dept in ('eng', 'hr')"
+    )
+    assert p1 == In("dept", ["eng", "hr"])
+    _, _, _, p2 = parse_statistical_query("select max(v) where age >= 21")
+    assert p2 == Range("age", 21, None)
+    _, _, _, p3 = parse_statistical_query("select max(v) where age != 30")
+    assert p3 == Not(Eq("age", 30))
+    _, _, _, p4 = parse_statistical_query("select max(v) where age < 30")
+    assert p4.matches({"age": 29}) and not p4.matches({"age": 30})
+    _, _, _, p5 = parse_statistical_query("select max(v) where age > 30")
+    assert p5.matches({"age": 31}) and not p5.matches({"age": 30})
+
+
+def test_missing_where_means_all():
+    _, _, _, predicate = parse_statistical_query("select min(v) from t")
+    assert isinstance(predicate, All)
+
+
+def test_parse_errors():
+    bad = [
+        "select widen(v)",              # unknown aggregate
+        "select sum v",                 # missing parens
+        "select sum(v) where",          # dangling where
+        "select sum(v) where a = ",     # missing literal
+        "select sum(v) where a ~ 1",    # bad operator token
+        "select sum(v) extra",          # trailing tokens
+        "select sum(between)",          # keyword as identifier
+    ]
+    for text in bad:
+        with pytest.raises(InvalidQueryError):
+            parse_statistical_query(text)
+
+
+def make_db():
+    records = [
+        {"zip": 94305, "dept": "eng", "salary": 100.0},
+        {"zip": 94305, "dept": "hr", "salary": 120.0},
+        {"zip": 94306, "dept": "eng", "salary": 90.0},
+        {"zip": 94306, "dept": "hr", "salary": 110.0},
+    ]
+    return StatisticalDatabase.from_records(
+        records, sensitive_column="salary",
+        auditor_factory=lambda ds: SumClassicAuditor(ds),
+    )
+
+
+def test_execute_sql_round_trip():
+    db = make_db()
+    decision = execute_sql(db, "SELECT sum(salary) WHERE zip = 94305",
+                           sensitive_column="salary")
+    assert decision.answered
+    assert decision.value == pytest.approx(220.0)
+
+
+def test_execute_sql_denies_like_the_auditor():
+    db = make_db()
+    assert execute_sql(db, "SELECT sum(salary)",
+                       sensitive_column="salary").answered
+    assert execute_sql(db, "SELECT sum(salary) WHERE dept = 'eng'",
+                       sensitive_column="salary").answered
+    # eng + one hr record isolates the other hr record by differencing.
+    denied = execute_sql(
+        db, "SELECT sum(salary) WHERE dept = 'eng' OR zip = 94305",
+        sensitive_column="salary",
+    )
+    assert denied.denied
+
+
+def test_execute_sql_rejects_non_sensitive_column():
+    db = make_db()
+    with pytest.raises(InvalidQueryError):
+        execute_sql(db, "SELECT sum(zip)", sensitive_column="salary")

@@ -1,0 +1,82 @@
+"""Property test: rendering a predicate to SQL and parsing it back selects
+the same rows."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidQueryError
+from repro.sdb.predicates import All, And, Eq, In, Not, Or, Range
+from repro.sdb.sql import parse_statistical_query, render_predicate, render_query
+from repro.types import AggregateKind
+
+COLUMNS = ("age", "zip", "dept")
+
+literals = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.sampled_from(["eng", "hr", "sales", "x y"]),
+)
+
+
+def leaf_predicates():
+    eq = st.builds(Eq, st.sampled_from(COLUMNS), literals)
+    in_ = st.builds(
+        lambda c, vs: In(c, vs),
+        st.sampled_from(COLUMNS),
+        st.lists(literals, min_size=1, max_size=3),
+    )
+    rng = st.builds(
+        lambda c, a, b: Range(c, min(a, b), max(a, b)),
+        st.sampled_from(COLUMNS),
+        st.integers(-50, 50), st.integers(-50, 50),
+    )
+    return st.one_of(eq, in_, rng)
+
+
+predicates = st.recursive(
+    leaf_predicates(),
+    lambda children: st.one_of(
+        st.builds(And, children, children),
+        st.builds(Or, children, children),
+        st.builds(Not, children),
+    ),
+    max_leaves=6,
+)
+
+ROWS = [
+    {"age": a, "zip": z, "dept": d}
+    for a in (-10, 0, 17, 30, 50)
+    for z in (-3, 25)
+    for d in ("eng", "hr", "x y")
+]
+
+
+@given(predicates, st.sampled_from(list(AggregateKind)))
+@settings(max_examples=200, deadline=None)
+def test_render_parse_roundtrip_selects_same_rows(predicate, kind):
+    sql = render_query(kind, "salary", predicate, table="t")
+    parsed_kind, column, table, parsed = parse_statistical_query(sql)
+    assert parsed_kind is kind
+    assert column == "salary"
+    assert table == "t"
+    for row in ROWS:
+        assert parsed.matches(row) == predicate.matches(row), (sql, row)
+
+
+def test_render_query_without_where():
+    sql = render_query(AggregateKind.SUM, "salary", All())
+    assert sql == "SELECT sum(salary)"
+    _, _, _, parsed = parse_statistical_query(sql)
+    assert isinstance(parsed, All)
+
+
+def test_render_predicate_rejects_all():
+    with pytest.raises(InvalidQueryError):
+        render_predicate(All())
+
+
+def test_render_open_ended_ranges():
+    assert render_predicate(Range("age", 5, None)) == "age >= 5"
+    assert render_predicate(Range("age", None, 9)) == "age <= 9"
+    with pytest.raises(InvalidQueryError):
+        render_predicate(Range("age", None, None))

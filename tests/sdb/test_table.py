@@ -1,0 +1,52 @@
+"""Unit tests for the public-attribute table."""
+
+import pytest
+
+from repro.exceptions import InvalidQueryError
+from repro.sdb.predicates import Eq, Range
+from repro.sdb.table import Table
+
+
+def make_table():
+    table = Table(["age", "zip"])
+    table.insert({"age": 25, "zip": 94305})
+    table.insert({"age": 35, "zip": 94306})
+    table.insert({"age": 45, "zip": 94305})
+    return table
+
+
+def test_insert_and_select():
+    table = make_table()
+    assert table.n == 3
+    assert table.select(Eq("zip", 94305)) == frozenset({0, 2})
+    assert table.select(Range("age", 30, 50)) == frozenset({1, 2})
+
+
+def test_insert_rejects_unknown_columns():
+    table = Table(["age"])
+    with pytest.raises(InvalidQueryError):
+        table.insert({"age": 1, "height": 2})
+
+
+def test_delete_keeps_index_but_hides_record():
+    table = make_table()
+    table.delete(0)
+    assert table.live_indices() == [1, 2]
+    assert table.select(Eq("zip", 94305)) == frozenset({2})
+    with pytest.raises(InvalidQueryError):
+        table.row(0)
+    with pytest.raises(InvalidQueryError):
+        table.delete(0)
+
+
+def test_update_public_changes_selection():
+    table = make_table()
+    table.update_public(1, {"zip": 94305})
+    assert table.select(Eq("zip", 94305)) == frozenset({0, 1, 2})
+    with pytest.raises(InvalidQueryError):
+        table.update_public(1, {"nope": 1})
+
+
+def test_row_accessor():
+    table = make_table()
+    assert table.row(1)["age"] == 35

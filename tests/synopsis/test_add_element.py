@@ -1,0 +1,41 @@
+"""Element growth (update versioning) in the synopses."""
+
+import math
+
+from repro.synopsis.combined import CombinedSynopsis
+from repro.synopsis.extreme_synopsis import MaxSynopsis
+from repro.types import AggregateKind
+
+MAX = AggregateKind.MAX
+MIN = AggregateKind.MIN
+
+
+def test_add_element_extends_max_synopsis():
+    syn = MaxSynopsis(2, limit=1.0)
+    syn.insert({0, 1}, 0.8)
+    idx = syn.add_element()
+    assert idx == 2 and syn.n == 3
+    assert syn.bound(2) == (1.0, True)      # fresh element is free
+    syn.insert({0, 1, 2}, 0.9)              # new element can exceed old max
+    assert syn.determined == {2: 0.9}       # sole witness above the bound
+
+
+def test_add_element_extends_combined_synopsis():
+    syn = CombinedSynopsis(2, low=-math.inf, high=math.inf)
+    syn.insert(MAX, {0, 1}, 5.0)
+    idx = syn.add_element()
+    assert idx == 2 and syn.n == 3
+    r = syn.range_of(2)
+    assert r.lo == -math.inf and r.hi == math.inf
+    # Propagation still sound with the larger element set.
+    syn.insert(MIN, {0, 1, 2}, 1.0)
+    assert syn.determined == {}
+
+
+def test_copy_preserves_grown_size():
+    syn = CombinedSynopsis(2, 0.0, 1.0)
+    syn.add_element()
+    dup = syn.copy()
+    assert dup.n == 3
+    dup.insert(MAX, {0, 1, 2}, 0.7)
+    assert syn.predicates() == []

@@ -1,0 +1,118 @@
+"""Edge cases for the synopsis engines."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InconsistentAnswersError, InvalidQueryError
+from repro.synopsis.combined import CombinedSynopsis, ElementRange
+from repro.synopsis.extreme_synopsis import ExtremeSynopsis, MaxSynopsis, MinSynopsis
+from repro.synopsis.predicates import SynopsisPredicate
+from repro.types import AggregateKind
+
+
+def test_single_element_database():
+    syn = MaxSynopsis(1, limit=1.0)
+    syn.insert({0}, 0.4)
+    assert syn.determined == {0: 0.4}
+    # Re-asking with the same answer is fine; anything else contradicts.
+    syn.insert({0}, 0.4)
+    with pytest.raises(InconsistentAnswersError):
+        syn.insert({0}, 0.6)
+
+
+def test_query_over_every_element():
+    syn = MaxSynopsis(4)
+    syn.insert({0, 1, 2, 3}, 7.0)
+    assert syn.size == 1
+    (pred,) = syn.predicates()
+    assert pred.elements == {0, 1, 2, 3}
+
+
+def test_answer_exactly_at_limit_allowed():
+    syn = MaxSynopsis(3, limit=1.0)
+    syn.insert({0, 1, 2}, 1.0)   # boundary value is attainable
+    assert syn.predicates()[0].value == 1.0
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        ExtremeSynopsis(0)
+    with pytest.raises(ValueError):
+        ExtremeSynopsis(3, direction=2)
+    with pytest.raises(ValueError):
+        SynopsisPredicate(set(), 1.0, True)
+    with pytest.raises(ValueError):
+        SynopsisPredicate({0}, 1.0, True, direction=0)
+
+
+def test_force_witness_validation():
+    syn = MaxSynopsis(3)
+    syn.insert({0, 1, 2}, 5.0)
+    (pid, pred), = syn.items()
+    with pytest.raises(ValueError):
+        syn.force_witness(pid, 9)   # not a member
+    syn.force_witness(pid, 1)
+    assert syn.determined == {1: 5.0}
+
+
+def test_remove_element_validation():
+    syn = MaxSynopsis(3)
+    syn.insert({0}, 5.0)
+    (pid, _), = syn.items()
+    with pytest.raises(InconsistentAnswersError):
+        syn.remove_element(pid, 0)  # sole witness
+    with pytest.raises(ValueError):
+        syn.remove_element(pid, 2)
+
+
+def test_element_range_semantics():
+    r = ElementRange(0.2, True, 0.8, False)
+    assert r.length == pytest.approx(0.6)
+    assert r.contains(0.2) and not r.contains(0.8)
+    assert not r.contains(0.1) and r.contains(0.5)
+    point = ElementRange(0.3, True, 0.3, True)
+    assert point.is_point and point.length == 0.0
+
+
+def test_combined_synopsis_rejects_bad_range():
+    with pytest.raises(ValueError):
+        CombinedSynopsis(3, low=1.0, high=0.0)
+
+
+def test_min_side_same_value_duplicate_rejected():
+    syn = MinSynopsis(4)
+    syn.insert({0, 1}, 0.3)
+    with pytest.raises(InconsistentAnswersError):
+        syn.insert({2, 3}, 0.3)
+
+
+def test_copy_isolation_combined():
+    syn = CombinedSynopsis(4, 0.0, 1.0)
+    syn.insert(AggregateKind.MAX, {0, 1, 2, 3}, 0.9)
+    dup = syn.copy()
+    dup.insert(AggregateKind.MIN, {0, 1}, 0.2)
+    assert len(syn.predicates()) == 1
+    assert len(dup.predicates()) == 2
+
+
+def test_interleaved_max_min_chain_consistency():
+    # A longer alternating session exercising splits, strips and propagation.
+    syn = CombinedSynopsis(6, 0.0, 1.0)
+    syn.insert(AggregateKind.MAX, {0, 1, 2, 3, 4, 5}, 0.95)
+    syn.insert(AggregateKind.MIN, {0, 1, 2, 3, 4, 5}, 0.05)
+    syn.insert(AggregateKind.MAX, {0, 1, 2}, 0.6)
+    syn.insert(AggregateKind.MIN, {3, 4, 5}, 0.4)
+    assert syn.determined == {}
+    # Everyone's range is consistent with the four answers.
+    for i in range(6):
+        r = syn.range_of(i)
+        assert 0.0 <= r.lo < r.hi <= 1.0
+
+
+def test_predicate_repr_and_copy():
+    pred = SynopsisPredicate({2, 0}, 0.5, equality=True)
+    assert repr(pred) == "[max({0,2}) = 0.5]"
+    dup = pred.copy()
+    dup.elements.add(7)
+    assert 7 not in pred.elements

@@ -1,0 +1,144 @@
+"""Unit tests for the max-direction synopsis blackbox."""
+
+import pytest
+
+from repro.exceptions import InconsistentAnswersError, InvalidQueryError
+from repro.synopsis.extreme_synopsis import MaxSynopsis
+
+
+def preds_by_value(synopsis):
+    return {(p.value, p.equality): frozenset(p.elements)
+            for p in synopsis.predicates()}
+
+
+def test_paper_example_same_value_split():
+    # q1 = max{a,b,c} = 9, q2 = max{a,b} = 9
+    # => [max{a,b} = 9] and [max{c} < 9]      (paper, Section 2.2)
+    syn = MaxSynopsis(3)
+    syn.insert({0, 1, 2}, 9.0)
+    syn.insert({0, 1}, 9.0)
+    assert preds_by_value(syn) == {
+        (9.0, True): frozenset({0, 1}),
+        (9.0, False): frozenset({2}),
+    }
+    assert syn.determined == {}
+
+
+def test_disjoint_same_value_split_discloses():
+    # max{a,b,c} = 9 then max{a} = 9 pins a and bounds b, c.
+    syn = MaxSynopsis(3)
+    syn.insert({0, 1, 2}, 9.0)
+    syn.insert({0}, 9.0)
+    assert syn.determined == {0: 9.0}
+    assert preds_by_value(syn)[(9.0, False)] == frozenset({1, 2})
+
+
+def test_lower_subquery_answer_pins_witness():
+    # max{a,b} = 5 then max{a} = 3 pins a=3 AND forces b=5.
+    syn = MaxSynopsis(2)
+    syn.insert({0, 1}, 5.0)
+    syn.insert({0}, 3.0)
+    assert syn.determined == {0: 3.0, 1: 5.0}
+
+
+def test_fresh_value_pool_excludes_lower_bounded_elements():
+    syn = MaxSynopsis(4)
+    syn.insert({0, 1}, 2.0)      # 0,1 <= 2
+    syn.insert({0, 1, 2, 3}, 5.0)  # witness must be 2 or 3
+    pool = preds_by_value(syn)[(5.0, True)]
+    assert pool == frozenset({2, 3})
+
+
+def test_inconsistent_higher_subset_answer():
+    syn = MaxSynopsis(3)
+    syn.insert({0, 1, 2}, 4.0)
+    with pytest.raises(InconsistentAnswersError):
+        syn.insert({0, 1}, 6.0)  # subset max exceeds superset max
+
+
+def test_inconsistent_duplicate_witness_disjoint_sets():
+    syn = MaxSynopsis(4)
+    syn.insert({0, 1}, 4.0)
+    with pytest.raises(InconsistentAnswersError):
+        syn.insert({2, 3}, 4.0)  # two elements would equal 4.0
+
+
+def test_inconsistent_answer_above_domain_limit():
+    syn = MaxSynopsis(3, limit=1.0)
+    with pytest.raises(InconsistentAnswersError):
+        syn.insert({0, 1}, 1.5)
+
+
+def test_failed_insert_leaves_state_unchanged():
+    syn = MaxSynopsis(3)
+    syn.insert({0, 1, 2}, 4.0)
+    before = preds_by_value(syn)
+    with pytest.raises(InconsistentAnswersError):
+        syn.insert({0, 1}, 6.0)
+    assert preds_by_value(syn) == before
+
+
+def test_idempotent_reinsert():
+    syn = MaxSynopsis(3)
+    syn.insert({0, 1, 2}, 4.0)
+    syn.insert({0, 1, 2}, 4.0)
+    assert preds_by_value(syn) == {(4.0, True): frozenset({0, 1, 2})}
+
+
+def test_bound_reporting():
+    syn = MaxSynopsis(3, limit=1.0)
+    syn.insert({0, 1}, 0.5)
+    assert syn.bound(0) == (0.5, True)
+    assert syn.bound(2) == (1.0, True)
+    syn2 = MaxSynopsis(2)
+    assert syn2.bound(0) == (None, False)
+
+
+def test_is_consistent_does_not_mutate():
+    syn = MaxSynopsis(3)
+    syn.insert({0, 1, 2}, 4.0)
+    assert syn.is_consistent({0, 1}, 3.0)
+    assert not syn.is_consistent({0, 1}, 6.0)
+    assert preds_by_value(syn) == {(4.0, True): frozenset({0, 1, 2})}
+
+
+def test_strict_pred_tightening_on_lower_answer():
+    syn = MaxSynopsis(4)
+    syn.insert({0, 1, 2}, 9.0)
+    syn.insert({0, 1}, 9.0)      # -> strict {2} < 9
+    syn.insert({2, 3}, 5.0)      # 2 and 3 can both reach 5
+    pool = preds_by_value(syn)[(5.0, True)]
+    assert pool == frozenset({2, 3})
+
+
+def test_empty_query_and_bad_indices_rejected():
+    syn = MaxSynopsis(3)
+    with pytest.raises(InvalidQueryError):
+        syn.insert(set(), 1.0)
+    with pytest.raises(InvalidQueryError):
+        syn.insert({7}, 1.0)
+
+
+def test_size_is_linear_in_n():
+    syn = MaxSynopsis(10)
+    import numpy as np
+    rng = np.random.default_rng(0)
+    values = rng.uniform(0, 1, size=10)
+    for _ in range(50):
+        members = rng.choice(10, size=rng.integers(2, 6), replace=False)
+        members = {int(i) for i in members}
+        answer = max(values[i] for i in members)
+        syn.insert(members, answer)
+    # Disjoint predicates over 10 elements: at most 10 of them.
+    assert syn.size <= 10
+
+
+def test_equality_values_accessor():
+    syn = MaxSynopsis(5)
+    syn.insert({0, 1, 2}, 4.0)
+    syn.insert({3, 4}, 7.0)
+    values = syn.equality_values()
+    assert set(values) == {4.0, 7.0}
+    for value, pid in values.items():
+        pred = dict(syn.items())[pid]
+        assert pred.equality and pred.value == value

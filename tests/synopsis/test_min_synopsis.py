@@ -1,0 +1,61 @@
+"""Unit tests for the min-direction synopsis (mirror of max)."""
+
+import pytest
+
+from repro.exceptions import InconsistentAnswersError
+from repro.synopsis.extreme_synopsis import MinSynopsis
+
+
+def preds_by_value(synopsis):
+    return {(p.value, p.equality): frozenset(p.elements)
+            for p in synopsis.predicates()}
+
+
+def test_same_value_split_mirrors_max():
+    syn = MinSynopsis(3)
+    syn.insert({0, 1, 2}, 0.2)
+    syn.insert({0, 1}, 0.2)
+    assert preds_by_value(syn) == {
+        (0.2, True): frozenset({0, 1}),
+        (0.2, False): frozenset({2}),
+    }
+
+
+def test_fresh_lower_answer_pools_witnesses():
+    syn = MinSynopsis(4)
+    syn.insert({0, 1}, 0.5)      # 0,1 >= 0.5
+    syn.insert({0, 1, 2, 3}, 0.2)  # witness must be 2 or 3
+    assert preds_by_value(syn)[(0.2, True)] == frozenset({2, 3})
+
+
+def test_inconsistent_lower_subset_answer():
+    syn = MinSynopsis(3)
+    syn.insert({0, 1, 2}, 0.4)
+    with pytest.raises(InconsistentAnswersError):
+        syn.insert({0, 1}, 0.1)  # subset min below superset min
+
+
+def test_higher_subquery_answer_pins_witness():
+    # min{a,b} = 1 then min{a} = 3 pins a=3 and forces b=1.
+    syn = MinSynopsis(2)
+    syn.insert({0, 1}, 1.0)
+    syn.insert({0}, 3.0)
+    assert syn.determined == {0: 3.0, 1: 1.0}
+
+
+def test_domain_limit_is_lower_bound():
+    syn = MinSynopsis(3, limit=0.0)
+    with pytest.raises(InconsistentAnswersError):
+        syn.insert({0, 1}, -0.5)
+    syn.insert({0, 1}, 0.3)
+    assert syn.bound(0) == (0.3, True)
+    assert syn.bound(2) == (0.0, True)
+
+
+def test_predicate_repr_uses_min_operators():
+    syn = MinSynopsis(3)
+    syn.insert({0, 1, 2}, 0.2)
+    syn.insert({0, 1}, 0.2)
+    reprs = sorted(repr(p) for p in syn.predicates())
+    assert any("min" in r and "=" in r for r in reprs)
+    assert any("min" in r and ">" in r for r in reprs)

@@ -1,0 +1,103 @@
+"""Property tests tying the synopsis to ground truth.
+
+Strategy: generate a random duplicate-free dataset and a random stream of
+max/min queries answered *from that dataset* (hence always consistent), and
+check the synopsis invariants:
+
+* inserting true answers never raises;
+* every value the synopsis claims *determined* matches the dataset;
+* datasets sampled from the synopsis posterior satisfy every original query
+  (the synopsis kept all derivable information — Chin's sufficiency);
+* the synopsis's determined set agrees with the raw-log Algorithm 4
+  analysis (two independent code paths).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auditors.consistency import audit_log_status
+from repro.auditors.extreme import Constraint
+from repro.coloring.graph import ColoringGraph
+from repro.coloring.sampler import dataset_from_coloring
+from repro.synopsis.combined import CombinedSynopsis
+from repro.synopsis.extreme_synopsis import MaxSynopsis
+from repro.types import AggregateKind
+
+
+@st.composite
+def query_streams(draw):
+    n = draw(st.integers(min_value=3, max_value=7))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    values = rng.permutation(np.linspace(0.05, 0.95, n)).tolist()
+    num_queries = draw(st.integers(min_value=1, max_value=8))
+    queries = []
+    for _ in range(num_queries):
+        size = int(rng.integers(1, n + 1))
+        members = frozenset(int(i) for i in rng.choice(n, size=size,
+                                                       replace=False))
+        kind = AggregateKind.MAX if rng.integers(2) else AggregateKind.MIN
+        agg = max if kind is AggregateKind.MAX else min
+        answer = agg(values[i] for i in members)
+        queries.append((kind, members, answer))
+    return n, values, queries
+
+
+@given(query_streams())
+@settings(max_examples=120, deadline=None)
+def test_true_answers_always_consistent_and_determinations_correct(case):
+    n, values, queries = case
+    syn = CombinedSynopsis(n, 0.0, 1.0)
+    for kind, members, answer in queries:
+        syn.insert(kind, members, answer)   # must not raise
+        for element, value in syn.determined.items():
+            assert values[element] == value
+
+
+@given(query_streams())
+@settings(max_examples=80, deadline=None)
+def test_sampled_posterior_datasets_satisfy_all_queries(case):
+    n, values, queries = case
+    syn = CombinedSynopsis(n, 0.0, 1.0)
+    for kind, members, answer in queries:
+        syn.insert(kind, members, answer)
+    graph = ColoringGraph(syn)
+    coloring = (graph.coloring_from_dataset(values) if graph.k else {})
+    sample = dataset_from_coloring(graph, coloring,
+                                   rng=np.random.default_rng(0))
+    for kind, members, answer in queries:
+        agg = max if kind is AggregateKind.MAX else min
+        assert agg(sample[i] for i in members) == answer
+
+
+@given(query_streams())
+@settings(max_examples=120, deadline=None)
+def test_synopsis_agrees_with_raw_log_analysis(case):
+    n, values, queries = case
+    syn = CombinedSynopsis(n, 0.0, 1.0)
+    log = []
+    for kind, members, answer in queries:
+        syn.insert(kind, members, answer)
+        log.append(Constraint(kind, members, answer))
+    consistent, secure, determined = audit_log_status(log)
+    assert consistent  # true answers are always consistent
+    # Security (no value pinned) must agree between the two engines.
+    assert secure == (not syn.determined)
+    for element, value in determined.items():
+        assert syn.determined.get(element) == value
+
+
+@given(query_streams())
+@settings(max_examples=80, deadline=None)
+def test_max_only_synopsis_bound_matches_bruteforce(case):
+    n, values, queries = case
+    max_queries = [(m, a) for k, m, a in queries if k is AggregateKind.MAX]
+    syn = MaxSynopsis(n, limit=1.0)
+    for members, answer in max_queries:
+        syn.insert(members, answer)
+    for i in range(n):
+        bound, _closed = syn.bound(i)
+        containing = [a for m, a in max_queries if i in m]
+        expected = min(containing) if containing else 1.0
+        assert bound == expected

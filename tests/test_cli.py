@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_no_command_shows_help(capsys):
+    assert main([]) == 2
+    out = capsys.readouterr().out
+    assert "fig1" in out and "attack" in out
+
+
+def test_fig1_small(capsys):
+    assert main(["fig1", "--sizes", "16", "24", "--trials", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "Thm6 lower" in out
+
+
+def test_fig3_small(capsys):
+    assert main(["fig3", "--n", "30", "--horizon", "60",
+                 "--trials", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "plateau" in out
+
+
+def test_attack_command(capsys):
+    assert main(["attack", "--n", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "simulatable" in out and "naive" in out
+
+
+def test_price_command(capsys):
+    assert main(["price", "--n", "20", "--horizon", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "price of simulatability" in out
+
+
+def test_game_command(capsys):
+    code = main(["game", "--n", "20", "--rounds", "3", "--trials", "3"])
+    out = capsys.readouterr().out
+    assert "attacker win rate" in out
+    assert code in (0, 1)
+
+
+def test_fig2_small(capsys):
+    assert main(["fig2", "--n", "24", "--horizon", "60",
+                 "--trials", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Plot 1" in out and "Plot 2" in out and "Plot 3" in out
+
+
+def test_game_command_maxmin(capsys):
+    code = main(["game", "--auditor", "maxmin", "--n", "16",
+                 "--rounds", "2", "--trials", "2", "--delta", "0.5"])
+    out = capsys.readouterr().out
+    assert "attacker win rate" in out
+    assert code in (0, 1)

@@ -1,0 +1,47 @@
+"""Documentation consistency: DESIGN's experiment index matches reality."""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_every_bench_file_is_documented():
+    design = (ROOT / "DESIGN.md").read_text()
+    experiments = (ROOT / "EXPERIMENTS.md").read_text()
+    for bench in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+        assert bench.name in design or bench.name in experiments, (
+            f"{bench.name} is not referenced in DESIGN.md or EXPERIMENTS.md"
+        )
+
+
+def test_every_documented_bench_exists():
+    design = (ROOT / "DESIGN.md").read_text()
+    for name in re.findall(r"benchmarks/(bench_\w+\.py)", design):
+        assert (ROOT / "benchmarks" / name).exists(), name
+
+
+def test_every_example_is_listed_in_readme():
+    readme = (ROOT / "README.md").read_text()
+    for example in sorted((ROOT / "examples").glob("*.py")):
+        assert example.name in readme, (
+            f"{example.name} missing from the README examples table"
+        )
+
+
+def test_readme_architecture_mentions_every_package():
+    readme = (ROOT / "README.md").read_text()
+    src = ROOT / "src" / "repro"
+    packages = [p.name for p in src.iterdir()
+                if p.is_dir() and (p / "__init__.py").exists()]
+    for package in packages:
+        assert f"{package}/" in readme, (
+            f"package {package} missing from the README architecture map"
+        )
+
+
+def test_public_api_names_resolve():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name

@@ -1,0 +1,94 @@
+"""CSV loading and the `serve` CLI endpoint."""
+
+import io
+import json
+
+import pytest
+
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.cli import main, _cmd_serve
+from repro.exceptions import InvalidQueryError
+from repro.io import load_csv_database, load_csv_string, read_records
+from repro.types import AggregateKind
+from repro.sdb.predicates import Eq
+
+CSV_TEXT = """zip,dept,salary
+94305,eng,100.0
+94305,hr,120.0
+94306,eng,90.5
+94306,hr,110.25
+"""
+
+
+def test_read_records_coerces_types():
+    records = read_records(io.StringIO(CSV_TEXT))
+    assert records[0] == {"zip": 94305, "dept": "eng", "salary": 100.0}
+    assert isinstance(records[0]["zip"], int)
+    assert isinstance(records[2]["salary"], float)
+
+
+def test_read_records_requires_header_and_rows():
+    with pytest.raises(InvalidQueryError):
+        read_records(io.StringIO(""))
+    with pytest.raises(InvalidQueryError):
+        read_records(io.StringIO("a,b\n"))
+
+
+def test_load_csv_string_builds_audited_db():
+    db = load_csv_string(CSV_TEXT, "salary",
+                         lambda ds: SumClassicAuditor(ds))
+    decision = db.query(Eq("zip", 94305), AggregateKind.SUM)
+    assert decision.answered and decision.value == pytest.approx(220.0)
+
+
+def test_load_csv_string_unknown_sensitive_column():
+    with pytest.raises(InvalidQueryError):
+        load_csv_string(CSV_TEXT, "wage", lambda ds: SumClassicAuditor(ds))
+
+
+def test_load_csv_database_from_file(tmp_path):
+    path = tmp_path / "salaries.csv"
+    path.write_text(CSV_TEXT)
+    db = load_csv_database(str(path), "salary",
+                           lambda ds: SumClassicAuditor(ds))
+    assert db.dataset.n == 4
+
+
+def test_serve_command_end_to_end(tmp_path, capsys):
+    path = tmp_path / "salaries.csv"
+    path.write_text(CSV_TEXT)
+    journal_path = tmp_path / "journal.json"
+
+    import argparse
+    args = argparse.Namespace(csv=str(path), sensitive="salary",
+                              auditor="sum", journal=str(journal_path))
+    queries = io.StringIO(
+        "SELECT sum(salary) WHERE dept = 'eng'\n"
+        "SELECT sum(salary) WHERE dept = 'eng' AND zip = 94305\n"
+        "not sql at all\n"
+        "quit\n"
+    )
+    code = _cmd_serve(args, stdin=queries)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "answer: 190.5" in out
+    assert "DENIED" in out            # the narrowing query isolates a salary
+    assert "error:" in out            # the bad SQL line
+    assert "journal written" in out
+    blob = json.loads(journal_path.read_text())
+    assert blob["version"] == 1
+    assert sum(1 for e in blob["events"] if e["type"] == "query") == 2
+
+
+def test_serve_command_missing_file(capsys):
+    import argparse
+    args = argparse.Namespace(csv="/no/such/file.csv", sensitive="x",
+                              auditor="sum", journal=None)
+    assert _cmd_serve(args, stdin=io.StringIO("")) == 2
+    assert "error:" in capsys.readouterr().out
+
+
+def test_serve_via_main_help(capsys):
+    with pytest.raises(SystemExit):
+        main(["serve", "--help"])
+    assert "CSV file" in capsys.readouterr().out

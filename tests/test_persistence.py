@@ -1,0 +1,162 @@
+"""Tests for audit-journal persistence and replay."""
+
+import numpy as np
+import pytest
+
+from repro.auditors.max_classic import MaxClassicAuditor
+from repro.auditors.maxmin_classic import MaxMinClassicAuditor
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.persistence import AuditJournal, JournalError, JournaledAuditor
+from repro.sdb.dataset import Dataset
+from repro.sdb.updates import Insert, Modify
+from repro.types import max_query, min_query, sum_query
+
+
+def build_sum_session():
+    data = Dataset([10.0, 20.0, 30.0, 40.0], low=0.0, high=100.0)
+    wrapped = JournaledAuditor(SumClassicAuditor(data))
+    wrapped.audit(sum_query([0, 1, 2, 3]))
+    wrapped.audit(sum_query([0, 1]))
+    wrapped.audit(sum_query([0, 1, 2]))       # denied: minus {0,1} is x_2
+    wrapped.apply_update(Modify(0, 55.0))
+    data.set_value(0, 55.0)
+    wrapped.audit(sum_query([0, 1]))          # answerable post-update
+    return wrapped
+
+
+def test_roundtrip_restores_equivalent_state():
+    wrapped = build_sum_session()
+    text = wrapped.journal.to_json()
+    journal = AuditJournal.from_json(text)
+    restored, dataset = journal.restore(lambda ds: SumClassicAuditor(ds))
+    # Same audit state: the same follow-up queries get the same verdicts.
+    fresh = wrapped.auditor
+    for members in ([0], [2, 3], [1, 2, 3], [0, 2]):
+        q = sum_query(members)
+        assert restored._deny_reason(q) is None or True  # both callable
+        assert (restored.audit(q).denied
+                == fresh.audit(q).denied)
+
+
+def test_verify_mode_replays_decisions():
+    wrapped = build_sum_session()
+    journal = AuditJournal.from_json(wrapped.journal.to_json())
+    restored, _ = journal.restore(lambda ds: SumClassicAuditor(ds),
+                                  verify=True)
+    assert restored.trail.denial_count() == wrapped.trail.denial_count()
+
+
+def test_verify_detects_tampered_journal():
+    wrapped = build_sum_session()
+    journal = AuditJournal.from_json(wrapped.journal.to_json())
+    # Flip a denial into an answer.
+    tampered = next(e for e in journal.events
+                    if e["type"] == "query" and e["denied"])
+    tampered["denied"] = False
+    tampered["value"] = 12.3
+    with pytest.raises(JournalError):
+        journal.restore(lambda ds: SumClassicAuditor(ds), verify=True)
+
+
+def test_maxmin_journal_roundtrip():
+    data = Dataset([1.0, 2.0, 3.0, 4.0, 5.0], low=0.0, high=10.0)
+    wrapped = JournaledAuditor(MaxMinClassicAuditor(data))
+    wrapped.audit(max_query([0, 1, 2, 3, 4]))
+    wrapped.audit(min_query([0, 1, 2, 3, 4]))
+    wrapped.audit(max_query([0, 1]))
+    journal = AuditJournal.from_json(wrapped.journal.to_json())
+    restored, _ = journal.restore(lambda ds: MaxMinClassicAuditor(ds))
+    assert ({repr(p) for p in restored.synopsis.predicates()}
+            == {repr(p) for p in wrapped.auditor.synopsis.predicates()})
+
+
+def test_insert_event_roundtrip():
+    data = Dataset([1.0, 2.0], low=0.0, high=10.0)
+    wrapped = JournaledAuditor(SumClassicAuditor(data))
+    wrapped.audit(sum_query([0, 1]))
+    wrapped.apply_update(Insert(5.0, {"zip": 1}))
+    data.append(5.0)
+    wrapped.audit(sum_query([0, 1, 2]))
+    journal = AuditJournal.from_json(wrapped.journal.to_json())
+    restored, restored_data = journal.restore(
+        lambda ds: SumClassicAuditor(ds)
+    )
+    assert restored_data.n == 3
+    assert restored.audit(sum_query([2])).denied
+
+
+def test_malformed_json_rejected():
+    with pytest.raises(JournalError):
+        AuditJournal.from_json("{not json")
+    with pytest.raises(JournalError):
+        AuditJournal.from_json('{"version": 99, "events": []}')
+    with pytest.raises(JournalError):
+        AuditJournal.from_json('{"version": 1, "events": []}')  # no dataset
+
+
+def test_unknown_event_type_rejected():
+    data = Dataset([1.0, 2.0])
+    journal = AuditJournal.begin(data)
+    journal.events.append({"type": "mystery"})
+    with pytest.raises(JournalError):
+        journal.restore(lambda ds: SumClassicAuditor(ds))
+
+
+def test_max_classic_journal_roundtrip_same_future_decisions():
+    rng = np.random.default_rng(8)
+    data = Dataset.uniform(10, rng=rng)
+    wrapped = JournaledAuditor(MaxClassicAuditor(data))
+    for _ in range(15):
+        size = int(rng.integers(1, 11))
+        members = [int(i) for i in rng.choice(10, size=size, replace=False)]
+        wrapped.audit(max_query(members))
+    journal = AuditJournal.from_json(wrapped.journal.to_json())
+    restored, _ = journal.restore(lambda ds: MaxClassicAuditor(ds))
+    for _ in range(10):
+        size = int(rng.integers(1, 11))
+        members = [int(i) for i in rng.choice(10, size=size, replace=False)]
+        q = max_query(members)
+        assert (restored.audit(q).denied == wrapped.audit(q).denied)
+
+
+def test_journal_roundtrip_property():
+    """Random sessions: restored auditors make identical future decisions."""
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @st.composite
+    def sessions(draw):
+        seed = draw(st.integers(min_value=0, max_value=2_000))
+        steps = draw(st.integers(min_value=1, max_value=20))
+        return seed, steps
+
+    @given(sessions())
+    @settings(max_examples=25, deadline=None)
+    def run(case):
+        seed, steps = case
+        rng = np.random.default_rng(seed)
+        n = 8
+        data = Dataset.uniform(n, rng=rng, duplicate_free=False)
+        wrapped = JournaledAuditor(SumClassicAuditor(data))
+        for _ in range(steps):
+            action = rng.integers(4)
+            if action == 0:
+                victim = int(rng.integers(n))
+                value = float(rng.uniform())
+                data.set_value(victim, value)
+                wrapped.apply_update(Modify(victim, value))
+            else:
+                size = int(rng.integers(1, n + 1))
+                members = [int(i) for i in
+                           rng.choice(n, size=size, replace=False)]
+                wrapped.audit(sum_query(members))
+        journal = AuditJournal.from_json(wrapped.journal.to_json())
+        restored, _ = journal.restore(lambda ds: SumClassicAuditor(ds))
+        for _ in range(10):
+            size = int(rng.integers(1, n + 1))
+            members = [int(i) for i in
+                       rng.choice(n, size=size, replace=False)]
+            q = sum_query(members)
+            assert (restored.audit(q).denied == wrapped.audit(q).denied)
+
+    run()

@@ -1,0 +1,76 @@
+"""Experiment drivers reproduce the paper's qualitative shapes (small scale)."""
+
+import numpy as np
+
+from repro.utility.experiments import (
+    estimate_denial_curve,
+    run_max_denial_trial,
+    run_range_trial,
+    run_sum_denial_trial,
+    run_update_trial,
+    time_to_first_denial_vs_size,
+)
+from repro.utility.metrics import first_denial_index
+from repro.utility.theory import theorem6_lower_bound, theorem7_upper_bound
+
+
+def test_sum_trial_step_behaviour():
+    n = 40
+    flags = run_sum_denial_trial(n, horizon=3 * n, rng=0)
+    first = first_denial_index(flags)
+    assert first is not None
+    # Theorem 6/7: first denial lands in [n/4-ish, n + lg n + 1].
+    assert theorem6_lower_bound(n) <= first <= theorem7_upper_bound(n) + 5
+    # After ~2n queries essentially everything is denied.
+    tail = flags[2 * n:]
+    assert sum(tail) / len(tail) > 0.3
+
+
+def test_update_trial_improves_utility():
+    n = 40
+    horizon = 4 * n
+    static = estimate_denial_curve(
+        lambda child: run_sum_denial_trial(n, horizon, rng=child),
+        trials=5, rng=1,
+    )
+    updated = estimate_denial_curve(
+        lambda child: run_update_trial(n, horizon, update_every=10, rng=child),
+        trials=5, rng=1,
+    )
+    # Long-run denial probability strictly lower with updates (Fig 2).
+    assert updated[2 * n:].mean() < static[2 * n:].mean()
+
+
+def test_range_trial_beats_uniform_worst_case():
+    n = 150
+    horizon = 3 * n
+    uniform = estimate_denial_curve(
+        lambda child: run_sum_denial_trial(n, horizon, rng=child),
+        trials=3, rng=2,
+    )
+    ranged = estimate_denial_curve(
+        lambda child: run_range_trial(n, horizon, rng=child,
+                                      min_span=50, max_span=100),
+        trials=3, rng=2,
+    )
+    assert ranged[2 * n:].mean() < uniform[2 * n:].mean()
+
+
+def test_max_trial_plateau_below_one():
+    n = 60
+    curve = estimate_denial_curve(
+        lambda child: run_max_denial_trial(n, horizon=120, rng=child),
+        trials=4, rng=3,
+    )
+    # Early queries answered, then a plateau strictly below 1 (Fig 3).
+    assert curve[0] < 0.3
+    tail = curve[60:]
+    assert 0.3 < tail.mean() < 0.95
+
+
+def test_time_to_first_denial_scales_with_n():
+    out = time_to_first_denial_vs_size([20, 40], trials=4, rng=4)
+    assert out[40] > out[20]
+    # Figure 1: approximately equal to the database size.
+    assert 0.5 * 20 <= out[20] <= 1.6 * 20 + 6
+    assert 0.5 * 40 <= out[40] <= 1.6 * 40 + 6

@@ -1,0 +1,48 @@
+"""Unit tests for denial metrics."""
+
+import numpy as np
+
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.sdb.dataset import Dataset
+from repro.sdb.updates import Modify
+from repro.types import sum_query
+from repro.utility.metrics import (
+    denial_curve,
+    first_denial_index,
+    moving_average,
+)
+
+
+def test_denial_curve_flags_in_order():
+    data = Dataset([1.0, 2.0, 3.0])
+    auditor = SumClassicAuditor(data)
+    stream = [sum_query([0, 1, 2]), sum_query([0, 1]), sum_query([1, 2])]
+    flags = denial_curve(auditor, stream)
+    assert flags == [False, True, True]
+
+
+def test_denial_curve_applies_updates_without_engine():
+    data = Dataset([1.0, 2.0, 3.0])
+    auditor = SumClassicAuditor(data)
+    stream = [
+        sum_query([0, 1, 2]),
+        Modify(0, 9.0),
+        sum_query([0, 1]),   # answerable after the version bump
+    ]
+    flags = denial_curve(auditor, stream)
+    assert flags == [False, False]
+    assert data[0] == 9.0
+
+
+def test_first_denial_index():
+    assert first_denial_index([False, False, True, False]) == 3
+    assert first_denial_index([True]) == 1
+    assert first_denial_index([False, False]) is None
+
+
+def test_moving_average_smooths():
+    values = [0.0, 1.0] * 10
+    smoothed = moving_average(values, window=4)
+    assert len(smoothed) == 20
+    assert np.all(np.abs(smoothed[4:-4] - 0.5) < 0.3)
+    assert np.allclose(moving_average(values, 1), values)

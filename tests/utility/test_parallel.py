@@ -1,0 +1,49 @@
+"""Parallel trial runner: identical results to the serial path."""
+
+from functools import partial
+
+import numpy as np
+
+from repro.utility.experiments import (
+    estimate_denial_curve,
+    run_sum_denial_trial,
+)
+from repro.utility.parallel import (
+    estimate_denial_curve_parallel,
+    run_trials,
+    trial_seeds,
+)
+
+N = 20
+HORIZON = 40
+TRIALS = 4
+SEED = 99
+
+# partial() of a module-level function keeps the payload picklable.
+TRIAL = partial(run_sum_denial_trial, N, HORIZON)
+
+
+def test_trial_seeds_are_deterministic():
+    assert trial_seeds(SEED, 5) == trial_seeds(SEED, 5)
+    assert trial_seeds(SEED, 5) != trial_seeds(SEED + 1, 5)
+
+
+def test_serial_path_matches_reference_driver():
+    reference = estimate_denial_curve(TRIAL, TRIALS, rng=SEED)
+    serial = estimate_denial_curve_parallel(TRIAL, TRIALS, rng=SEED,
+                                            processes=1)
+    assert np.array_equal(reference, serial)
+
+
+def test_parallel_matches_serial():
+    serial = estimate_denial_curve_parallel(TRIAL, TRIALS, rng=SEED,
+                                            processes=1)
+    parallel = estimate_denial_curve_parallel(TRIAL, TRIALS, rng=SEED,
+                                              processes=2)
+    assert np.array_equal(serial, parallel)
+
+
+def test_run_trials_returns_per_trial_results():
+    flags = run_trials(TRIAL, 3, rng=SEED)
+    assert len(flags) == 3
+    assert all(len(f) == HORIZON for f in flags)

@@ -1,0 +1,68 @@
+"""Tests for the §7 price-of-simulatability analysis."""
+
+import numpy as np
+
+from repro.auditors.max_classic import MaxClassicAuditor
+from repro.auditors.maxmin_classic import MaxMinClassicAuditor
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.sdb.dataset import Dataset
+from repro.types import max_query, sum_query
+from repro.utility.price_of_simulatability import (
+    SimulatabilityPrice,
+    measure_price_of_simulatability,
+)
+from repro.workloads.random_subsets import random_query_stream
+from repro.types import AggregateKind
+
+
+def test_sum_auditing_has_zero_price():
+    # For sums the denial criterion ignores answers entirely, so every
+    # denial is necessary: simulatability is free.
+    data = Dataset.uniform(12, rng=0, duplicate_free=False)
+    auditor = SumClassicAuditor(data)
+    stream = list(random_query_stream(12, 60, AggregateKind.SUM, rng=1))
+    tally = measure_price_of_simulatability(auditor, stream)
+    assert tally.denials > 0
+    assert tally.conservative_denials == 0
+    assert tally.price == 0.0
+
+
+def test_max_auditing_pays_a_positive_price():
+    # A shrinking max query is denied simulatably even when the true answer
+    # (equal to the old max) would have been harmless.
+    data = Dataset([9.0, 1.0, 2.0], low=0.0, high=10.0)
+    auditor = MaxClassicAuditor(data)
+    stream = [max_query([0, 1, 2]), max_query([0, 1])]
+    tally = measure_price_of_simulatability(auditor, stream)
+    assert tally.answered == 1
+    assert tally.conservative_denials == 1   # true answer 9.0 repeats the max
+    assert tally.price == 1.0
+
+
+def test_max_price_on_random_streams_between_zero_and_one():
+    rng = np.random.default_rng(5)
+    data = Dataset.uniform(20, rng=rng)
+    auditor = MaxClassicAuditor(data)
+    stream = []
+    for _ in range(80):
+        size = int(rng.integers(1, 21))
+        members = [int(i) for i in rng.choice(20, size=size, replace=False)]
+        stream.append(max_query(members))
+    tally = measure_price_of_simulatability(auditor, stream)
+    assert tally.denials > 0
+    assert 0.0 <= tally.price <= 1.0
+    assert tally.answered + tally.denials == 80
+
+
+def test_maxmin_auditor_exposes_diagnostic():
+    data = Dataset([5.0, 1.0, 3.0], low=0.0, high=10.0)
+    auditor = MaxMinClassicAuditor(data)
+    stream = [max_query([0, 1, 2]), max_query([0, 1])]
+    tally = measure_price_of_simulatability(auditor, stream)
+    assert tally.denials >= 1
+
+
+def test_price_dataclass_defaults():
+    tally = SimulatabilityPrice()
+    assert tally.price == 0.0
+    assert tally.denials == 0

@@ -1,0 +1,74 @@
+"""Unit tests for the Theorem 6/7 bound functions and Lemma 4 machinery."""
+
+import math
+
+import pytest
+
+from repro.utility.theory import (
+    expected_queries_to_rank,
+    rank_growth_probability,
+    theorem6_lower_bound,
+    theorem7_upper_bound,
+)
+
+
+def test_bounds_ordering():
+    for n in (16, 100, 500, 1000):
+        lo = theorem6_lower_bound(n)
+        hi = theorem7_upper_bound(n)
+        assert 0 <= lo < hi
+        assert hi == pytest.approx(n + math.log2(n) + 1)
+
+
+def test_lower_bound_approaches_quarter_n():
+    assert theorem6_lower_bound(10**6) / (10**6 / 4) > 0.98
+
+
+def test_lower_bound_clamps_small_n():
+    assert theorem6_lower_bound(1) == 0.0
+    assert theorem6_lower_bound(4) >= 0.0
+
+
+def test_rank_growth_probability_lemma4():
+    assert rank_growth_probability(0, 10) == pytest.approx(1 - 2**-10)
+    assert rank_growth_probability(9, 10) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        rank_growth_probability(11, 10)
+
+
+def test_expected_queries_to_rank_bounds():
+    m = 20
+    expected = expected_queries_to_rank(m)
+    # At least m (each query adds at most 1), at most 2m (each adds w.p. 1/2).
+    assert m <= expected <= 2 * m
+
+
+def test_theorem7_rejects_bad_n():
+    with pytest.raises(ValueError):
+        theorem7_upper_bound(0)
+
+
+def test_denials_frequent_once_rank_saturates():
+    # Paper §5: "once the rank of the query matrix reaches n-1, denials
+    # will occur with probability at least 1/2."
+    import numpy as np
+    from repro.auditors.sum_classic import SumClassicAuditor
+    from repro.sdb.dataset import Dataset
+    from repro.types import sum_query
+    from repro.rng import random_subset
+
+    n = 16
+    rng = np.random.default_rng(4)
+    data = Dataset.uniform(n, rng=rng, duplicate_free=False)
+    auditor = SumClassicAuditor(data)
+    denied_after = 0
+    total_after = 0
+    for _ in range(600):
+        query = sum_query(random_subset(rng, n))
+        at_saturation = auditor.rank >= n - 1
+        decision = auditor.audit(query)
+        if at_saturation:
+            total_after += 1
+            denied_after += decision.denied
+    assert total_after > 100           # saturation is reached quickly
+    assert denied_after / total_after >= 0.45

@@ -1,0 +1,86 @@
+"""Subcube sum queries ([20]; paper §2.1) over the row-space auditor."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.exceptions import InvalidQueryError
+from repro.sdb.dataset import Dataset
+from repro.workloads.subcube import SubcubeAddressing, random_subcube_patterns
+
+
+def full_cube(d):
+    """One record per address of the d-cube."""
+    return SubcubeAddressing(list(itertools.product((0, 1), repeat=d)))
+
+
+def test_pattern_selects_matching_addresses():
+    cube = full_cube(3)
+    assert cube.query_set("***") == frozenset(range(8))
+    sel = cube.query_set("1**")
+    assert len(sel) == 4
+    assert all(cube.address_of(i)[0] == 1 for i in sel)
+    assert len(cube.query_set("10*")) == 2
+    assert len(cube.query_set("101")) == 1
+
+
+def test_duplicate_addresses_supported():
+    cube = SubcubeAddressing([(0, 1), (0, 1), (1, 0)])
+    assert cube.query_set("01") == frozenset({0, 1})
+    assert cube.query_set("*1") == frozenset({0, 1})
+
+
+def test_validation():
+    cube = full_cube(2)
+    with pytest.raises(InvalidQueryError):
+        cube.query_set("0*1")          # wrong width
+    with pytest.raises(InvalidQueryError):
+        cube.query_set("0x")           # bad character
+    with pytest.raises(InvalidQueryError):
+        SubcubeAddressing([])
+    with pytest.raises(InvalidQueryError):
+        SubcubeAddressing([(0, 2)])
+    sparse = SubcubeAddressing([(0, 0)])
+    with pytest.raises(InvalidQueryError):
+        sparse.sum_query("11")         # matches no record
+
+
+@given(st.integers(min_value=1, max_value=5),
+       st.integers(min_value=0, max_value=500))
+@settings(max_examples=60, deadline=None)
+def test_query_set_matches_naive_scan(d, seed):
+    rng = np.random.default_rng(seed)
+    addresses = [tuple(int(b) for b in rng.integers(0, 2, size=d))
+                 for _ in range(rng.integers(1, 20))]
+    cube = SubcubeAddressing(addresses)
+    for pattern in random_subcube_patterns(d, 10, rng=rng):
+        expected = frozenset(
+            i for i, bits in enumerate(addresses)
+            if all(c == "*" or int(c) == b for c, b in zip(pattern, bits))
+        )
+        assert cube.query_set(pattern) == expected
+
+
+def test_subcube_differencing_attack_blocked():
+    # sum(1**) and sum(10*) answered; sum(11*)... fine (difference is a
+    # group).  The dangerous chain ends at a single cell: sum(101) would
+    # follow from sum(10*) - sum(100).
+    cube = full_cube(3)
+    data = Dataset.uniform(8, rng=0, duplicate_free=False)
+    auditor = SumClassicAuditor(data)
+    assert auditor.audit(cube.sum_query("10*")).answered
+    assert auditor.audit(cube.sum_query("100")).denied  # isolates one cell
+    assert auditor.audit(cube.sum_query("0**")).answered
+
+
+def test_random_pattern_generator_shape():
+    patterns = list(random_subcube_patterns(4, 25, rng=1,
+                                            star_probability=0.3))
+    assert len(patterns) == 25
+    assert all(len(p) == 4 and set(p) <= set("01*") for p in patterns)
+    with pytest.raises(InvalidQueryError):
+        list(random_subcube_patterns(3, 1, star_probability=2.0))

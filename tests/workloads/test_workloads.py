@@ -1,0 +1,70 @@
+"""Unit tests for query and update workloads."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidQueryError
+from repro.sdb.updates import Modify
+from repro.types import AggregateKind, Query
+from repro.workloads.random_subsets import random_query_stream
+from repro.workloads.range_queries import RangeQueryWorkload, range_query_stream
+from repro.workloads.update_stream import interleave_updates
+
+
+def test_random_stream_count_and_kind():
+    queries = list(random_query_stream(12, 25, AggregateKind.MAX, rng=0))
+    assert len(queries) == 25
+    assert all(q.kind is AggregateKind.MAX for q in queries)
+    assert all(1 <= q.size <= 12 for q in queries)
+
+
+def test_random_stream_sized():
+    queries = list(random_query_stream(30, 20, rng=1, min_size=5, max_size=8))
+    assert all(5 <= q.size <= 8 for q in queries)
+
+
+def test_range_queries_are_contiguous():
+    workload = RangeQueryWorkload(order=list(range(200)), min_span=50,
+                                  max_span=100)
+    for query in workload.stream(30, rng=2):
+        members = sorted(query.query_set)
+        assert 50 <= len(members) <= 100
+        assert members == list(range(members[0], members[-1] + 1))
+
+
+def test_range_workload_respects_custom_order():
+    order = [5, 3, 1, 0, 2, 4]
+    workload = RangeQueryWorkload(order=order, min_span=2, max_span=3)
+    query = workload.sample(rng=3)
+    members = list(query.query_set)
+    # Members must be contiguous in the custom order.
+    positions = sorted(order.index(m) for m in members)
+    assert positions == list(range(positions[0], positions[-1] + 1))
+
+
+def test_range_workload_clamps_spans():
+    workload = RangeQueryWorkload(order=list(range(10)), min_span=50,
+                                  max_span=100)
+    assert workload.max_span == 10
+    with pytest.raises(InvalidQueryError):
+        RangeQueryWorkload(order=[], min_span=1, max_span=2)
+
+
+def test_range_query_stream_convenience():
+    queries = list(range_query_stream(300, 10, rng=4))
+    assert len(queries) == 10
+    assert all(50 <= q.size <= 100 for q in queries)
+
+
+def test_interleave_updates_every_k():
+    queries = list(random_query_stream(10, 30, rng=5))
+    stream = list(interleave_updates(iter(queries), 10, update_every=10,
+                                     rng=5))
+    mods = [i for i, item in enumerate(stream) if isinstance(item, Modify)]
+    assert len(mods) == 2  # before queries 10 and 20
+    assert sum(isinstance(item, Query) for item in stream) == 30
+
+
+def test_interleave_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        list(interleave_updates(iter([]), 5, update_every=0))
