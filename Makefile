@@ -2,13 +2,25 @@
 
 PY ?= python
 
-.PHONY: install test bench examples figures clean
+.PHONY: install test lint typecheck bench examples figures clean
 
 install:
 	$(PY) setup.py develop
 
 test:
 	$(PY) -m pytest tests/
+
+# ruff/mypy may be absent in the offline container; the simulatability
+# analyzer (`repro-audit lint`) is in-tree and always runs.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests; \
+	else echo "ruff not installed -- skipping style checks"; fi
+	PYTHONPATH=src $(PY) -m repro lint
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then mypy; \
+	else echo "mypy not installed -- skipping type checks"; fi
+	PYTHONPATH=src $(PY) -m repro lint --quiet
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -s

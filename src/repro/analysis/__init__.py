@@ -1,0 +1,51 @@
+"""Static analysis tooling enforcing the paper's safety contracts.
+
+The flagship check is the *simulatability* taint analyzer
+(:mod:`repro.analysis.simulatability`): it statically proves that auditor
+decision paths never touch the sensitive data, the invariant the whole
+reproduction rests on (paper §2.2).  Run it as a library::
+
+    from repro.analysis import check_package
+    report = check_package()
+    assert report.ok, report.format_text()
+
+or from the shell (non-zero exit on undocumented violations)::
+
+    repro-audit lint --format json
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and pragma syntax.
+"""
+
+from .findings import (
+    RULE_SENSITIVE_ESCAPE,
+    RULE_SENSITIVE_READ,
+    RULE_TRUE_ANSWER,
+    SCHEMA_VERSION,
+    Finding,
+    Frame,
+    Report,
+)
+from .simulatability import (
+    DEFAULT_CONFIG,
+    AnalysisConfig,
+    SensitiveClass,
+    check_package,
+    default_package_dir,
+    find_auditor_classes,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "Frame",
+    "Report",
+    "RULE_SENSITIVE_ESCAPE",
+    "RULE_SENSITIVE_READ",
+    "RULE_TRUE_ANSWER",
+    "SCHEMA_VERSION",
+    "SensitiveClass",
+    "check_package",
+    "default_package_dir",
+    "find_auditor_classes",
+]

@@ -1,0 +1,312 @@
+"""Call and type resolution over a :class:`~repro.analysis.modindex.PackageIndex`.
+
+The analyzer needs just enough type inference to follow decision paths
+through the package: ``self`` methods (with dynamic dispatch resolved
+against the concrete auditor class being analysed), module-level functions
+reached directly or through imports, constructor calls, and methods invoked
+on instance attributes or locals whose class is inferable from constructor
+assignments, parameter annotations, or return annotations.
+
+Everything here is best-effort and sound-by-silence: an unresolvable call is
+simply not followed (the taint rules separately flag sensitive values that
+escape into such calls).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .modindex import ClassInfo, FunctionNode, PackageIndex
+
+
+@dataclass
+class TypeEnv:
+    """Types visible while scanning one function body."""
+
+    module: str
+    self_class: Optional[ClassInfo] = None      #: concrete class bound to self
+    self_name: Optional[str] = None             #: usually ``self``
+    locals: Dict[str, ClassInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ResolvedCall:
+    """Best-effort resolution of one call site."""
+
+    qualname: str                               #: fully-qualified dotted name
+    node: Optional[FunctionNode] = None
+    module: Optional[str] = None                #: module defining ``node``
+    self_class: Optional[ClassInfo] = None      #: receiver class for methods
+    constructed: Optional[ClassInfo] = None     #: class when a constructor
+
+
+class Resolver:
+    """Hierarchy, type, and call resolution for one package index."""
+
+    def __init__(self, index: PackageIndex) -> None:
+        self.index = index
+        self._mro_cache: Dict[str, List[ClassInfo]] = {}
+        self._attr_cache: Dict[str, Dict[str, ClassInfo]] = {}
+
+    # ------------------------------------------------------------------
+    # Class hierarchy
+    # ------------------------------------------------------------------
+
+    def direct_bases(self, cls: ClassInfo) -> List[ClassInfo]:
+        out: List[ClassInfo] = []
+        for base in cls.bases:
+            resolved = self._resolve_classname(cls.module, base)
+            if resolved is not None:
+                out.append(resolved)
+        return out
+
+    def mro(self, cls: ClassInfo) -> List[ClassInfo]:
+        """Approximate linearisation: the class, then DFS over bases."""
+        cached = self._mro_cache.get(cls.qualname)
+        if cached is not None:
+            return cached
+        order: List[ClassInfo] = []
+        seen = set()
+
+        def visit(c: ClassInfo) -> None:
+            if c.qualname in seen:
+                return
+            seen.add(c.qualname)
+            order.append(c)
+            for base in self.direct_bases(c):
+                visit(base)
+
+        visit(cls)
+        self._mro_cache[cls.qualname] = order
+        return order
+
+    def is_subclass_of(self, cls: ClassInfo, base_qualname: str) -> bool:
+        return any(c.qualname == base_qualname for c in self.mro(cls))
+
+    def find_method(self, cls: ClassInfo, name: str
+                    ) -> Optional[tuple]:
+        """``(defining_class, node)`` for ``name`` through the MRO."""
+        for c in self.mro(cls):
+            node = c.methods.get(name)
+            if node is not None:
+                return c, node
+        return None
+
+    # ------------------------------------------------------------------
+    # Annotations and instance attributes
+    # ------------------------------------------------------------------
+
+    def _resolve_classname(self, module: str,
+                           text: str) -> Optional[ClassInfo]:
+        """Resolve a (possibly dotted / quoted / Optional[]) name to a class."""
+        text = text.strip().strip("\"'")
+        if text.startswith("Optional[") and text.endswith("]"):
+            text = text[len("Optional["):-1].strip()
+        if text.endswith("| None"):
+            text = text[:-len("| None")].strip()
+        if "[" in text or not text:
+            return None
+        if "." in text:
+            resolved = self.index.resolve_dotted(text)
+            if resolved is None:
+                # maybe ``alias.Class`` where alias is an imported module
+                head, _, cls_name = text.rpartition(".")
+                target = self.index.qualify(module, head.split(".")[0])
+                if target is None:
+                    return None
+                dotted = text.replace(head.split(".")[0], target, 1)
+                resolved = self.index.resolve_dotted(dotted)
+                if resolved is None:
+                    return None
+            mod_name, symbol = resolved
+            if not symbol:
+                return None
+            return self.index.modules[mod_name].classes.get(symbol)
+        return self.index.lookup_class(module, text)
+
+    def _annotation_class(self, module: str,
+                          annotation: Optional[ast.expr]
+                          ) -> Optional[ClassInfo]:
+        if annotation is None:
+            return None
+        try:
+            text = ast.unparse(annotation)
+        except Exception:  # pragma: no cover - exotic annotations
+            return None
+        return self._resolve_classname(module, text)
+
+    def param_env(self, module: str, node: FunctionNode,
+                  self_class: Optional[ClassInfo] = None) -> TypeEnv:
+        """A TypeEnv seeded from the function's parameter annotations."""
+        env = TypeEnv(module=module, self_class=self_class)
+        args = node.args
+        params = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        if self_class is not None and params:
+            env.self_name = params[0].arg
+            params = params[1:]
+        for param in params:
+            cls = self._annotation_class(module, param.annotation)
+            if cls is not None:
+                env.locals[param.arg] = cls
+        return env
+
+    def instance_attr_types(self, cls: ClassInfo) -> Dict[str, ClassInfo]:
+        """Instance attribute -> class, merged across the MRO.
+
+        Sources: ``self.x = SomeClass(...)`` (or any expression with an
+        inferable type) in any method, ``self.x: SomeClass`` annotations,
+        and class-level annotations.
+        """
+        cached = self._attr_cache.get(cls.qualname)
+        if cached is not None:
+            return cached
+        self._attr_cache[cls.qualname] = {}  # cycle guard
+        merged: Dict[str, ClassInfo] = {}
+        for c in reversed(self.mro(cls)):    # subclasses override bases
+            for attr, text in c.attr_types.items():
+                resolved = self._resolve_classname(c.module, text)
+                if resolved is not None:
+                    merged[attr] = resolved
+            for method in c.methods.values():
+                env = self.param_env(c.module, method, self_class=c)
+                for stmt in ast.walk(method):
+                    target: Optional[ast.expr] = None
+                    value: Optional[ast.expr] = None
+                    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                        target, value = stmt.targets[0], stmt.value
+                    elif isinstance(stmt, ast.AnnAssign):
+                        target = stmt.target
+                        ann = self._annotation_class(c.module, stmt.annotation)
+                        if (ann is not None
+                                and isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == env.self_name):
+                            merged[target.attr] = ann
+                        continue
+                    if (target is None or value is None
+                            or not isinstance(target, ast.Attribute)
+                            or not isinstance(target.value, ast.Name)
+                            or target.value.id != env.self_name):
+                        continue
+                    inferred = self.infer_type(value, env)
+                    if inferred is not None:
+                        merged[target.attr] = inferred
+        self._attr_cache[cls.qualname] = merged
+        return merged
+
+    # ------------------------------------------------------------------
+    # Expression typing
+    # ------------------------------------------------------------------
+
+    def infer_type(self, expr: ast.expr, env: TypeEnv) -> Optional[ClassInfo]:
+        """The class of ``expr``, when statically inferable."""
+        if isinstance(expr, ast.Name):
+            if env.self_name is not None and expr.id == env.self_name:
+                return env.self_class
+            return env.locals.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self.infer_type(expr.value, env)
+            if base is not None:
+                return self.instance_attr_types(base).get(expr.attr)
+            return None
+        if isinstance(expr, ast.Call):
+            resolved = self.resolve_call(expr.func, env)
+            if resolved is None:
+                return None
+            if resolved.constructed is not None:
+                return resolved.constructed
+            if resolved.node is not None and resolved.module is not None:
+                ret = self._annotation_class(resolved.module,
+                                             resolved.node.returns)
+                if ret is not None:
+                    return ret
+            # ``x.copy()`` conventionally returns the receiver's class.
+            if (resolved.self_class is not None
+                    and resolved.qualname.endswith(".copy")):
+                return resolved.self_class
+            return None
+        if isinstance(expr, ast.IfExp):
+            return (self.infer_type(expr.body, env)
+                    or self.infer_type(expr.orelse, env))
+        return None
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+
+    def resolve_call(self, func: ast.expr,
+                     env: TypeEnv) -> Optional[ResolvedCall]:
+        """Resolve the callee expression of a Call node."""
+        if isinstance(func, ast.Name):
+            cls = self.index.lookup_class(env.module, func.id)
+            if cls is not None:
+                hit = self.find_method(cls, "__init__")
+                if hit is not None:
+                    defining, node = hit
+                    return ResolvedCall(
+                        qualname=f"{cls.qualname}.__init__", node=node,
+                        module=defining.module, self_class=cls,
+                        constructed=cls)
+                return ResolvedCall(qualname=cls.qualname, constructed=cls)
+            found = self.index.lookup_function(env.module, func.id)
+            if found is not None:
+                mod_name, node = found
+                return ResolvedCall(qualname=f"{mod_name}.{node.name}",
+                                    node=node, module=mod_name)
+            target = self.index.qualify(env.module, func.id)
+            if target is not None:
+                return ResolvedCall(qualname=target)
+            return None
+        if isinstance(func, ast.Attribute):
+            receiver = self.infer_type(func.value, env)
+            if receiver is not None:
+                hit = self.find_method(receiver, func.attr)
+                qualname = f"{receiver.qualname}.{func.attr}"
+                if hit is not None:
+                    defining, node = hit
+                    return ResolvedCall(qualname=qualname, node=node,
+                                        module=defining.module,
+                                        self_class=receiver)
+                return ResolvedCall(qualname=qualname, self_class=receiver)
+            # module-attribute calls: ``module.func(...)``
+            if isinstance(func.value, ast.Name):
+                target = self.index.qualify(env.module, func.value.id)
+                if target is not None:
+                    dotted = f"{target}.{func.attr}"
+                    resolved = self.index.resolve_dotted(dotted)
+                    if resolved is not None:
+                        mod_name, symbol = resolved
+                        node = self.index.modules[mod_name].functions.get(
+                            symbol)
+                        if node is not None:
+                            return ResolvedCall(qualname=dotted, node=node,
+                                                module=mod_name)
+                        cls = self.index.modules[mod_name].classes.get(symbol)
+                        if cls is not None:
+                            hit = self.find_method(cls, "__init__")
+                            if hit is not None:
+                                defining, node = hit
+                                return ResolvedCall(
+                                    qualname=f"{dotted}.__init__", node=node,
+                                    module=defining.module, self_class=cls,
+                                    constructed=cls)
+                            return ResolvedCall(qualname=dotted,
+                                                constructed=cls)
+                        if "." in symbol:
+                            # class attribute: ``SomeClass.method(...)``
+                            cls_name, meth = symbol.split(".", 1)
+                            cls = self.index.modules[mod_name].classes.get(
+                                cls_name)
+                            if cls is not None and "." not in meth:
+                                hit = self.find_method(cls, meth)
+                                if hit is not None:
+                                    defining, node = hit
+                                    return ResolvedCall(
+                                        qualname=dotted, node=node,
+                                        module=defining.module,
+                                        self_class=cls)
+                    return ResolvedCall(qualname=dotted)
+            return None
+        return None

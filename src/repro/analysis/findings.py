@@ -1,0 +1,176 @@
+"""Finding and report types for the simulatability analyzer.
+
+A *finding* is one reachable read of a sensitive source from a decision
+entry point, together with the call chain that reaches it.  Findings are
+plain data so they serialise to a stable JSON schema (``SCHEMA_VERSION``)
+that the CLI, the pytest gate, and CI all consume.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Bumped only when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Rule identifiers, stable across releases.
+RULE_TRUE_ANSWER = "SIM001"
+RULE_SENSITIVE_READ = "SIM002"
+RULE_SENSITIVE_ESCAPE = "SIM003"
+
+RULE_SUMMARIES = {
+    RULE_TRUE_ANSWER:
+        "decision path evaluates the true answer of a query "
+        "(true_answer / evaluate_aggregate)",
+    RULE_SENSITIVE_READ:
+        "decision path reads sensitive dataset values "
+        "(values / element access / value-enumerating accessor)",
+    RULE_SENSITIVE_ESCAPE:
+        "decision path passes the sensitive dataset into a call the "
+        "analyzer cannot follow",
+}
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One hop of the call chain from entry point to sink."""
+
+    function: str           #: qualified name, e.g. ``NaiveMaxAuditor._deny_reason``
+    module: str             #: dotted module, e.g. ``repro.auditors.naive``
+    file: str               #: path relative to the analysis root
+    line: int               #: line of the call site (or def line for the entry)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"function": self.function, "module": self.module,
+                "file": self.file, "line": self.line}
+
+    def __str__(self) -> str:
+        return f"{self.function} ({self.file}:{self.line})"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sensitive-source read reachable from a decision entry point."""
+
+    rule: str
+    message: str
+    file: str
+    line: int
+    col: int
+    entry_class: str
+    entry_method: str
+    entry_module: str
+    sink: str
+    chain: tuple = ()                       # tuple[Frame, ...]
+    pragma_reason: Optional[str] = None     # set => documented violation
+
+    @property
+    def documented(self) -> bool:
+        """Whether a ``# simulatability: violation`` pragma covers the path."""
+        return self.pragma_reason is not None
+
+    @property
+    def severity(self) -> str:
+        return "documented" if self.documented else "violation"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "entry": {"class": self.entry_class,
+                      "method": self.entry_method,
+                      "module": self.entry_module},
+            "sink": self.sink,
+            "chain": [frame.to_dict() for frame in self.chain],
+            "pragma": self.pragma_reason,
+        }
+
+    def format_text(self) -> str:
+        """Multi-line human-readable rendering (file:line first)."""
+        head = (f"{self.file}:{self.line}:{self.col}: {self.rule} "
+                f"[{self.severity}] {self.message}")
+        lines = [head,
+                 f"    entry: {self.entry_module}."
+                 f"{self.entry_class}.{self.entry_method}"]
+        for depth, frame in enumerate(self.chain):
+            lines.append(f"    {'  ' * depth}-> {frame}")
+        lines.append(f"    sink: {self.sink}")
+        if self.pragma_reason is not None:
+            lines.append(f"    pragma: {self.pragma_reason}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Report:
+    """Everything one :func:`check_package` run produced."""
+
+    package: str
+    root: str
+    findings: List[Finding] = field(default_factory=list)
+    entry_points: int = 0
+    classes_checked: int = 0
+    modules_scanned: int = 0
+
+    @property
+    def violations(self) -> List[Finding]:
+        """Undocumented findings — these fail the gate."""
+        return [f for f in self.findings if not f.documented]
+
+    @property
+    def documented(self) -> List[Finding]:
+        """Findings covered by a violation pragma."""
+        return [f for f in self.findings if f.documented]
+
+    @property
+    def ok(self) -> bool:
+        """True when no undocumented violation remains."""
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        ordered = sorted(self.findings,
+                         key=lambda f: (f.file, f.line, f.col, f.rule))
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "package": self.package,
+            "root": self.root,
+            "counts": {
+                "findings": len(self.findings),
+                "violations": len(self.violations),
+                "documented": len(self.documented),
+                "entry_points": self.entry_points,
+                "classes_checked": self.classes_checked,
+                "modules_scanned": self.modules_scanned,
+            },
+            "findings": [f.to_dict() for f in ordered],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def format_text(self) -> str:
+        """The ``repro-audit lint --format text`` rendering."""
+        lines: List[str] = []
+        ordered = sorted(self.findings,
+                         key=lambda f: (f.file, f.line, f.col, f.rule))
+        for finding in ordered:
+            lines.append(finding.format_text())
+            lines.append("")
+        lines.append(
+            f"simulatability: {self.classes_checked} auditor class(es), "
+            f"{self.entry_points} decision entry point(s), "
+            f"{self.modules_scanned} module(s) scanned"
+        )
+        if not self.findings:
+            lines.append("no sensitive reads reachable from decision paths")
+        else:
+            lines.append(
+                f"{len(self.violations)} violation(s), "
+                f"{len(self.documented)} documented violation(s)"
+            )
+        return "\n".join(lines)

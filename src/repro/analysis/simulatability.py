@@ -1,0 +1,527 @@
+"""The simulatability taint analyzer.
+
+The paper's core safety property (§2.2, §4): an auditor's deny/answer
+decision must be computable *without the true answer to the current query*,
+otherwise the denials themselves leak (the ``NaiveMaxAuditor`` attack).
+This module proves the property statically: for every :class:`Auditor`
+subclass it walks the decision entry points (``_deny_reason``,
+``would_answer``, ``_record_answer``) and their transitive intra-package
+callees, and reports every reachable read of a **sensitive source**:
+
+* ``SIM001`` — evaluating the true answer (``true_answer`` /
+  ``evaluate_aggregate``);
+* ``SIM002`` — reading sensitive dataset values (``Dataset.values``,
+  element access, ``subset`` / ``as_array`` / sorted-value style
+  accessors, iteration, value-enumerating builtins);
+* ``SIM003`` — passing the sensitive dataset object into a call the
+  analyzer cannot follow.
+
+Decision paths *may* use the query structure, past answered values, and the
+dataset's public envelope (``n`` / ``low`` / ``high`` / ``len``) — exactly
+the allowlist encoded in :data:`DEFAULT_CONFIG`.
+
+Intentional violations (the §2.2 straw men, documented chain-seeding
+shortcuts) carry a ``# simulatability: violation -- <reason>`` pragma on or
+directly above the offending line; they are reported as ``documented`` and
+do not fail the gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+
+from .callgraph import ResolvedCall, Resolver, TypeEnv
+from .findings import (
+    RULE_SENSITIVE_ESCAPE,
+    RULE_SENSITIVE_READ,
+    RULE_TRUE_ANSWER,
+    Finding,
+    Frame,
+    Report,
+)
+from .modindex import ClassInfo, FunctionNode, PackageIndex, build_index
+
+#: Builtins whose application to a dataset enumerates its values.
+_ENUMERATING_BUILTINS = frozenset({
+    "list", "tuple", "set", "sorted", "iter", "max", "min", "sum",
+    "enumerate", "reversed", "frozenset", "any", "all",
+})
+
+#: Builtins that only touch the public envelope.
+_PUBLIC_BUILTINS = frozenset({"len", "isinstance", "type", "repr", "id"})
+
+
+@dataclass(frozen=True)
+class SensitiveClass:
+    """Public surface of a class whose instances hold sensitive values."""
+
+    qualname: str
+    public_attrs: FrozenSet[str] = frozenset({"n", "low", "high"})
+
+
+@dataclass
+class AnalysisConfig:
+    """Sources, sinks, and entry points of one analysis run."""
+
+    package: str = "repro"
+    #: qualified name of the auditor base class
+    base_class: str = "repro.auditors.base.Auditor"
+    #: methods whose bodies (and transitive callees) form the decision path
+    entry_methods: Tuple[str, ...] = ("_deny_reason", "would_answer",
+                                      "_record_answer")
+    #: functions that evaluate the true answer of the current query
+    sensitive_functions: Set[str] = field(default_factory=lambda: {
+        "repro.sdb.aggregates.true_answer",
+        "repro.sdb.aggregates.evaluate_aggregate",
+    })
+    sensitive_classes: Dict[str, SensitiveClass] = field(
+        default_factory=lambda: {
+            "repro.sdb.dataset.Dataset": SensitiveClass(
+                "repro.sdb.dataset.Dataset"),
+        })
+    #: attribute names treated as sensitive even on untyped receivers named
+    #: like a dataset (defence in depth for un-annotated helpers)
+    sensitive_attr_names: Set[str] = field(
+        default_factory=lambda: {"values", "sorted_values"})
+    dataset_like_names: Set[str] = field(
+        default_factory=lambda: {"dataset", "data", "ds", "db"})
+    max_depth: int = 25
+
+    def register_sensitive_function(self, qualname: str) -> None:
+        """Mark another callable as a true-answer source."""
+        self.sensitive_functions.add(qualname)
+
+    def register_sensitive_class(self, qualname: str,
+                                 public_attrs: Iterable[str] = ()) -> None:
+        """Mark a class as sensitive, allowlisting ``public_attrs``."""
+        self.sensitive_classes[qualname] = SensitiveClass(
+            qualname, frozenset(public_attrs) or frozenset({"n", "low",
+                                                            "high"}))
+
+
+DEFAULT_CONFIG = AnalysisConfig()
+
+
+def default_package_dir() -> Path:
+    """The installed ``repro`` package directory."""
+    return Path(__file__).resolve().parents[1]
+
+
+# ----------------------------------------------------------------------
+# The walker
+# ----------------------------------------------------------------------
+
+class _Walker:
+    def __init__(self, index: PackageIndex, resolver: Resolver,
+                 config: AnalysisConfig) -> None:
+        self.index = index
+        self.resolver = resolver
+        self.config = config
+        self.findings: List[Finding] = []
+        self._seen_findings: Set[Tuple] = set()
+
+    # -- sensitivity helpers -------------------------------------------
+
+    def _sensitive_class(self, cls: Optional[ClassInfo]
+                         ) -> Optional[SensitiveClass]:
+        if cls is None:
+            return None
+        for candidate in self.resolver.mro(cls):
+            hit = self.config.sensitive_classes.get(candidate.qualname)
+            if hit is not None:
+                return hit
+        return None
+
+    def _root_name(self, expr: ast.expr) -> Optional[str]:
+        while isinstance(expr, ast.Attribute):
+            expr = expr.value
+        if isinstance(expr, ast.Name):
+            return expr.id
+        return None
+
+    # -- entry ----------------------------------------------------------
+
+    def check_class(self, cls: ClassInfo) -> int:
+        """Walk every entry point of one auditor class; returns how many."""
+        entries = 0
+        for entry_name in self.config.entry_methods:
+            hit = self.resolver.find_method(cls, entry_name)
+            if hit is None:
+                continue
+            defining, node = hit
+            if _is_abstract_stub(node):
+                continue
+            entries += 1
+            entry_frame = Frame(
+                function=f"{cls.name}.{entry_name}",
+                module=defining.module,
+                file=self.index.relpath(defining.module),
+                line=node.lineno,
+            )
+            self._walk(defining.module, node, cls, entry=(cls, entry_name),
+                       chain=(entry_frame,), depth=0,
+                       visited={(id(node), cls.qualname)},
+                       extra_param_types={})
+        return entries
+
+    # -- function body scan --------------------------------------------
+
+    def _walk(self, module: str, node: FunctionNode,
+              self_class: Optional[ClassInfo],
+              entry: Tuple[ClassInfo, str], chain: Tuple[Frame, ...],
+              depth: int, visited: Set[Tuple],
+              extra_param_types: Dict[str, ClassInfo]) -> None:
+        env = self.resolver.param_env(module, node, self_class=self_class)
+        env.locals.update(extra_param_types)
+        self._infer_locals(node, env)
+        call_funcs = set()
+        for call in _walk_nodes(node, ast.Call):
+            call_funcs.add(id(call.func))
+            self._scan_call(call, module, node, env, entry, chain, depth,
+                            visited)
+        for attr in _walk_nodes(node, ast.Attribute):
+            if id(attr) in call_funcs:
+                continue  # method calls are handled by _scan_call
+            self._scan_attribute(attr, module, env, entry, chain)
+        for sub in _walk_nodes(node, ast.Subscript):
+            self._scan_subscript(sub, module, env, entry, chain)
+        for loop_iter in _iteration_exprs(node):
+            self._scan_iteration(loop_iter, module, env, entry, chain)
+
+    def _infer_locals(self, node: FunctionNode, env: TypeEnv) -> None:
+        """Flow-insensitive local typing from assignments, in line order."""
+        assigns = [stmt for stmt in _walk_nodes(node, ast.Assign)]
+        assigns.sort(key=lambda stmt: stmt.lineno)
+        for stmt in assigns:
+            if len(stmt.targets) != 1 or not isinstance(stmt.targets[0],
+                                                        ast.Name):
+                continue
+            inferred = self.resolver.infer_type(stmt.value, env)
+            if inferred is not None:
+                env.locals[stmt.targets[0].id] = inferred
+
+    # -- sinks ----------------------------------------------------------
+
+    def _scan_call(self, call: ast.Call, module: str, node: FunctionNode,
+                   env: TypeEnv, entry: Tuple[ClassInfo, str],
+                   chain: Tuple[Frame, ...], depth: int,
+                   visited: Set[Tuple]) -> None:
+        resolved = self.resolver.resolve_call(call.func, env)
+        func_name = call.func.id if isinstance(call.func, ast.Name) else None
+
+        # SIM001: the call evaluates a true answer.
+        if (resolved is not None
+                and resolved.qualname in self.config.sensitive_functions):
+            self._emit(RULE_TRUE_ANSWER, module, call,
+                       sink=f"call to {resolved.qualname}",
+                       message="decision path evaluates the true answer "
+                               f"via {resolved.qualname.rsplit('.', 1)[-1]}()",
+                       entry=entry, chain=chain)
+            return
+
+        # SIM002: method call on a sensitive object.
+        receiver = self._sensitive_class(resolved.self_class) \
+            if resolved is not None else None
+        if receiver is not None and resolved is not None \
+                and resolved.constructed is None:
+            method = resolved.qualname.rsplit(".", 1)[-1]
+            if method not in receiver.public_attrs:
+                self._emit(RULE_SENSITIVE_READ, module, call,
+                           sink=f"call to {resolved.qualname}",
+                           message="decision path reads sensitive values "
+                                   f"via {receiver.qualname.rsplit('.', 1)[-1]}"
+                                   f".{method}()",
+                           entry=entry, chain=chain)
+            return
+
+        # Dataset-typed arguments.
+        sensitive_args = [
+            arg for arg in _call_argument_exprs(call)
+            if self._sensitive_class(self.resolver.infer_type(arg, env))
+            is not None
+        ]
+        if func_name in _PUBLIC_BUILTINS:
+            pass  # len(dataset) etc: public envelope
+        elif func_name in _ENUMERATING_BUILTINS and sensitive_args:
+            self._emit(RULE_SENSITIVE_READ, module, call,
+                       sink=f"{func_name}(<sensitive dataset>)",
+                       message="decision path enumerates sensitive values "
+                               f"via {func_name}()",
+                       entry=entry, chain=chain)
+            return
+        elif sensitive_args and (resolved is None or resolved.node is None) \
+                and not (resolved is not None
+                         and resolved.constructed is not None):
+            target = resolved.qualname if resolved is not None else (
+                func_name or "<dynamic callee>")
+            self._emit(RULE_SENSITIVE_ESCAPE, module, call,
+                       sink=f"sensitive dataset passed to {target}",
+                       message="decision path passes the sensitive dataset "
+                               f"into unanalyzable call {target}",
+                       entry=entry, chain=chain)
+            return
+
+        # Recurse into resolvable package-internal callees.
+        if (resolved is None or resolved.node is None
+                or resolved.module is None or depth >= self.config.max_depth):
+            return
+        if self._sensitive_class(resolved.constructed) is not None:
+            return  # constructing a dataset is not a read of this one
+        dispatch = resolved.self_class
+        key = (id(resolved.node),
+               dispatch.qualname if dispatch is not None else None)
+        if key in visited:
+            return
+        visited.add(key)
+        frame = Frame(function=resolved.qualname, module=module,
+                      file=self.index.relpath(module),
+                      line=call.lineno)
+        # Propagate sensitive argument types into un-annotated parameters.
+        extra = self._propagate_args(call, resolved, env)
+        self._walk(resolved.module, resolved.node, dispatch,
+                   entry=entry, chain=chain + (frame,), depth=depth + 1,
+                   visited=visited, extra_param_types=extra)
+
+    def _propagate_args(self, call: ast.Call, resolved: ResolvedCall,
+                        env: TypeEnv) -> Dict[str, ClassInfo]:
+        node = resolved.node
+        if node is None:
+            return {}
+        params = [a.arg for a in (list(node.args.posonlyargs)
+                                  + list(node.args.args))]
+        if resolved.self_class is not None and params:
+            params = params[1:]
+        out: Dict[str, ClassInfo] = {}
+        for param, arg in zip(params, call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            inferred = self.resolver.infer_type(arg, env)
+            if inferred is not None:
+                out[param] = inferred
+        for kw in call.keywords:
+            if kw.arg is None:
+                continue
+            inferred = self.resolver.infer_type(kw.value, env)
+            if inferred is not None:
+                out[kw.arg] = inferred
+        return out
+
+    def _scan_attribute(self, attr: ast.Attribute, module: str, env: TypeEnv,
+                        entry: Tuple[ClassInfo, str],
+                        chain: Tuple[Frame, ...]) -> None:
+        base_cls = self.resolver.infer_type(attr.value, env)
+        sensitive = self._sensitive_class(base_cls)
+        if sensitive is not None:
+            if env.self_class is not None and self._sensitive_class(
+                    env.self_class) is not None:
+                return  # the sensitive class's own methods may touch itself
+            if attr.attr in sensitive.public_attrs:
+                return
+            self._emit(RULE_SENSITIVE_READ, module, attr,
+                       sink=f"attribute {sensitive.qualname.rsplit('.', 1)[-1]}"
+                            f".{attr.attr}",
+                       message="decision path reads sensitive attribute "
+                               f".{attr.attr}",
+                       entry=entry, chain=chain)
+            return
+        # Name-based fallback: ``ds.values`` on an untyped dataset-like name.
+        if (base_cls is None
+                and attr.attr in self.config.sensitive_attr_names):
+            root = self._root_name(attr.value)
+            if root is not None and root.lower() in \
+                    self.config.dataset_like_names:
+                self._emit(RULE_SENSITIVE_READ, module, attr,
+                           sink=f"attribute {root}.{attr.attr}",
+                           message="decision path reads dataset-like "
+                                   f"attribute {root}.{attr.attr}",
+                           entry=entry, chain=chain)
+
+    def _scan_subscript(self, sub: ast.Subscript, module: str, env: TypeEnv,
+                        entry: Tuple[ClassInfo, str],
+                        chain: Tuple[Frame, ...]) -> None:
+        sensitive = self._sensitive_class(
+            self.resolver.infer_type(sub.value, env))
+        if sensitive is None:
+            return
+        if env.self_class is not None and self._sensitive_class(
+                env.self_class) is not None:
+            return
+        self._emit(RULE_SENSITIVE_READ, module, sub,
+                   sink="dataset element access (subscript)",
+                   message="decision path reads a sensitive value by index",
+                   entry=entry, chain=chain)
+
+    def _scan_iteration(self, iter_expr: ast.expr, module: str, env: TypeEnv,
+                        entry: Tuple[ClassInfo, str],
+                        chain: Tuple[Frame, ...]) -> None:
+        sensitive = self._sensitive_class(
+            self.resolver.infer_type(iter_expr, env))
+        if sensitive is None:
+            return
+        if env.self_class is not None and self._sensitive_class(
+                env.self_class) is not None:
+            return
+        self._emit(RULE_SENSITIVE_READ, module, iter_expr,
+                   sink="iteration over sensitive dataset",
+                   message="decision path iterates over sensitive values",
+                   entry=entry, chain=chain)
+
+    # -- emission -------------------------------------------------------
+
+    def _emit(self, rule: str, module: str, node: ast.AST, sink: str,
+              message: str, entry: Tuple[ClassInfo, str],
+              chain: Tuple[Frame, ...]) -> None:
+        entry_cls, entry_method = entry
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        key = (rule, module, line, col, entry_cls.qualname)
+        if key in self._seen_findings:
+            return
+        self._seen_findings.add(key)
+        pragma = self.index.pragma_reason(module, line)
+        if pragma is None:
+            for frame in chain:
+                pragma = self.index.pragma_reason(frame.module, frame.line)
+                if pragma is not None:
+                    break
+        self.findings.append(Finding(
+            rule=rule,
+            message=message,
+            file=self.index.relpath(module),
+            line=line,
+            col=col,
+            entry_class=entry_cls.name,
+            entry_method=entry_method,
+            entry_module=entry_cls.module,
+            sink=sink,
+            chain=chain,
+            pragma_reason=pragma,
+        ))
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+
+def _walk_nodes(node: FunctionNode,
+                kind: Union[type, Tuple[type, ...]]) -> List[ast.AST]:
+    """All ``kind`` nodes in a function body, *excluding* nested defs."""
+    out: List[ast.AST] = []
+
+    def visit(current: ast.AST) -> None:
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue  # nested definitions are separate scopes
+            if isinstance(child, kind):
+                out.append(child)
+            visit(child)
+
+    visit(node)
+    return out
+
+
+def _iteration_exprs(node: FunctionNode) -> List[ast.expr]:
+    out: List[ast.expr] = []
+    for loop in _walk_nodes(node, ast.For):
+        out.append(loop.iter)
+    for comp_node in _walk_nodes(node, (ast.ListComp, ast.SetComp,
+                                        ast.DictComp, ast.GeneratorExp)):
+        for generator in comp_node.generators:
+            out.append(generator.iter)
+    return out
+
+
+def _call_argument_exprs(call: ast.Call) -> List[ast.expr]:
+    out: List[ast.expr] = []
+    for arg in call.args:
+        out.append(arg.value if isinstance(arg, ast.Starred) else arg)
+    for kw in call.keywords:
+        out.append(kw.value)
+    return out
+
+
+def _is_abstract_stub(node: FunctionNode) -> bool:
+    """A body that is only a docstring / pass / ellipsis / raise."""
+    body = node.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+            body[0].value, ast.Constant) and isinstance(
+            body[0].value.value, str):
+        body = body[1:]
+    if not body:
+        return True
+    return all(isinstance(stmt, ast.Pass)
+               or (isinstance(stmt, ast.Expr)
+                   and isinstance(stmt.value, ast.Constant)
+                   and stmt.value.value is Ellipsis)
+               or isinstance(stmt, ast.Raise)
+               for stmt in body)
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+def find_auditor_classes(index: PackageIndex, resolver: Resolver,
+                         config: AnalysisConfig) -> List[ClassInfo]:
+    """Concrete auditor classes: Auditor subclasses (or anything defining
+    ``_deny_reason``) other than the abstract base itself."""
+    out: List[ClassInfo] = []
+    for cls in index.classes.values():
+        if cls.qualname == config.base_class:
+            continue
+        if resolver.is_subclass_of(cls, config.base_class) \
+                or "_deny_reason" in cls.methods:
+            out.append(cls)
+    out.sort(key=lambda c: c.qualname)
+    return out
+
+
+def check_package(package_dir: Union[str, Path, None] = None,
+                  config: Optional[AnalysisConfig] = None,
+                  source_overrides: Optional[Dict[str, str]] = None,
+                  extra_modules: Optional[Iterable[Tuple[str, Path]]] = None,
+                  ) -> Report:
+    """Run the simulatability analyzer over a package tree.
+
+    Parameters
+    ----------
+    package_dir:
+        The package directory (holding ``__init__.py``); defaults to the
+        installed ``repro`` package.
+    config:
+        Sources/sinks/entry points; defaults to the repro conventions.
+    source_overrides:
+        ``{path: source}`` replacements applied before parsing (tests use
+        this to strip pragmas without touching the tree).
+    extra_modules:
+        Extra ``(dotted_name, path)`` modules analysed alongside the
+        package (tests inject fixture auditors this way).
+
+    Returns
+    -------
+    Report
+        Structured findings; ``report.ok`` is False when any undocumented
+        violation was found.
+    """
+    config = config or DEFAULT_CONFIG
+    package_dir = Path(package_dir) if package_dir is not None \
+        else default_package_dir()
+    index = build_index(package_dir, package=config.package,
+                        source_overrides=source_overrides,
+                        extra_modules=extra_modules)
+    resolver = Resolver(index)
+    walker = _Walker(index, resolver, config)
+    classes = find_auditor_classes(index, resolver, config)
+    entry_points = 0
+    for cls in classes:
+        entry_points += walker.check_class(cls)
+    report = Report(package=config.package, root=str(index.root),
+                    findings=walker.findings,
+                    entry_points=entry_points,
+                    classes_checked=len(classes),
+                    modules_scanned=len(index.modules))
+    return report

@@ -13,13 +13,13 @@ import abc
 import logging
 from typing import FrozenSet, Optional
 
-logger = logging.getLogger("repro.audit")
-
 from ..exceptions import UnsupportedQueryError, UnsupportedUpdateError
 from ..sdb.aggregates import true_answer
 from ..sdb.dataset import Dataset
 from ..sdb.updates import UpdateEvent
-from ..types import AuditDecision, AggregateKind, AuditTrail, Query
+from ..types import AggregateKind, AuditDecision, AuditTrail, Query
+
+logger = logging.getLogger("repro.audit")
 
 
 class Auditor(abc.ABC):

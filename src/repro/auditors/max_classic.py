@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Set
 
 from ..sdb.dataset import Dataset
 from ..types import AggregateKind, AuditDecision, DenialReason, Query
+from .base import Auditor
 from .candidates import candidate_answers
 
 
@@ -35,9 +36,6 @@ class _QueryRecord:
     elements: frozenset
     answer: float
     extremes: Set[int] = field(default_factory=set)
-
-
-from .base import Auditor  # noqa: E402  (placed after dataclass for clarity)
 
 
 class MaxClassicAuditor(Auditor):

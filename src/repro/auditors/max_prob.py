@@ -49,16 +49,20 @@ def algorithm1_safe(synopsis: ExtremeSynopsis, grid: IntervalGrid,
     """
     if distribution is None:
         prior = np.full(grid.gamma, grid.prior)
-        posterior = lambda pred: max_predicate_bucket_probabilities(grid, pred)
+
+        def posterior(pred):
+            return max_predicate_bucket_probabilities(grid, pred)
     else:
         prior = general_prior(grid, distribution)
         if np.any(prior <= 0.0):
             # A bucket the prior cannot reach makes the ratio ill-defined;
             # treat as unsafe (the attacker's confidence is unbounded).
             return False
-        posterior = lambda pred: max_predicate_bucket_probabilities_general(
-            grid, pred, distribution
-        )
+
+        def posterior(pred):
+            return max_predicate_bucket_probabilities_general(
+                grid, pred, distribution
+            )
     for pred in synopsis.predicates():
         if not ratios_within_band(posterior(pred), prior, lam):
             return False

@@ -124,6 +124,8 @@ class MaxMinProbabilisticAuditor(Auditor):
         if seed_dataset is None:
             # The true database state is always consistent with the real
             # synopsis (the paper initialises the chain from it).
+            # simulatability: violation -- MCMC chain seeded at the true data;
+            # the stationary distribution depends only on past answers
             seed_dataset = list(self.dataset.values)
         return PosteriorSampler(synopsis, initial_dataset=seed_dataset,
                                 rng=self._rng)

@@ -33,6 +33,8 @@ class NaiveMaxAuditor(MaxClassicAuditor):
     """
 
     def _deny_reason(self, query: Query) -> Optional[AuditDecision]:
+        # simulatability: violation -- the §2.2 straw man: this leaky denial
+        # is the bug the module exists to demonstrate
         actual = true_answer(query, self.dataset)  # the simulatability sin
         relevant = self._relevant_records(query.query_set)
         if self._assess(query.query_set, actual, relevant) == "breach":

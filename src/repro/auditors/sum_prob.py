@@ -95,8 +95,10 @@ class SumProbabilisticAuditor(Auditor):
         vec = self._indicator(query)
         prior = np.full(self.grid.gamma, self.grid.prior)
         # Seed the consistent-dataset chain at the true data (feasible by
-        # construction; the decision depends only on the chain's stationary
-        # distribution, preserving simulatability).
+        # construction; the chain's stationary distribution depends only on
+        # past answers, but the finite-sample seed is a real shortcut).
+        # simulatability: violation -- MCMC chain seeded at the true data;
+        # the stationary distribution depends only on past answers
         outer = HitAndRunSampler(self._slice, self.dataset.as_array(),
                                  rng=self._rng)
         unsafe = 0

@@ -10,7 +10,9 @@
 * ``game``   — empirical ``(lambda, delta, gamma, T)``-privacy of the
   Section 3.1 auditor;
 * ``price``  — the §7 price of simulatability for max auditing;
-* ``serve``  — an audited SQL statistics endpoint over a CSV file.
+* ``serve``  — an audited SQL statistics endpoint over a CSV file;
+* ``lint``   — the simulatability taint analyzer (static gate over the
+  package's auditor decision paths; see ``docs/STATIC_ANALYSIS.md``).
 """
 
 from __future__ import annotations
@@ -105,6 +107,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--journal", default=None,
                    help="write the audit journal to this JSON file on exit")
     p.set_defaults(handler=_cmd_serve)
+
+    p = sub.add_parser(
+        "lint",
+        help="statically verify that auditor decision paths never read "
+             "sensitive data (the simulatability invariant)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format (default: text)")
+    p.add_argument("--package-dir", default=None,
+                   help="analyse this package directory instead of the "
+                        "installed repro package")
+    p.add_argument("--quiet", action="store_true",
+                   help="print nothing when the tree is clean")
+    p.set_defaults(handler=_cmd_lint)
 
     return parser
 
@@ -246,17 +262,21 @@ def _cmd_game(args) -> int:
     grid = IntervalGrid(args.gamma)
     if args.auditor == "max":
         oracle = make_max_posterior_oracle(grid, args.n)
-        make_auditor = lambda ds: MaxProbabilisticAuditor(
-            ds, lam=args.lam, gamma=args.gamma, delta=args.delta,
-            rounds=args.rounds, num_samples=40, rng=args.seed,
-        )
+
+        def make_auditor(ds):
+            return MaxProbabilisticAuditor(
+                ds, lam=args.lam, gamma=args.gamma, delta=args.delta,
+                rounds=args.rounds, num_samples=40, rng=args.seed,
+            )
     else:
         oracle = make_maxmin_posterior_oracle(grid, args.n,
                                               num_samples=150, rng=args.seed)
-        make_auditor = lambda ds: MaxMinProbabilisticAuditor(
-            ds, lam=args.lam, gamma=args.gamma, delta=args.delta,
-            rounds=args.rounds, num_outer=3, num_inner=30, rng=args.seed,
-        )
+
+        def make_auditor(ds):
+            return MaxMinProbabilisticAuditor(
+                ds, lam=args.lam, gamma=args.gamma, delta=args.delta,
+                rounds=args.rounds, num_outer=3, num_inner=30, rng=args.seed,
+            )
     game = PrivacyGame(grid, args.lam, args.rounds, oracle)
     win_rate = estimate_privacy(
         game,
@@ -294,6 +314,25 @@ def _cmd_price(args) -> int:
           f"{tally.necessary_denials}, conservative denials "
           f"{tally.conservative_denials}")
     print(f"price of simulatability: {tally.price:.2f}")
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import check_package
+
+    try:
+        report = check_package(package_dir=args.package_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    elif not (args.quiet and report.ok):
+        print(report.format_text())
+    if not report.ok:
+        print(f"lint: {len(report.violations)} undocumented simulatability "
+              f"violation(s)", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.attack.dos_attack import (
-    DosOutcome,
     flood,
     important_panel,
     run_dos_experiment,

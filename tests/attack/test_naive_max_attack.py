@@ -1,7 +1,5 @@
 """The denial-decoding attack: naive auditors leak, simulatable ones don't."""
 
-import numpy as np
-
 from repro.attack.naive_max_attack import run_denial_decoding_attack
 from repro.auditors.max_classic import MaxClassicAuditor
 from repro.auditors.naive import NaiveMaxAuditor, OracleMaxAuditor

@@ -1,6 +1,5 @@
 """Unit tests for workload attackers."""
 
-import numpy as np
 import pytest
 
 from repro.attack.interval_attack import IntervalAttacker

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.auditors.count_trivial import CountAuditor, DispatchingAuditor
-from repro.auditors.max_classic import MaxClassicAuditor
 from repro.auditors.sum_classic import SumClassicAuditor
 from repro.exceptions import UnsupportedQueryError
 from repro.sdb.dataset import Dataset

@@ -1,7 +1,5 @@
 """Tests for the offline (batch) auditors."""
 
-import pytest
-
 from repro.offline import (
     audit_max_log,
     audit_maxmin_log,

@@ -5,8 +5,6 @@ on all *past answers* but differ in the values the current query would
 expose; the denial pattern must be identical.
 """
 
-import numpy as np
-
 from repro.auditors.max_classic import MaxClassicAuditor
 from repro.auditors.maxmin_classic import MaxMinClassicAuditor
 from repro.auditors.sum_classic import SumClassicAuditor

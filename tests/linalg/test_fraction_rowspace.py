@@ -6,7 +6,7 @@ import pytest
 
 from repro.linalg.fraction_matrix import FractionRowSpace
 
-from ..conftest import in_rowspace, revealed_coordinates
+from ..conftest import revealed_coordinates
 
 
 def test_empty_space_contains_only_zero():

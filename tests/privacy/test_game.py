@@ -1,7 +1,6 @@
 """The (lambda, gamma, T)-privacy game: probabilistic auditors defend."""
 
 import numpy as np
-import pytest
 
 from repro.attack.interval_attack import IntervalAttacker
 from repro.auditors.max_prob import MaxProbabilisticAuditor

@@ -1,7 +1,5 @@
 """Experiment drivers reproduce the paper's qualitative shapes (small scale)."""
 
-import numpy as np
-
 from repro.utility.experiments import (
     estimate_denial_curve,
     run_max_denial_trial,

@@ -6,7 +6,7 @@ from repro.auditors.max_classic import MaxClassicAuditor
 from repro.auditors.maxmin_classic import MaxMinClassicAuditor
 from repro.auditors.sum_classic import SumClassicAuditor
 from repro.sdb.dataset import Dataset
-from repro.types import max_query, sum_query
+from repro.types import max_query
 from repro.utility.price_of_simulatability import (
     SimulatabilityPrice,
     measure_price_of_simulatability,

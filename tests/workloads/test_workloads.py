@@ -1,6 +1,5 @@
 """Unit tests for query and update workloads."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import InvalidQueryError
