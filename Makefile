@@ -2,13 +2,17 @@
 
 PY ?= python
 
-.PHONY: install test lint typecheck bench examples figures clean
+.PHONY: install test faults lint typecheck bench examples figures clean
 
 install:
 	$(PY) setup.py develop
 
 test:
 	$(PY) -m pytest tests/
+
+# The crash/recover/replay drills (docs/ROBUSTNESS.md).
+faults:
+	PYTHONPATH=src $(PY) -m pytest -q -m faults tests/resilience/
 
 # ruff/mypy may be absent in the offline container; the simulatability
 # analyzer (`repro-audit lint`) is in-tree and always runs.

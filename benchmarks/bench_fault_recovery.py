@@ -1,0 +1,139 @@
+"""Robustness layer costs: WAL append overhead and recovery-replay time.
+
+Two tables (see docs/ROBUSTNESS.md):
+
+1. per-query serving cost of the journalling stack — bare auditor, journal
+   only, WAL without fsync, and the full durable WAL (fsync per record) —
+   the price of the "answer released ⇒ record durable" invariant;
+2. crash-recovery time (parse + heal + replay, with and without verify
+   mode) as a function of journal length.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.persistence import JournaledAuditor
+from repro.reporting.tables import format_table
+from repro.resilience.wal import WriteAheadLog, recover_journaled
+from repro.sdb.dataset import Dataset
+from repro.types import sum_query
+
+from .conftest import run_once
+
+N = 60
+QUERIES = 150
+
+
+def _query_stream(rng):
+    for _ in range(QUERIES):
+        size = int(rng.integers(2, N // 2))
+        members = rng.choice(N, size=size, replace=False)
+        yield sum_query(int(i) for i in members)
+
+
+def _make_dataset():
+    return Dataset.uniform(N, rng=11)
+
+
+def _serve(make_auditor):
+    """Time one full stream; returns seconds per query."""
+    auditor = make_auditor()
+    rng = np.random.default_rng(7)
+    start = time.perf_counter()
+    for query in _query_stream(rng):
+        auditor.audit(query)
+    elapsed = time.perf_counter() - start
+    return elapsed / QUERIES
+
+
+def _measure_append_overhead():
+    tmp = tempfile.mkdtemp()
+
+    def bare():
+        return SumClassicAuditor(_make_dataset())
+
+    def journal_only():
+        return JournaledAuditor(bare())
+
+    def wal(fsync):
+        path = os.path.join(tmp, f"fsync-{fsync}.wal")
+        if os.path.exists(path):
+            os.remove(path)
+        log = WriteAheadLog.create(path, _make_dataset(), fsync=fsync)
+        return JournaledAuditor(bare(), wal=log)
+
+    rows = []
+    baseline = None
+    for label, make in (("bare auditor", bare),
+                        ("journal (in memory)", journal_only),
+                        ("WAL, no fsync", lambda: wal(False)),
+                        ("WAL + fsync per record", lambda: wal(True))):
+        per_query = _serve(make)
+        if baseline is None:
+            baseline = per_query
+        rows.append((label, f"{per_query * 1e6:.0f}",
+                     f"{per_query / baseline:.2f}x"))
+    return rows
+
+
+def _measure_recovery():
+    tmp = tempfile.mkdtemp()
+    rows = []
+    for events in (100, 400, 1600):
+        path = os.path.join(tmp, f"recover-{events}.wal")
+        log = WriteAheadLog.create(path, _make_dataset(), fsync=False)
+        wrapped = JournaledAuditor(SumClassicAuditor(_make_dataset()),
+                                   wal=log)
+        rng = np.random.default_rng(7)
+        posed = 0
+        while posed < events:
+            for query in _query_stream(rng):
+                if posed >= events:
+                    break
+                wrapped.audit(query)
+                posed += 1
+        wrapped.close()
+
+        start = time.perf_counter()
+        recovered, _ = recover_journaled(
+            path, lambda ds: SumClassicAuditor(ds), fsync=False
+        )
+        replay = time.perf_counter() - start
+        assert len(recovered.trail) == events
+        recovered.close()
+
+        start = time.perf_counter()
+        recovered, _ = recover_journaled(
+            path, lambda ds: SumClassicAuditor(ds), fsync=False, verify=True
+        )
+        verify = time.perf_counter() - start
+        recovered.close()
+        rows.append((events, f"{os.path.getsize(path) / 1024:.0f}",
+                     f"{replay * 1e3:.1f}", f"{verify * 1e3:.1f}"))
+    return rows
+
+
+def test_wal_append_overhead(benchmark):
+    rows = run_once(benchmark, _measure_append_overhead)
+    print(format_table(
+        ["serving stack", "us per query", "vs bare"],
+        rows,
+        title=f"WAL append overhead (sum classic auditor, n={N}, "
+              f"{QUERIES} queries)",
+    ))
+
+
+def test_recovery_replay_scales_with_journal_length(benchmark):
+    rows = run_once(benchmark, _measure_recovery)
+    print(format_table(
+        ["journalled events", "WAL KiB", "replay ms", "verify-replay ms"],
+        rows,
+        title="Crash-recovery time vs journal length (parse + heal + "
+              "replay)",
+    ))

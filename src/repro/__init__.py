@@ -42,6 +42,7 @@ from .exceptions import (
     InvalidQueryError,
     PrivacyParameterError,
     ReproError,
+    ResourceExhaustedError,
     SamplingError,
     UnsupportedQueryError,
     UnsupportedUpdateError,
@@ -56,6 +57,7 @@ from .offline import (
     audit_sum_log,
 )
 from .privacy import IntervalGrid, PrivacyGame
+from .resilience import Budget, FaultPlan, inject
 from .sdb import (
     All,
     And,
@@ -96,6 +98,7 @@ __all__ = [
     "Auditor",
     "BooleanRangeAuditor",
     "BooleanRangeLog",
+    "Budget",
     "ColoringError",
     "CombinedSynopsis",
     "CountAuditor",
@@ -106,6 +109,7 @@ __all__ = [
     "DenyAllAuditor",
     "DuplicateValueError",
     "Eq",
+    "FaultPlan",
     "In",
     "InconsistentAnswersError",
     "Insert",
@@ -130,6 +134,7 @@ __all__ = [
     "Query",
     "Range",
     "ReproError",
+    "ResourceExhaustedError",
     "SamplingError",
     "StatisticalDatabase",
     "SumClassicAuditor",
@@ -140,6 +145,7 @@ __all__ = [
     "audit_bounded_sum_log",
     "audit_max_log",
     "execute_sql",
+    "inject",
     "parse_statistical_query",
     "audit_maxmin_log",
     "audit_min_log",

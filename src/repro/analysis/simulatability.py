@@ -70,8 +70,13 @@ class AnalysisConfig:
     #: qualified name of the auditor base class
     base_class: str = "repro.auditors.base.Auditor"
     #: methods whose bodies (and transitive callees) form the decision path
+    #: (``_deny_reason_sampled`` is the budgeted inner body the resilience
+    #: guard dispatches to — registered explicitly so the deadline
+    #: fallback's decision path stays covered even if the indirect call
+    #: through ``run_fail_closed`` ever stops resolving)
     entry_methods: Tuple[str, ...] = ("_deny_reason", "would_answer",
-                                      "_record_answer")
+                                      "_record_answer",
+                                      "_deny_reason_sampled")
     #: functions that evaluate the true answer of the current query
     sensitive_functions: Set[str] = field(default_factory=lambda: {
         "repro.sdb.aggregates.true_answer",

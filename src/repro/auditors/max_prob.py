@@ -30,6 +30,7 @@ from ..privacy.posterior import (
     max_predicate_bucket_probabilities,
     max_predicate_bucket_probabilities_general,
 )
+from ..resilience.budget import Budget, BudgetScope, run_fail_closed
 from ..rng import RngLike, as_generator
 from ..sdb.dataset import Dataset
 from ..synopsis.extreme_synopsis import ExtremeSynopsis, MaxSynopsis
@@ -122,6 +123,11 @@ class MaxProbabilisticAuditor(Auditor):
         Optional :class:`~repro.privacy.distributions.DataDistribution`
         modelling the (public) data distribution; defaults to uniform on
         ``[dataset.low, dataset.high]`` as in the paper.
+    budget:
+        Optional per-query :class:`~repro.resilience.budget.Budget`; when
+        set, decisions run under its deadline/step caps with bounded
+        retry-and-reseed and fail closed to a ``RESOURCE_EXHAUSTED``
+        denial on exhaustion.
     """
 
     supported_kinds = frozenset({AggregateKind.MAX})
@@ -129,7 +135,7 @@ class MaxProbabilisticAuditor(Auditor):
     def __init__(self, dataset: Dataset, lam: float = 0.05, gamma: int = 10,
                  delta: float = 0.05, rounds: int = 100,
                  num_samples: Optional[int] = None, rng: RngLike = None,
-                 distribution=None):
+                 distribution=None, budget: Optional[Budget] = None):
         super().__init__(dataset)
         dataset.require_duplicate_free()
         if not 0 < delta < 1:
@@ -146,6 +152,7 @@ class MaxProbabilisticAuditor(Auditor):
             num_samples = int(min(400, max(60, math.ceil(suggested))))
         self.num_samples = num_samples
         self._rng = as_generator(rng)
+        self.budget = budget
         # Public model parameters (range and size are known to the attacker;
         # caching them keeps the decision path off the sensitive values).
         self._n = dataset.n
@@ -158,7 +165,8 @@ class MaxProbabilisticAuditor(Auditor):
     # Sampling consistent datasets
     # ------------------------------------------------------------------
 
-    def sample_consistent_dataset(self) -> np.ndarray:
+    def sample_consistent_dataset(
+            self, gen: Optional[np.random.Generator] = None) -> np.ndarray:
         """A dataset drawn uniformly from those consistent with past answers.
 
         Per predicate: an equality predicate picks a uniform witness set to
@@ -166,7 +174,8 @@ class MaxProbabilisticAuditor(Auditor):
         members below the bound; free elements are uniform on the range.
         Duplicates occur with probability zero.
         """
-        gen = self._rng
+        if gen is None:
+            gen = self._rng
         dist = self.distribution
         if dist is None:
             values = gen.uniform(self._low, self._high, size=self._n)
@@ -190,10 +199,25 @@ class MaxProbabilisticAuditor(Auditor):
     # ------------------------------------------------------------------
 
     def _deny_reason(self, query: Query) -> Optional[AuditDecision]:
+        # Fail-closed: under a budget, deadline/step exhaustion and
+        # persistent sampling failures become RESOURCE_EXHAUSTED denials.
+        return run_fail_closed(
+            self.budget, self._rng,
+            lambda scope, gen: self._deny_reason_sampled(query, scope, gen),
+        )
+
+    def _deny_reason_sampled(self, query: Query,
+                             scope: Optional[BudgetScope],
+                             gen: np.random.Generator
+                             ) -> Optional[AuditDecision]:
         members = query.sorted_indices()
         unsafe = 0
         for _ in range(self.num_samples):
-            sample = self.sample_consistent_dataset()
+            if scope is not None:
+                # No inner MCMC chain here: one Monte Carlo draw is the
+                # natural cancellation granularity.
+                scope.checkpoint()
+            sample = self.sample_consistent_dataset(gen)
             answer = float(sample[list(members)].max())
             trial = self._synopsis.copy()
             try:

@@ -31,6 +31,7 @@ from ..coloring.sampler import PosteriorSampler
 from ..exceptions import InconsistentAnswersError, PrivacyParameterError
 from ..privacy.compromise import ratios_within_band
 from ..privacy.intervals import IntervalGrid
+from ..resilience.budget import Budget, BudgetScope, run_fail_closed
 from ..rng import RngLike, as_generator
 from ..sdb.dataset import Dataset
 from ..synopsis.combined import CombinedSynopsis
@@ -55,6 +56,11 @@ class MaxMinProbabilisticAuditor(Auditor):
         Posterior Monte Carlo samples per candidate dataset.
     mc_tolerance:
         Ratio-band slack absorbing Monte Carlo noise (the paper's epsilon).
+    budget:
+        Optional per-query :class:`~repro.resilience.budget.Budget`; when
+        set, decisions run under its deadline/step caps with bounded
+        retry-and-reseed and fail closed to a ``RESOURCE_EXHAUSTED``
+        denial on exhaustion.
     """
 
     supported_kinds = frozenset({AggregateKind.MAX, AggregateKind.MIN})
@@ -62,7 +68,8 @@ class MaxMinProbabilisticAuditor(Auditor):
     def __init__(self, dataset: Dataset, lam: float = 0.2, gamma: int = 4,
                  delta: float = 0.2, rounds: int = 20,
                  num_outer: int = 8, num_inner: int = 120,
-                 mc_tolerance: float = 0.15, rng: RngLike = None):
+                 mc_tolerance: float = 0.15, rng: RngLike = None,
+                 budget: Optional[Budget] = None):
         super().__init__(dataset)
         dataset.require_duplicate_free()
         if not 0 < delta < 1:
@@ -76,6 +83,7 @@ class MaxMinProbabilisticAuditor(Auditor):
         self.num_inner = num_inner
         self.mc_tolerance = mc_tolerance
         self._rng = as_generator(rng)
+        self.budget = budget
         self._synopsis = CombinedSynopsis(dataset.n, dataset.low, dataset.high)
         self._answers: List[float] = []
 
@@ -83,7 +91,9 @@ class MaxMinProbabilisticAuditor(Auditor):
     # Structural guard (Lemma 2 precondition)
     # ------------------------------------------------------------------
 
-    def _lemma2_violated_for_some_answer(self, query: Query) -> bool:
+    def _lemma2_violated_for_some_answer(
+            self, query: Query, gen: np.random.Generator,
+            checkpoint=None) -> bool:
         """Could any consistent answer break ``|S(v)| >= d_v + 2``?
 
         Checks the finite candidate grid (the same Theorem 5 style points
@@ -92,7 +102,8 @@ class MaxMinProbabilisticAuditor(Auditor):
         """
         candidates = set(candidate_answers(sorted(set(self._answers)),
                                            forbidden=set(self._answers)))
-        candidates.update(self._sampled_candidate_answers(query, count=3))
+        candidates.update(self._sampled_candidate_answers(
+            query, count=3, gen=gen, checkpoint=checkpoint))
         for a in candidates:
             if not self.grid.low <= a <= self.grid.high:
                 continue
@@ -104,8 +115,11 @@ class MaxMinProbabilisticAuditor(Auditor):
                 return True
         return False
 
-    def _sampled_candidate_answers(self, query: Query, count: int) -> Set[float]:
-        sampler = self._make_sampler(self._synopsis)
+    def _sampled_candidate_answers(self, query: Query, count: int,
+                                   gen: np.random.Generator,
+                                   checkpoint=None) -> Set[float]:
+        sampler = self._make_sampler(self._synopsis, gen=gen,
+                                     checkpoint=checkpoint)
         members = [int(i) for i in query.sorted_indices()]
         agg = max if query.kind is AggregateKind.MAX else min
         answers = set()
@@ -119,8 +133,9 @@ class MaxMinProbabilisticAuditor(Auditor):
     # ------------------------------------------------------------------
 
     def _make_sampler(self, synopsis: CombinedSynopsis,
-                      seed_dataset: Optional[List[float]] = None
-                      ) -> PosteriorSampler:
+                      seed_dataset: Optional[List[float]] = None,
+                      gen: Optional[np.random.Generator] = None,
+                      checkpoint=None) -> PosteriorSampler:
         if seed_dataset is None:
             # The true database state is always consistent with the real
             # synopsis (the paper initialises the chain from it).
@@ -128,11 +143,15 @@ class MaxMinProbabilisticAuditor(Auditor):
             # the stationary distribution depends only on past answers
             seed_dataset = list(self.dataset.values)
         return PosteriorSampler(synopsis, initial_dataset=seed_dataset,
-                                rng=self._rng)
+                                rng=self._rng if gen is None else gen,
+                                checkpoint=checkpoint)
 
     def _posterior_buckets(self, synopsis: CombinedSynopsis,
-                           seed_dataset: List[float]) -> np.ndarray:
-        sampler = self._make_sampler(synopsis, seed_dataset=seed_dataset)
+                           seed_dataset: List[float],
+                           gen: np.random.Generator,
+                           checkpoint=None) -> np.ndarray:
+        sampler = self._make_sampler(synopsis, seed_dataset=seed_dataset,
+                                     gen=gen, checkpoint=checkpoint)
         return sampler.estimate_interval_probabilities(
             self.num_inner, self.grid.edges
         )
@@ -142,7 +161,20 @@ class MaxMinProbabilisticAuditor(Auditor):
     # ------------------------------------------------------------------
 
     def _deny_reason(self, query: Query) -> Optional[AuditDecision]:
-        if self._lemma2_violated_for_some_answer(query):
+        # Fail-closed: under a budget, deadline/step exhaustion and
+        # persistent sampling failures become RESOURCE_EXHAUSTED denials.
+        return run_fail_closed(
+            self.budget, self._rng,
+            lambda scope, gen: self._deny_reason_sampled(query, scope, gen),
+        )
+
+    def _deny_reason_sampled(self, query: Query,
+                             scope: Optional[BudgetScope],
+                             gen: np.random.Generator
+                             ) -> Optional[AuditDecision]:
+        checkpoint = scope.checkpoint if scope is not None else None
+        if self._lemma2_violated_for_some_answer(query, gen,
+                                                 checkpoint=checkpoint):
             return AuditDecision.deny(
                 DenialReason.STRUCTURAL,
                 "a consistent answer could violate the Lemma 2 chain "
@@ -151,7 +183,8 @@ class MaxMinProbabilisticAuditor(Auditor):
         members = [int(i) for i in query.sorted_indices()]
         agg = max if query.kind is AggregateKind.MAX else min
         prior = np.full(self.grid.gamma, self.grid.prior)
-        outer = self._make_sampler(self._synopsis)
+        outer = self._make_sampler(self._synopsis, gen=gen,
+                                   checkpoint=checkpoint)
         unsafe = 0
         for _ in range(self.num_outer):
             candidate_dataset = outer.sample_dataset()
@@ -162,7 +195,8 @@ class MaxMinProbabilisticAuditor(Auditor):
             except InconsistentAnswersError:  # pragma: no cover - measure zero
                 unsafe += 1
                 continue
-            posterior = self._posterior_buckets(trial, candidate_dataset)
+            posterior = self._posterior_buckets(trial, candidate_dataset,
+                                                gen, checkpoint=checkpoint)
             if not ratios_within_band(posterior, prior, self.lam,
                                       tol=self.mc_tolerance):
                 unsafe += 1

@@ -25,6 +25,7 @@ from ..privacy.compromise import ratios_within_band
 from ..privacy.intervals import IntervalGrid
 from ..polytope.halfspace import AffineSlice
 from ..polytope.hit_and_run import HitAndRunSampler
+from ..resilience.budget import Budget, BudgetScope, run_fail_closed
 from ..rng import RngLike, as_generator
 from ..sdb.dataset import Dataset
 from ..types import AggregateKind, AuditDecision, DenialReason, Query
@@ -47,6 +48,11 @@ class SumProbabilisticAuditor(Auditor):
     mc_tolerance:
         Slack added to the ratio band to absorb Monte Carlo noise (the
         paper's epsilon).
+    budget:
+        Optional per-query :class:`~repro.resilience.budget.Budget`; when
+        set, decisions run under its deadline/step caps with bounded
+        retry-and-reseed and fail closed to a
+        ``RESOURCE_EXHAUSTED`` denial on exhaustion.
     """
 
     supported_kinds = frozenset({AggregateKind.SUM})
@@ -54,7 +60,8 @@ class SumProbabilisticAuditor(Auditor):
     def __init__(self, dataset: Dataset, lam: float = 0.2, gamma: int = 4,
                  delta: float = 0.2, rounds: int = 20,
                  num_outer: int = 5, num_inner: int = 100,
-                 mc_tolerance: float = 0.1, rng: RngLike = None):
+                 mc_tolerance: float = 0.1, rng: RngLike = None,
+                 budget: Optional[Budget] = None):
         super().__init__(dataset)
         if not 0 < delta < 1:
             raise PrivacyParameterError("delta must lie in (0, 1)")
@@ -67,6 +74,7 @@ class SumProbabilisticAuditor(Auditor):
         self.num_inner = num_inner
         self.mc_tolerance = mc_tolerance
         self._rng = as_generator(rng)
+        self.budget = budget
         self._slice = AffineSlice(dataset.n, dataset.low, dataset.high)
 
     # ------------------------------------------------------------------
@@ -77,9 +85,12 @@ class SumProbabilisticAuditor(Auditor):
         return vec
 
     def _posterior_buckets(self, slice_: AffineSlice,
-                           seed_point: np.ndarray) -> np.ndarray:
+                           seed_point: np.ndarray,
+                           gen: np.random.Generator,
+                           checkpoint=None) -> np.ndarray:
         """Monte Carlo posterior bucket probabilities, ``(n, gamma)``."""
-        sampler = HitAndRunSampler(slice_, seed_point, rng=self._rng)
+        sampler = HitAndRunSampler(slice_, seed_point, rng=gen,
+                                   checkpoint=checkpoint)
         gamma = self.grid.gamma
         counts = np.zeros((self.dataset.n, gamma))
         for _ in range(self.num_inner):
@@ -92,6 +103,18 @@ class SumProbabilisticAuditor(Auditor):
         return counts / self.num_inner
 
     def _deny_reason(self, query: Query) -> Optional[AuditDecision]:
+        # Fail-closed: under a budget, deadline/step exhaustion and
+        # persistent sampling failures become RESOURCE_EXHAUSTED denials.
+        return run_fail_closed(
+            self.budget, self._rng,
+            lambda scope, gen: self._deny_reason_sampled(query, scope, gen),
+        )
+
+    def _deny_reason_sampled(self, query: Query,
+                             scope: Optional[BudgetScope],
+                             gen: np.random.Generator
+                             ) -> Optional[AuditDecision]:
+        checkpoint = scope.checkpoint if scope is not None else None
         vec = self._indicator(query)
         prior = np.full(self.grid.gamma, self.grid.prior)
         # Seed the consistent-dataset chain at the true data (feasible by
@@ -100,7 +123,7 @@ class SumProbabilisticAuditor(Auditor):
         # simulatability: violation -- MCMC chain seeded at the true data;
         # the stationary distribution depends only on past answers
         outer = HitAndRunSampler(self._slice, self.dataset.as_array(),
-                                 rng=self._rng)
+                                 rng=gen, checkpoint=checkpoint)
         unsafe = 0
         for _ in range(self.num_outer):
             candidate = outer.sample()
@@ -111,7 +134,8 @@ class SumProbabilisticAuditor(Auditor):
             for row, rhs in zip(a_mat, b_vec):
                 trial.add_equality(row, rhs)
             trial.add_equality(vec, answer)
-            posterior = self._posterior_buckets(trial, candidate)
+            posterior = self._posterior_buckets(trial, candidate, gen,
+                                                checkpoint=checkpoint)
             if not ratios_within_band(posterior, prior, self.lam,
                                       tol=self.mc_tolerance):
                 unsafe += 1

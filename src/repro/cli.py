@@ -102,10 +102,22 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", required=True, help="CSV file with a header row")
     p.add_argument("--sensitive", required=True,
                    help="name of the sensitive column")
-    p.add_argument("--auditor", choices=["sum", "max", "maxmin"],
+    p.add_argument("--auditor",
+                   choices=["sum", "max", "maxmin",
+                            "sum-prob", "max-prob", "maxmin-prob"],
                    default="sum")
     p.add_argument("--journal", default=None,
                    help="write the audit journal to this JSON file on exit")
+    p.add_argument("--wal", default=None,
+                   help="crash-safe write-ahead audit log file; every "
+                        "decision is fsynced before its answer is printed, "
+                        "and an existing log is recovered and replayed")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-query wall-clock budget in seconds "
+                        "(probabilistic auditors only); exhaustion yields "
+                        "a fail-closed resource-exhausted denial")
+    p.add_argument("--seed", type=int, default=0,
+                   help="rng seed for the probabilistic auditors")
     p.set_defaults(handler=_cmd_serve)
 
     p = sub.add_parser(
@@ -338,27 +350,56 @@ def _cmd_lint(args) -> int:
 
 def _cmd_serve(args, stdin=None) -> int:
     from .auditors.max_classic import MaxClassicAuditor
+    from .auditors.max_prob import MaxProbabilisticAuditor
     from .auditors.maxmin_classic import MaxMinClassicAuditor
+    from .auditors.maxmin_prob import MaxMinProbabilisticAuditor
     from .auditors.sum_classic import SumClassicAuditor
+    from .auditors.sum_prob import SumProbabilisticAuditor
     from .exceptions import ReproError
     from .io import load_csv_database
     from .persistence import JournaledAuditor
+    from .resilience import Budget
     from .sdb.sql import execute_sql
 
-    factories = {
+    classic = {
         "sum": SumClassicAuditor,
         "max": MaxClassicAuditor,
         "maxmin": MaxMinClassicAuditor,
     }
-    journaled = {}
+    probabilistic = {
+        "sum-prob": SumProbabilisticAuditor,
+        "max-prob": MaxProbabilisticAuditor,
+        "maxmin-prob": MaxMinProbabilisticAuditor,
+    }
+    if args.auditor in classic:
+        if args.deadline is not None:
+            print("error: --deadline applies to the probabilistic auditors; "
+                  "the classic decision procedures are closed-form")
+            return 2
 
-    def factory(dataset):
-        auditor = JournaledAuditor(factories[args.auditor](dataset))
-        journaled["auditor"] = auditor
-        return auditor
+        def base_factory(dataset):
+            return classic[args.auditor](dataset)
+    else:
+        budget = (Budget(wall_time=args.deadline)
+                  if args.deadline is not None else None)
+
+        def base_factory(dataset):
+            return probabilistic[args.auditor](dataset, rng=args.seed,
+                                               budget=budget)
+
+    if args.wal:
+        # open_wal_auditor wraps the raw auditor itself; replay-verify only
+        # the deterministic classics (probabilistic replays restore state
+        # without re-deciding).
+        factory = base_factory
+    else:
+        def factory(dataset):
+            return JournaledAuditor(base_factory(dataset))
 
     try:
-        db = load_csv_database(args.csv, args.sensitive, factory)
+        db = load_csv_database(args.csv, args.sensitive, factory,
+                               wal_path=args.wal,
+                               verify_wal=args.auditor in classic)
     except (OSError, ReproError) as exc:
         print(f"error: {exc}")
         return 2
@@ -385,11 +426,13 @@ def _cmd_serve(args, stdin=None) -> int:
         else:
             print(f"DENIED ({decision.reason.value}): {decision.detail}")
 
-    auditor = journaled.get("auditor")
-    if args.journal and auditor is not None:
+    if args.journal:
         with open(args.journal, "w") as handle:
-            handle.write(auditor.journal.to_json())
+            handle.write(db.auditor.journal.to_json())
         print(f"journal written to {args.journal}")
+    if args.wal:
+        db.auditor.close()
+        print(f"write-ahead log synced to {args.wal}")
     trail = db.auditor.trail
     print(f"session: {len(trail)} queries, {trail.denial_count()} denied")
     return 0

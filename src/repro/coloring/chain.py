@@ -11,25 +11,33 @@ all ``v``; Lemma 3 gives ``O(k log k)`` mixing under the stronger condition
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from ..exceptions import ColoringError
+from ..resilience.faults import fault_site
 from ..rng import RngLike, as_generator
 from .graph import Coloring, ColoringGraph
 
 
 class ColoringChain:
-    """Runs the single-site chain over valid colourings of ``graph``."""
+    """Runs the single-site chain over valid colourings of ``graph``.
+
+    ``checkpoint`` is an optional cooperative-cancellation hook invoked
+    once per transition (see
+    :meth:`repro.resilience.budget.BudgetScope.checkpoint`).
+    """
 
     def __init__(self, graph: ColoringGraph, initial: Coloring,
-                 rng: RngLike = None):
+                 rng: RngLike = None,
+                 checkpoint: Optional[Callable[[], None]] = None):
         if not graph.is_valid(initial):
             raise ColoringError("initial coloring is not valid")
         self.graph = graph
         self.state: Coloring = dict(initial)
         self._rng = as_generator(rng)
+        self._checkpoint = checkpoint
         # Pre-compute per-node colour lists and proposal probabilities.
         self._colors: List[List[int]] = []
         self._probs: List[np.ndarray] = []
@@ -52,6 +60,9 @@ class ColoringChain:
 
     def step(self) -> bool:
         """One chain transition; returns True when the colour changed."""
+        fault_site("coloring.step")
+        if self._checkpoint is not None:
+            self._checkpoint()
         graph = self.graph
         k = graph.k
         if k == 0:

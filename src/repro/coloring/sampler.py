@@ -9,7 +9,7 @@ The generative procedure proved correct in Lemma 1:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -60,13 +60,17 @@ class PosteriorSampler:
         Chain steps before the first sample; defaults to the Lemma 3 budget.
     thin:
         Chain steps between consecutive samples.
+    checkpoint:
+        Optional cooperative-cancellation hook, invoked once per chain
+        transition (see :class:`repro.resilience.budget.BudgetScope`).
     """
 
     def __init__(self, synopsis: CombinedSynopsis,
                  initial_dataset: Optional[List[float]] = None,
                  rng: RngLike = None,
                  burn_in: Optional[int] = None,
-                 thin: Optional[int] = None):
+                 thin: Optional[int] = None,
+                 checkpoint: Optional[Callable[[], None]] = None):
         self._rng = as_generator(rng)
         self.graph = ColoringGraph(synopsis)
         if initial_dataset is not None:
@@ -75,7 +79,8 @@ class PosteriorSampler:
             initial = self.graph.find_valid_coloring()
         else:
             initial = {}
-        self.chain = ColoringChain(self.graph, initial, rng=self._rng)
+        self.chain = ColoringChain(self.graph, initial, rng=self._rng,
+                                   checkpoint=checkpoint)
         default = self.chain.default_steps()
         self.burn_in = default if burn_in is None else burn_in
         self.thin = max(1, default // 4) if thin is None else thin

@@ -45,5 +45,15 @@ class SamplingError(ReproError):
     """A sampler failed to produce a sample (e.g. empty polytope slice)."""
 
 
+class ResourceExhaustedError(ReproError):
+    """A per-query resource budget (deadline, step cap) ran out mid-decision.
+
+    Raised by cooperative cancellation checkpoints inside the samplers; the
+    probabilistic auditors convert it into a fail-closed denial carrying
+    :attr:`~repro.types.DenialReason.RESOURCE_EXHAUSTED` rather than ever
+    answering under uncertainty.
+    """
+
+
 class ColoringError(ReproError):
     """No valid coloring exists or the chain precondition fails (Lemma 2)."""

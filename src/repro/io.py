@@ -46,8 +46,14 @@ def read_records(handle) -> list:
 def load_csv_database(path: str, sensitive_column: str,
                       auditor_factory: Callable[[Dataset], object],
                       low: Optional[float] = None,
-                      high: Optional[float] = None) -> StatisticalDatabase:
-    """Build an audited :class:`StatisticalDatabase` from a CSV file."""
+                      high: Optional[float] = None,
+                      wal_path: Optional[str] = None,
+                      verify_wal: bool = False) -> StatisticalDatabase:
+    """Build an audited :class:`StatisticalDatabase` from a CSV file.
+
+    ``wal_path`` enables the crash-safe write-ahead audit log (see
+    :meth:`StatisticalDatabase.from_records`).
+    """
     with open(path, newline="") as handle:
         records = read_records(handle)
     if sensitive_column not in records[0]:
@@ -58,6 +64,7 @@ def load_csv_database(path: str, sensitive_column: str,
     return StatisticalDatabase.from_records(
         records, sensitive_column=sensitive_column,
         auditor_factory=auditor_factory, low=low, high=high,
+        wal_path=wal_path, verify_wal=verify_wal,
     )
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List
 
 from .exceptions import ReproError
+from .resilience.faults import fault_site
 from .sdb.dataset import Dataset
 from .sdb.updates import Delete, Insert, Modify
 from .types import AggregateKind, AuditDecision, DenialReason, Query
@@ -56,8 +57,9 @@ class AuditJournal:
             events=[],
         )
 
-    def record_decision(self, query: Query, decision: AuditDecision) -> None:
-        """Append an audited query and its outcome."""
+    def record_decision(self, query: Query,
+                        decision: AuditDecision) -> Dict[str, Any]:
+        """Append an audited query and its outcome; returns the event."""
         event: Dict[str, Any] = {
             "type": "query",
             "kind": query.kind.value,
@@ -66,20 +68,26 @@ class AuditJournal:
         }
         if decision.answered:
             event["value"] = decision.value
+        if decision.denied and decision.reason is not None:
+            event["reason"] = decision.reason.value
         self.events.append(event)
+        return event
 
-    def record_update(self, event) -> None:
-        """Append an update event."""
+    def record_update(self, event) -> Dict[str, Any]:
+        """Append an update event; returns the journalled dict."""
+        record: Dict[str, Any]
         if isinstance(event, Modify):
-            self.events.append({"type": "modify", "index": event.index,
-                                "value": event.value})
+            record = {"type": "modify", "index": event.index,
+                      "value": event.value}
         elif isinstance(event, Insert):
-            self.events.append({"type": "insert", "value": event.value,
-                                "public": dict(event.public or {})})
+            record = {"type": "insert", "value": event.value,
+                      "public": dict(event.public or {})}
         elif isinstance(event, Delete):
-            self.events.append({"type": "delete", "index": event.index})
+            record = {"type": "delete", "index": event.index}
         else:  # pragma: no cover - defensive
             raise JournalError(f"unknown update event {event!r}")
+        self.events.append(record)
+        return record
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -171,8 +179,15 @@ class AuditJournal:
                 )
             return
         if event["denied"]:
+            try:
+                reason = (DenialReason(event["reason"])
+                          if event.get("reason") else DenialReason.POLICY)
+            except ValueError as exc:
+                raise JournalError(
+                    f"unknown denial reason {event.get('reason')!r}"
+                ) from exc
             auditor.trail.record(
-                query, AuditDecision.deny(DenialReason.POLICY, "journalled")
+                query, AuditDecision.deny(reason, "journalled")
             )
         else:
             value = float(event["value"])
@@ -185,22 +200,44 @@ class JournaledAuditor:
 
     Drop-in replacement: exposes ``audit`` / ``apply_update`` plus the
     journal.  Use :meth:`AuditJournal.restore` after a restart.
+
+    With a :class:`~repro.resilience.wal.WriteAheadLog` attached, every
+    decision and update is durably appended (fsync-per-record) *before*
+    :meth:`audit` returns — an answer is never released unless the log
+    already remembers it, so no crash can make the auditor forget a
+    disclosure.  After a crash, recover with
+    :func:`repro.resilience.wal.recover_journaled`.
     """
 
-    def __init__(self, auditor):
+    def __init__(self, auditor, wal=None, journal: AuditJournal = None):
         self.auditor = auditor
-        self.journal = AuditJournal.begin(auditor.dataset)
+        self.journal = (AuditJournal.begin(auditor.dataset)
+                        if journal is None else journal)
+        self.wal = wal
 
     def audit(self, query: Query) -> AuditDecision:
-        """Audit and journal."""
+        """Audit and journal; with a WAL, persist before releasing."""
         decision = self.auditor.audit(query)
-        self.journal.record_decision(query, decision)
+        fault_site("journal.pre-record")
+        event = self.journal.record_decision(query, decision)
+        if self.wal is not None:
+            self.wal.append(event)
+        fault_site("journal.post-record")
         return decision
 
     def apply_update(self, event) -> None:
-        """Apply and journal an update."""
+        """Apply and journal an update (durably, when a WAL is attached)."""
         self.auditor.apply_update(event)
-        self.journal.record_update(event)
+        fault_site("journal.pre-record")
+        record = self.journal.record_update(event)
+        if self.wal is not None:
+            self.wal.append(record)
+        fault_site("journal.post-record")
+
+    def close(self) -> None:
+        """Close the attached WAL, if any."""
+        if self.wal is not None:
+            self.wal.close()
 
     @property
     def trail(self):

@@ -8,11 +8,12 @@ stationary distribution is uniform over the slice.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from ..exceptions import SamplingError
+from ..resilience.faults import fault_site
 from ..rng import RngLike, as_generator
 from .halfspace import AffineSlice
 
@@ -29,17 +30,24 @@ class HitAndRunSampler:
         satisfies its own answered queries).
     steps_per_sample:
         Chain steps between returned samples; defaults to ``4 * dimension``.
+    checkpoint:
+        Optional cooperative-cancellation hook invoked once per transition
+        (e.g. :meth:`repro.resilience.budget.BudgetScope.checkpoint`); it
+        may abort a runaway chain by raising
+        :class:`~repro.exceptions.ResourceExhaustedError`.
     """
 
     def __init__(self, slice_: AffineSlice, start: np.ndarray,
                  rng: RngLike = None,
-                 steps_per_sample: Optional[int] = None):
+                 steps_per_sample: Optional[int] = None,
+                 checkpoint: Optional[Callable[[], None]] = None):
         start = np.asarray(start, dtype=float)
         if not slice_.contains(start):
             raise SamplingError("start point is not feasible")
         self.slice = slice_
         self.state = start.copy()
         self._rng = as_generator(rng)
+        self._checkpoint = checkpoint
         dim = max(1, slice_.dimension)
         self.steps_per_sample = (
             4 * dim if steps_per_sample is None else steps_per_sample
@@ -47,6 +55,9 @@ class HitAndRunSampler:
 
     def step(self) -> np.ndarray:
         """One hit-and-run transition; returns the new state."""
+        fault_site("hit_and_run.step")
+        if self._checkpoint is not None:
+            self._checkpoint()
         basis = self.slice.null_basis()
         dim = basis.shape[1]
         if dim == 0:

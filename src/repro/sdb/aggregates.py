@@ -30,5 +30,13 @@ def evaluate_aggregate(kind: AggregateKind, values: Sequence[float]) -> float:
 
 
 def true_answer(query: Query, dataset: Dataset) -> float:
-    """The exact answer ``f(Q)`` over the dataset."""
-    return evaluate_aggregate(query.kind, dataset.subset(query.query_set))
+    """The exact answer ``f(Q)`` over the dataset.
+
+    Values are aggregated in index order, not set-iteration order: a
+    frozenset's iteration order varies with its construction history, and
+    floating-point sums are order-sensitive, so a released answer must be
+    a function of the query *set* alone for WAL verify-replay to match it
+    bitwise.
+    """
+    return evaluate_aggregate(query.kind,
+                              dataset.subset(query.sorted_indices()))

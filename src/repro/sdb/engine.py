@@ -11,6 +11,7 @@ paper's running example::
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Mapping, Optional, Sequence
 
 from ..exceptions import InvalidQueryError
@@ -42,11 +43,21 @@ class StatisticalDatabase:
                      sensitive_column: str,
                      auditor_factory,
                      low: Optional[float] = None,
-                     high: Optional[float] = None) -> "StatisticalDatabase":
+                     high: Optional[float] = None,
+                     wal_path: Optional[str] = None,
+                     verify_wal: bool = False) -> "StatisticalDatabase":
         """Build an SDB from row dicts, splitting off the sensitive column.
 
         ``auditor_factory`` is called with the resulting
         :class:`~repro.sdb.dataset.Dataset` and must return an auditor.
+
+        With ``wal_path`` set the auditor is backed by a crash-safe
+        write-ahead audit log (see :mod:`repro.resilience.wal`): if the
+        file already holds a WAL recorded over this data it is recovered
+        and replayed (``verify_wal=True`` re-runs every decision — only
+        meaningful for deterministic auditors), otherwise a fresh log is
+        started.  Every decision is then durably persisted before its
+        answer is released.
         """
         if not records:
             raise InvalidQueryError("need at least one record")
@@ -66,8 +77,27 @@ class StatisticalDatabase:
         lo = min(values) if low is None else low
         hi = max(values) if high is None else high
         if lo >= hi:
+            # A degenerate envelope (constant column, or inverted explicit
+            # bounds) is silently widened so the Dataset invariant holds —
+            # but the envelope is *public* model input: the probabilistic
+            # auditors' priors, bucket grids, and therefore their
+            # deny/answer decisions all change with it.  Make the guess
+            # loud so operators pass an intentional range instead.
+            warnings.warn(
+                f"degenerate sensitive-value envelope [lo={lo}, hi={hi}] "
+                f"widened to [{lo - 1.0}, {hi + 1.0}]; the envelope is a "
+                f"public privacy parameter — pass explicit low/high "
+                f"bounds instead of relying on this fallback",
+                UserWarning, stacklevel=2,
+            )
             lo, hi = lo - 1.0, hi + 1.0
         dataset = Dataset(values, low=lo, high=hi)
+        if wal_path is not None:
+            from ..resilience.wal import open_wal_auditor
+
+            wrapped, live = open_wal_auditor(wal_path, auditor_factory,
+                                             dataset, verify=verify_wal)
+            return StatisticalDatabase(table, live, wrapped)
         return StatisticalDatabase(table, dataset, auditor_factory(dataset))
 
     # ------------------------------------------------------------------

@@ -18,7 +18,8 @@ completing query.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..exceptions import InvalidQueryError
 from ..types import AuditDecision, Query
@@ -28,20 +29,74 @@ AuditorFactory = Callable[[Dataset], object]
 
 
 class MultiUserFrontend:
-    """Routes per-user queries to pooled or per-user auditors."""
+    """Routes per-user queries to pooled or per-user auditors.
+
+    Parameters
+    ----------
+    dataset:
+        The shared sensitive dataset.
+    auditor_factory:
+        Called with ``dataset`` to build each auditor.
+    mode:
+        ``"pooled"`` or ``"independent"`` (see module docstring).
+    history_limit:
+        Optional cap on the *reporting* history ring buffer.  ``history``
+        then retains only the most recent ``history_limit`` events, while
+        ``denial_counts()``/``users()`` keep exact cumulative bookkeeping.
+        Only the report is bounded: the auditors' own state (synopses,
+        answered-query logs) is **never** truncated — audit safety depends
+        on every past answer, so forgetting one would let an attacker
+        replay old queries against a weakened gate.
+    wal_path:
+        Optional path to a crash-safe write-ahead audit log (see
+        :mod:`repro.resilience.wal`).  Pooled mode only: a WAL records one
+        auditor's decision stream, and in independent mode there is one
+        auditor per user.  If the file already holds a WAL over this
+        dataset it is recovered and replayed.
+    """
 
     MODES = ("pooled", "independent")
 
     def __init__(self, dataset: Dataset, auditor_factory: AuditorFactory,
-                 mode: str = "pooled"):
+                 mode: str = "pooled",
+                 history_limit: Optional[int] = None,
+                 wal_path: Optional[str] = None,
+                 verify_wal: bool = False):
         if mode not in self.MODES:
             raise InvalidQueryError(f"mode must be one of {self.MODES}")
+        if history_limit is not None and history_limit < 1:
+            raise InvalidQueryError("history_limit must be positive")
+        if wal_path is not None and mode != "pooled":
+            raise InvalidQueryError(
+                "wal_path requires pooled mode: a write-ahead log records "
+                "a single auditor's decision stream"
+            )
         self.dataset = dataset
         self.mode = mode
         self._factory = auditor_factory
-        self._pooled = auditor_factory(dataset) if mode == "pooled" else None
+        if mode == "pooled":
+            if wal_path is not None:
+                from ..resilience.wal import open_wal_auditor
+
+                self._pooled, self.dataset = open_wal_auditor(
+                    wal_path, auditor_factory, dataset, verify=verify_wal
+                )
+            else:
+                self._pooled = auditor_factory(dataset)
+        else:
+            self._pooled = None
         self._per_user: Dict[str, object] = {}
-        self.history: List[Tuple[str, Query, AuditDecision]] = []
+        self.history: Deque[Tuple[str, Query, AuditDecision]] = deque(
+            maxlen=history_limit
+        )
+        # Exact cumulative counters, immune to ring-buffer eviction.
+        self._denials: Dict[str, int] = {}
+        self._users: List[str] = []
+
+    @property
+    def history_limit(self) -> Optional[int]:
+        """The reporting ring-buffer cap (``None`` = unbounded)."""
+        return self.history.maxlen
 
     def _auditor_for(self, user: str):
         if self.mode == "pooled":
@@ -54,6 +109,10 @@ class MultiUserFrontend:
         """Audit ``query`` on behalf of ``user``."""
         decision = self._auditor_for(user).audit(query)
         self.history.append((user, query, decision))
+        if user not in self._denials:
+            self._denials[user] = 0
+            self._users.append(user)
+        self._denials[user] += int(decision.denied)
         return decision
 
     # ------------------------------------------------------------------
@@ -61,17 +120,13 @@ class MultiUserFrontend:
     # ------------------------------------------------------------------
 
     def denial_counts(self) -> Dict[str, int]:
-        """Denials per user (the "fair share" the paper worries about)."""
-        out: Dict[str, int] = {}
-        for user, _query, decision in self.history:
-            out.setdefault(user, 0)
-            out[user] += int(decision.denied)
-        return out
+        """Denials per user (the "fair share" the paper worries about).
+
+        Cumulative over the frontend's lifetime, even when ``history``
+        is a bounded ring buffer.
+        """
+        return dict(self._denials)
 
     def users(self) -> List[str]:
-        """Users seen so far."""
-        seen: List[str] = []
-        for user, _q, _d in self.history:
-            if user not in seen:
-                seen.append(user)
-        return seen
+        """Users seen so far (cumulative, in first-seen order)."""
+        return list(self._users)

@@ -9,8 +9,9 @@ denial, optionally annotated with the reason for the denial.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, FrozenSet, Optional, Tuple
 
 from .exceptions import InvalidQueryError
 
@@ -87,6 +88,10 @@ class DenialReason(enum.Enum):
     STRUCTURAL = "structural"  # e.g. Lemma 2 precondition enforcement
     UNSUPPORTED = "unsupported"
     POLICY = "policy"  # e.g. deny-all baseline
+    # The auditor could not finish deciding within its resource budget
+    # (deadline, sampler attempts, chain steps).  Failing closed: an
+    # undecided query is denied, never answered.
+    RESOURCE_EXHAUSTED = "resource-exhausted"
 
 
 @dataclass(frozen=True)
@@ -129,48 +134,82 @@ class AuditEvent:
     step: int = 0
 
 
-@dataclass
 class AuditTrail:
-    """Ordered log of all queries posed to an auditor and their outcomes."""
+    """Ordered log of all queries posed to an auditor and their outcomes.
 
-    events: list = field(default_factory=list)
+    The trail is *reporting* state only — no auditor bases decisions on it —
+    so a long-running deployment may bound its memory with ``limit``: the
+    event buffer becomes a ring holding the most recent ``limit`` events.
+    Aggregate counts (:meth:`__len__`, :meth:`denial_count`,
+    :meth:`summary`) are maintained cumulatively and stay exact no matter
+    how many events the ring has dropped.  Auditor *decision* state
+    (row spaces, synopses) lives elsewhere and is never truncated —
+    forgetting what was disclosed would be a privacy hole, not a memory
+    optimisation.
+    """
+
+    def __init__(self, limit: Optional[int] = None):
+        if limit is not None and limit < 1:
+            raise ValueError("history limit must be a positive integer")
+        self._limit = limit
+        self.events: Deque[AuditEvent] = deque(maxlen=limit)
+        self._total = 0
+        self._answered = 0
+        self._denied = 0
+        self._denied_by_reason: dict = {}
+
+    @property
+    def limit(self) -> Optional[int]:
+        """Ring-buffer capacity of the event buffer (``None`` = unbounded)."""
+        return self._limit
+
+    @limit.setter
+    def limit(self, limit: Optional[int]) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError("history limit must be a positive integer")
+        self._limit = limit
+        self.events = deque(self.events, maxlen=limit)
 
     def record(self, query: Query, decision: AuditDecision) -> AuditEvent:
         """Append an event and return it."""
-        event = AuditEvent(query=query, decision=decision, step=len(self.events))
+        event = AuditEvent(query=query, decision=decision, step=self._total)
         self.events.append(event)
+        self._total += 1
+        if decision.denied:
+            self._denied += 1
+            key = decision.reason.value if decision.reason else "unspecified"
+            self._denied_by_reason[key] = (
+                self._denied_by_reason.get(key, 0) + 1
+            )
+        else:
+            self._answered += 1
         return event
 
     @property
     def answered_events(self):
-        """Events whose query was answered."""
+        """Buffered events whose query was answered."""
         return [e for e in self.events if e.decision.answered]
 
     @property
     def denied_events(self):
-        """Events whose query was denied."""
+        """Buffered events whose query was denied."""
         return [e for e in self.events if e.decision.denied]
 
     def denial_count(self) -> int:
-        """Number of denials so far."""
-        return len(self.denied_events)
+        """Number of denials so far (cumulative, limit-independent)."""
+        return self._denied
 
     def summary(self) -> dict:
         """Counts by outcome and denial reason (for dashboards/logs)."""
-        by_reason: dict = {}
-        for event in self.denied_events:
-            reason = event.decision.reason
-            key = reason.value if reason else "unspecified"
-            by_reason[key] = by_reason.get(key, 0) + 1
         return {
-            "queries": len(self.events),
-            "answered": len(self.answered_events),
-            "denied": len(self.denied_events),
-            "denied_by_reason": by_reason,
+            "queries": self._total,
+            "answered": self._answered,
+            "denied": self._denied,
+            "denied_by_reason": dict(self._denied_by_reason),
         }
 
     def __len__(self) -> int:
-        return len(self.events)
+        return self._total
 
     def __iter__(self):
         return iter(self.events)

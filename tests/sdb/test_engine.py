@@ -97,3 +97,50 @@ def test_engine_routes_updates_to_maxmin_auditor():
     decision = db.query_indices([1, 2], AggregateKind.MIN)
     assert decision.answered
     assert decision.value == 55.0
+
+
+def test_degenerate_envelope_widening_warns():
+    records = [{"zip": 1, "salary": 50.0}, {"zip": 2, "salary": 50.0}]
+    with pytest.warns(UserWarning, match="degenerate sensitive-value "
+                                         "envelope"):
+        db = StatisticalDatabase.from_records(
+            records, sensitive_column="salary",
+            auditor_factory=lambda ds: SumClassicAuditor(ds),
+        )
+    # The widened envelope still takes effect, as before.
+    assert db.dataset.low == 49.0 and db.dataset.high == 51.0
+
+
+def test_explicit_envelope_does_not_warn(recwarn):
+    records = [{"zip": 1, "salary": 50.0}, {"zip": 2, "salary": 50.0}]
+    StatisticalDatabase.from_records(
+        records, sensitive_column="salary",
+        auditor_factory=lambda ds: SumClassicAuditor(ds),
+        low=0.0, high=100.0,
+    )
+    assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
+
+
+def test_from_records_with_wal_recovers_history(tmp_path):
+    path = str(tmp_path / "audit.wal")
+    records = [
+        {"zip": 1, "salary": 10.0},
+        {"zip": 1, "salary": 20.0},
+        {"zip": 2, "salary": 30.0},
+    ]
+
+    def build():
+        return StatisticalDatabase.from_records(
+            records, sensitive_column="salary",
+            auditor_factory=lambda ds: SumClassicAuditor(ds),
+            low=0.0, high=100.0, wal_path=path, verify_wal=True,
+        )
+
+    db = build()
+    assert db.query(All(), AggregateKind.SUM).answered
+    db.auditor.close()
+    db2 = build()
+    # The total is remembered across the restart: the subset query that
+    # would complete a disclosure is still denied.
+    assert db2.query(Eq("zip", 1), AggregateKind.SUM).denied
+    db2.auditor.close()

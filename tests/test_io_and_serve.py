@@ -61,7 +61,8 @@ def test_serve_command_end_to_end(tmp_path, capsys):
 
     import argparse
     args = argparse.Namespace(csv=str(path), sensitive="salary",
-                              auditor="sum", journal=str(journal_path))
+                              auditor="sum", journal=str(journal_path),
+                              wal=None, deadline=None, seed=0)
     queries = io.StringIO(
         "SELECT sum(salary) WHERE dept = 'eng'\n"
         "SELECT sum(salary) WHERE dept = 'eng' AND zip = 94305\n"
@@ -83,7 +84,8 @@ def test_serve_command_end_to_end(tmp_path, capsys):
 def test_serve_command_missing_file(capsys):
     import argparse
     args = argparse.Namespace(csv="/no/such/file.csv", sensitive="x",
-                              auditor="sum", journal=None)
+                              auditor="sum", journal=None,
+                              wal=None, deadline=None, seed=0)
     assert _cmd_serve(args, stdin=io.StringIO("")) == 2
     assert "error:" in capsys.readouterr().out
 
@@ -92,3 +94,49 @@ def test_serve_via_main_help(capsys):
     with pytest.raises(SystemExit):
         main(["serve", "--help"])
     assert "CSV file" in capsys.readouterr().out
+
+
+def test_serve_with_wal_recovers_across_restarts(tmp_path, capsys):
+    path = tmp_path / "salaries.csv"
+    path.write_text(CSV_TEXT)
+    wal_path = tmp_path / "audit.wal"
+
+    import argparse
+
+    def round_trip(lines):
+        args = argparse.Namespace(csv=str(path), sensitive="salary",
+                                  auditor="sum", journal=None,
+                                  wal=str(wal_path), deadline=None, seed=0)
+        return _cmd_serve(args, stdin=io.StringIO(lines))
+
+    assert round_trip("SELECT sum(salary)\nquit\n") == 0
+    first = capsys.readouterr().out
+    assert "answer:" in first and "write-ahead log synced" in first
+
+    assert round_trip("SELECT sum(salary) WHERE dept = 'eng'\nquit\n") == 0
+    second = capsys.readouterr().out
+    # The restarted process remembers the total from the WAL: answering
+    # eng here is fine, but the session count shows the replayed history.
+    assert "session: 2 queries" in second
+
+
+def test_serve_probabilistic_auditor_with_deadline(tmp_path, capsys):
+    path = tmp_path / "salaries.csv"
+    path.write_text(CSV_TEXT)
+    import argparse
+    args = argparse.Namespace(csv=str(path), sensitive="salary",
+                              auditor="sum-prob", journal=None, wal=None,
+                              deadline=30.0, seed=3)
+    code = _cmd_serve(args, stdin=io.StringIO("SELECT sum(salary)\nquit\n"))
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "answer:" in out or "DENIED" in out
+
+
+def test_serve_rejects_deadline_for_classic_auditors(capsys):
+    import argparse
+    args = argparse.Namespace(csv="ignored.csv", sensitive="x",
+                              auditor="sum", journal=None, wal=None,
+                              deadline=1.0, seed=0)
+    assert _cmd_serve(args, stdin=io.StringIO("")) == 2
+    assert "probabilistic" in capsys.readouterr().out

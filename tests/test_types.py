@@ -87,3 +87,35 @@ def test_audit_logging_emits_debug_records(caplog):
     messages = [r.message for r in caplog.records]
     assert any("answered" in m for m in messages)
     assert any("DENIED" in m for m in messages)
+
+
+def test_trail_ring_buffer_keeps_exact_counters():
+    trail = AuditTrail(limit=2)
+    queries = [sum_query([0, 1, 2]), sum_query([0, 1]), sum_query([2])]
+    trail.record(queries[0], AuditDecision.answer(6.0))
+    trail.record(queries[1], AuditDecision.deny(DenialReason.FULL_DISCLOSURE,
+                                                "x"))
+    trail.record(queries[2], AuditDecision.deny(DenialReason.POLICY, "y"))
+    # The buffer holds the most recent two events, with global step ids.
+    assert len(trail.events) == 2
+    assert [e.step for e in trail.events] == [1, 2]
+    # Counters and the summary stay exact across eviction.
+    assert len(trail) == 3
+    assert trail.denial_count() == 2
+    assert trail.summary() == {
+        "queries": 3,
+        "answered": 1,
+        "denied": 2,
+        "denied_by_reason": {"full-disclosure": 1, "policy": 1},
+    }
+
+
+def test_trail_limit_can_be_tightened_later():
+    trail = AuditTrail()
+    for i in range(4):
+        trail.record(sum_query([i, i + 1]), AuditDecision.answer(float(i)))
+    assert trail.limit is None and len(trail.events) == 4
+    trail.limit = 2
+    assert trail.limit == 2
+    assert [e.step for e in trail.events] == [2, 3]
+    assert len(trail) == 4
