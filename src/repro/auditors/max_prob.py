@@ -31,7 +31,13 @@ from ..privacy.posterior import (
     max_predicate_bucket_probabilities_general,
 )
 from ..resilience.budget import Budget, BudgetScope, run_fail_closed
-from ..rng import RngLike, as_generator
+from ..rng import (
+    RngLike,
+    as_generator,
+    integer_block,
+    scale_uniform,
+    uniform_block,
+)
 from ..sdb.dataset import Dataset
 from ..synopsis.extreme_synopsis import ExtremeSynopsis, MaxSynopsis
 from ..types import AggregateKind, AuditDecision, DenialReason, Query
@@ -128,6 +134,10 @@ class MaxProbabilisticAuditor(Auditor):
         set, decisions run under its deadline/step caps with bounded
         retry-and-reseed and fail closed to a ``RESOURCE_EXHAUSTED``
         denial on exhaustion.
+    vectorized:
+        Whether per-decision Monte Carlo draws are assembled in batches
+        (default) or row by row from the same pre-drawn randomness
+        blocks; both modes release bitwise-identical decisions.
     """
 
     supported_kinds = frozenset({AggregateKind.MAX})
@@ -135,7 +145,8 @@ class MaxProbabilisticAuditor(Auditor):
     def __init__(self, dataset: Dataset, lam: float = 0.05, gamma: int = 10,
                  delta: float = 0.05, rounds: int = 100,
                  num_samples: Optional[int] = None, rng: RngLike = None,
-                 distribution=None, budget: Optional[Budget] = None):
+                 distribution=None, budget: Optional[Budget] = None,
+                 vectorized: bool = True):
         super().__init__(dataset)
         dataset.require_duplicate_free()
         if not 0 < delta < 1:
@@ -153,6 +164,7 @@ class MaxProbabilisticAuditor(Auditor):
         self.num_samples = num_samples
         self._rng = as_generator(rng)
         self.budget = budget
+        self.vectorized = vectorized
         # Public model parameters (range and size are known to the attacker;
         # caching them keeps the decision path off the sensitive values).
         self._n = dataset.n
@@ -194,6 +206,64 @@ class MaxProbabilisticAuditor(Auditor):
                 values[witness] = pred.value
         return values
 
+    def sample_consistent_datasets(
+            self, count: int,
+            gen: Optional[np.random.Generator] = None) -> np.ndarray:
+        """``count`` consistent datasets, stacked ``(count, n)``.
+
+        All randomness is pre-drawn in a canonical block order (base
+        values, then per-predicate member draws and witness picks); the
+        vectorized and row-by-row assembly paths consume the same blocks
+        with elementwise-identical arithmetic, so they are
+        bitwise-identical.
+        """
+        if gen is None:
+            gen = self._rng
+        dist = self.distribution
+        n = self._n
+        if count <= 0:
+            return np.empty((0, n))
+        if dist is None:
+            base = scale_uniform(uniform_block(gen, count * n),
+                                 self._low, self._high)
+        else:
+            base = np.concatenate(
+                [dist.sample(gen, n) for _ in range(count)]
+            )
+        pred_blocks = []
+        for pred in self._synopsis.predicates():
+            members = sorted(pred.elements)
+            m = len(members)
+            if dist is None:
+                draws = scale_uniform(uniform_block(gen, count * m),
+                                      self._low, pred.value)
+            else:
+                draws = np.concatenate(
+                    [dist.sample_below(gen, pred.value, m)
+                     for _ in range(count)]
+                )
+            witnesses = (integer_block(gen, m, count)
+                         if pred.equality else None)
+            pred_blocks.append((members, pred.value, draws, witnesses))
+        if self.vectorized:
+            values = base.reshape(count, n)
+            for members, bound, draws, witnesses in pred_blocks:
+                values[:, members] = draws.reshape(count, len(members))
+                if witnesses is not None:
+                    cols = np.asarray(members)[witnesses]
+                    values[np.arange(count), cols] = bound
+            return values
+        out = np.empty((count, n))
+        for c in range(count):
+            row = base[c * n:(c + 1) * n].copy()
+            for members, bound, draws, witnesses in pred_blocks:
+                m = len(members)
+                row[members] = draws[c * m:(c + 1) * m]
+                if witnesses is not None:
+                    row[members[int(witnesses[c])]] = bound
+            out[c] = row
+        return out
+
     # ------------------------------------------------------------------
     # Decision (Algorithm 2)
     # ------------------------------------------------------------------
@@ -211,13 +281,14 @@ class MaxProbabilisticAuditor(Auditor):
                              gen: np.random.Generator
                              ) -> Optional[AuditDecision]:
         members = query.sorted_indices()
+        samples = self.sample_consistent_datasets(self.num_samples, gen)
         unsafe = 0
-        for _ in range(self.num_samples):
+        for s in range(self.num_samples):
             if scope is not None:
                 # No inner MCMC chain here: one Monte Carlo draw is the
                 # natural cancellation granularity.
                 scope.checkpoint()
-            sample = self.sample_consistent_dataset(gen)
+            sample = samples[s]
             answer = float(sample[list(members)].max())
             trial = self._synopsis.copy()
             try:

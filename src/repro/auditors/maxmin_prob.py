@@ -61,6 +61,11 @@ class MaxMinProbabilisticAuditor(Auditor):
         set, decisions run under its deadline/step caps with bounded
         retry-and-reseed and fail closed to a ``RESOURCE_EXHAUSTED``
         denial on exhaustion.
+    vectorized:
+        Whether the colouring chain resolves proposals in batches
+        (default) or one transition at a time from the same pre-drawn
+        randomness blocks; both modes release bitwise-identical
+        decisions.
     """
 
     supported_kinds = frozenset({AggregateKind.MAX, AggregateKind.MIN})
@@ -69,7 +74,8 @@ class MaxMinProbabilisticAuditor(Auditor):
                  delta: float = 0.2, rounds: int = 20,
                  num_outer: int = 8, num_inner: int = 120,
                  mc_tolerance: float = 0.15, rng: RngLike = None,
-                 budget: Optional[Budget] = None):
+                 budget: Optional[Budget] = None,
+                 vectorized: bool = True):
         super().__init__(dataset)
         dataset.require_duplicate_free()
         if not 0 < delta < 1:
@@ -84,6 +90,7 @@ class MaxMinProbabilisticAuditor(Auditor):
         self.mc_tolerance = mc_tolerance
         self._rng = as_generator(rng)
         self.budget = budget
+        self.vectorized = vectorized
         self._synopsis = CombinedSynopsis(dataset.n, dataset.low, dataset.high)
         self._answers: List[float] = []
 
@@ -144,7 +151,8 @@ class MaxMinProbabilisticAuditor(Auditor):
             seed_dataset = list(self.dataset.values)
         return PosteriorSampler(synopsis, initial_dataset=seed_dataset,
                                 rng=self._rng if gen is None else gen,
-                                checkpoint=checkpoint)
+                                checkpoint=checkpoint,
+                                vectorized=self.vectorized)
 
     def _posterior_buckets(self, synopsis: CombinedSynopsis,
                            seed_dataset: List[float],

@@ -53,6 +53,14 @@ class SumProbabilisticAuditor(Auditor):
         set, decisions run under its deadline/step caps with bounded
         retry-and-reseed and fail closed to a
         ``RESOURCE_EXHAUSTED`` denial on exhaustion.
+    steps_per_sample:
+        Hit-and-run transitions per posterior sample (defaults to the
+        sampler's ``4 * dim`` mixing budget).
+    vectorized:
+        Whether the samplers run their batched NumPy kernels (default)
+        or the scalar reference walk over the same pre-drawn randomness
+        blocks; both modes release bitwise-identical decisions, which
+        the differential replay suite asserts.
     """
 
     supported_kinds = frozenset({AggregateKind.SUM})
@@ -61,7 +69,9 @@ class SumProbabilisticAuditor(Auditor):
                  delta: float = 0.2, rounds: int = 20,
                  num_outer: int = 5, num_inner: int = 100,
                  mc_tolerance: float = 0.1, rng: RngLike = None,
-                 budget: Optional[Budget] = None):
+                 budget: Optional[Budget] = None,
+                 steps_per_sample: Optional[int] = None,
+                 vectorized: bool = True):
         super().__init__(dataset)
         if not 0 < delta < 1:
             raise PrivacyParameterError("delta must lie in (0, 1)")
@@ -75,6 +85,8 @@ class SumProbabilisticAuditor(Auditor):
         self.mc_tolerance = mc_tolerance
         self._rng = as_generator(rng)
         self.budget = budget
+        self.steps_per_sample = steps_per_sample
+        self.vectorized = vectorized
         self._slice = AffineSlice(dataset.n, dataset.low, dataset.high)
 
     # ------------------------------------------------------------------
@@ -88,19 +100,28 @@ class SumProbabilisticAuditor(Auditor):
                            seed_point: np.ndarray,
                            gen: np.random.Generator,
                            checkpoint=None) -> np.ndarray:
-        """Monte Carlo posterior bucket probabilities, ``(n, gamma)``."""
+        """Monte Carlo posterior bucket probabilities, ``(n, gamma)``.
+
+        Uses the sampler's ensemble API: ``num_inner`` independent
+        chains from ``seed_point``, each spending the full per-sample
+        mixing budget, walked in lockstep.  Bucketing is a single
+        batched searchsorted + bincount over the ``(num_inner, n)``
+        sample matrix.
+        """
         sampler = HitAndRunSampler(slice_, seed_point, rng=gen,
-                                   checkpoint=checkpoint)
+                                   checkpoint=checkpoint,
+                                   steps_per_sample=self.steps_per_sample,
+                                   vectorized=self.vectorized)
         gamma = self.grid.gamma
-        counts = np.zeros((self.dataset.n, gamma))
-        for _ in range(self.num_inner):
-            x = sampler.sample()
-            buckets = np.clip(
-                np.searchsorted(self.grid.edges, x, side="right") - 1,
-                0, gamma - 1,
-            )
-            counts[np.arange(self.dataset.n), buckets] += 1.0
-        return counts / self.num_inner
+        n = self.dataset.n
+        samples = sampler.samples_ensemble(self.num_inner)
+        buckets = np.clip(
+            np.searchsorted(self.grid.edges, samples, side="right") - 1,
+            0, gamma - 1,
+        )
+        flat = (buckets + np.arange(n) * gamma).ravel()
+        counts = np.bincount(flat, minlength=n * gamma).reshape(n, gamma)
+        return counts / float(self.num_inner)
 
     def _deny_reason(self, query: Query) -> Optional[AuditDecision]:
         # Fail-closed: under a budget, deadline/step exhaustion and
@@ -123,7 +144,9 @@ class SumProbabilisticAuditor(Auditor):
         # simulatability: violation -- MCMC chain seeded at the true data;
         # the stationary distribution depends only on past answers
         outer = HitAndRunSampler(self._slice, self.dataset.as_array(),
-                                 rng=gen, checkpoint=checkpoint)
+                                 rng=gen, checkpoint=checkpoint,
+                                 steps_per_sample=self.steps_per_sample,
+                                 vectorized=self.vectorized)
         unsafe = 0
         for _ in range(self.num_outer):
             candidate = outer.sample()

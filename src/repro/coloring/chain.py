@@ -17,8 +17,22 @@ import numpy as np
 
 from ..exceptions import ColoringError
 from ..resilience.faults import fault_site
-from ..rng import RngLike, as_generator
+from ..rng import (
+    RngLike,
+    as_generator,
+    choice_cdf,
+    choice_from_cdf,
+    integer_block,
+    uniform_block,
+)
 from .graph import Coloring, ColoringGraph
+
+#: Below this many transitions the per-call overhead of the batched
+#: searchsorted resolution (np.unique + boolean masks) exceeds its gain,
+#: so :meth:`ColoringChain.run` resolves proposals scalar-wise.  Both
+#: resolutions are bitwise-identical, so the crossover is purely a
+#: performance heuristic.
+BATCH_MIN_STEPS = 64
 
 
 class ColoringChain:
@@ -27,20 +41,35 @@ class ColoringChain:
     ``checkpoint`` is an optional cooperative-cancellation hook invoked
     once per transition (see
     :meth:`repro.resilience.budget.BudgetScope.checkpoint`).
+
+    :meth:`run` pre-draws its randomness in a canonical block order (all
+    node picks, then all proposal positions) and resolves proposals from
+    per-node cumulative tables; with ``vectorized=True`` (the default)
+    the searchsorted lookups are batched per node, with
+    ``vectorized=False`` they are resolved one transition at a time from
+    the *same* blocks — the two modes are bitwise-identical, which the
+    differential suite asserts.  :meth:`step` keeps the original
+    per-transition draw order for callers that interleave other draws.
     """
 
     def __init__(self, graph: ColoringGraph, initial: Coloring,
                  rng: RngLike = None,
-                 checkpoint: Optional[Callable[[], None]] = None):
+                 checkpoint: Optional[Callable[[], None]] = None,
+                 vectorized: bool = True):
         if not graph.is_valid(initial):
             raise ColoringError("initial coloring is not valid")
         self.graph = graph
         self.state: Coloring = dict(initial)
         self._rng = as_generator(rng)
         self._checkpoint = checkpoint
-        # Pre-compute per-node colour lists and proposal probabilities.
+        self.vectorized = vectorized
+        # Pre-compute per-node colour lists, proposal probabilities, the
+        # cumulative tables ``Generator.choice`` would build per call, and
+        # adjacency lists (so the accept loop never re-walks the graph).
         self._colors: List[List[int]] = []
         self._probs: List[np.ndarray] = []
+        self._cdfs: List[Optional[np.ndarray]] = []
+        self._neighbors: List[List[int]] = []
         for node in graph.nodes:
             colours = sorted(node.elements)
             weights = np.array(
@@ -49,6 +78,10 @@ class ColoringChain:
             )
             self._colors.append(colours)
             self._probs.append(weights / weights.sum())
+            self._cdfs.append(
+                choice_cdf(weights) if len(colours) > 1 else None
+            )
+            self._neighbors.append(list(graph.neighbors(node.node_id)))
 
     @staticmethod
     def _finite_weight(w: float) -> float:
@@ -83,9 +116,58 @@ class ColoringChain:
         return True
 
     def run(self, steps: int) -> Coloring:
-        """Advance ``steps`` transitions and return the current colouring."""
-        for _ in range(steps):
-            self.step()
+        """Advance ``steps`` transitions and return the current colouring.
+
+        Draws the whole randomness block up front (node picks, then
+        proposal positions — one position per transition whether or not
+        the picked node has a choice to make), resolves proposals from
+        the precomputed per-node cumulative tables, and applies the
+        accept/reject sweep sequentially.  Fault sites and cancellation
+        checkpoints still fire once per transition.
+        """
+        if steps <= 0:
+            return dict(self.state)
+        checkpoint = self._checkpoint
+        k = self.graph.k
+        if k == 0:
+            for _ in range(steps):
+                fault_site("coloring.step")
+                if checkpoint is not None:
+                    checkpoint()
+            return dict(self.state)
+        v_block = integer_block(self._rng, k, steps)
+        u_block = uniform_block(self._rng, steps)
+        if self.vectorized and steps >= BATCH_MIN_STEPS:
+            proposal_idx = np.zeros(steps, dtype=np.intp)
+            for v in np.unique(v_block):
+                cdf = self._cdfs[v]
+                if cdf is not None:
+                    sel = v_block == v
+                    proposal_idx[sel] = cdf.searchsorted(u_block[sel],
+                                                         side="right")
+        else:
+            proposal_idx = None
+        state = self.state
+        for s in range(steps):
+            fault_site("coloring.step")
+            if checkpoint is not None:
+                checkpoint()
+            v = int(v_block[s])
+            colours = self._colors[v]
+            if len(colours) == 1:
+                continue
+            if proposal_idx is None:
+                idx = int(choice_from_cdf(self._cdfs[v], u_block[s]))
+            else:
+                idx = int(proposal_idx[s])
+            proposal = colours[idx]
+            if proposal == state[v]:
+                continue
+            for nb in self._neighbors[v]:
+                if state[nb] == proposal:
+                    break
+            else:
+                state[v] = proposal
         return dict(self.state)
 
     def default_steps(self, safety: float = 4.0) -> int:

@@ -13,7 +13,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from ..rng import RngLike, as_generator
+from ..rng import RngLike, as_generator, scale_uniform, uniform_block
 from ..synopsis.combined import CombinedSynopsis
 from .chain import ColoringChain
 from .graph import Coloring, ColoringGraph
@@ -28,12 +28,20 @@ def _containing_bucket(edges: np.ndarray, value: float) -> int:
 
 def dataset_from_coloring(graph: ColoringGraph, coloring: Coloring,
                           rng: RngLike = None) -> List[float]:
-    """Materialise a dataset from a colouring (steps 2–3 of Lemma 1)."""
+    """Materialise a dataset from a colouring (steps 2–3 of Lemma 1).
+
+    The uniform fills are drawn as one block over the free elements in
+    index order, which is bitwise-identical to the per-element
+    ``Generator.uniform`` calls it replaces.
+    """
     gen = as_generator(rng)
     synopsis = graph.synopsis
     values: List[Optional[float]] = [None] * synopsis.n
     for node in graph.nodes:
         values[coloring[node.node_id]] = node.value
+    free: List[int] = []
+    lows: List[float] = []
+    highs: List[float] = []
     for i in range(synopsis.n):
         if values[i] is not None:
             continue
@@ -41,7 +49,14 @@ def dataset_from_coloring(graph: ColoringGraph, coloring: Coloring,
         if rng_i.is_point:
             values[i] = rng_i.lo
         else:
-            values[i] = float(gen.uniform(rng_i.lo, rng_i.hi))
+            free.append(i)
+            lows.append(rng_i.lo)
+            highs.append(rng_i.hi)
+    if free:
+        fills = scale_uniform(uniform_block(gen, len(free)),
+                              np.asarray(lows), np.asarray(highs))
+        for i, fill in zip(free, fills):
+            values[i] = float(fill)
     return [float(v) for v in values]
 
 
@@ -63,6 +78,10 @@ class PosteriorSampler:
     checkpoint:
         Optional cooperative-cancellation hook, invoked once per chain
         transition (see :class:`repro.resilience.budget.BudgetScope`).
+    vectorized:
+        Whether the underlying chain resolves proposals in batches; the
+        scalar reference path (``False``) is bitwise-identical (see
+        :class:`ColoringChain`).
     """
 
     def __init__(self, synopsis: CombinedSynopsis,
@@ -70,7 +89,8 @@ class PosteriorSampler:
                  rng: RngLike = None,
                  burn_in: Optional[int] = None,
                  thin: Optional[int] = None,
-                 checkpoint: Optional[Callable[[], None]] = None):
+                 checkpoint: Optional[Callable[[], None]] = None,
+                 vectorized: bool = True):
         self._rng = as_generator(rng)
         self.graph = ColoringGraph(synopsis)
         if initial_dataset is not None:
@@ -80,7 +100,8 @@ class PosteriorSampler:
         else:
             initial = {}
         self.chain = ColoringChain(self.graph, initial, rng=self._rng,
-                                   checkpoint=checkpoint)
+                                   checkpoint=checkpoint,
+                                   vectorized=vectorized)
         default = self.chain.default_steps()
         self.burn_in = default if burn_in is None else burn_in
         self.thin = max(1, default // 4) if thin is None else thin

@@ -73,6 +73,25 @@ class AuditJournal:
         self.events.append(event)
         return event
 
+    def record_replay(self, query: Query,
+                      decision: AuditDecision) -> Dict[str, Any]:
+        """Append a cache-served re-release of a past decision.
+
+        Replays keep the disclosure log complete without implying any new
+        audit state; :meth:`restore` skips them (the original ``query``
+        event already carries the state change).
+        """
+        event: Dict[str, Any] = {
+            "type": "query_replay",
+            "kind": query.kind.value,
+            "members": sorted(query.query_set),
+            "denied": decision.denied,
+        }
+        if decision.answered:
+            event["value"] = decision.value
+        self.events.append(event)
+        return event
+
     def record_update(self, event) -> Dict[str, Any]:
         """Append an update event; returns the journalled dict."""
         record: Dict[str, Any]
@@ -146,6 +165,10 @@ class AuditJournal:
             etype = event.get("type")
             if etype == "query":
                 self._replay_query(auditor, event, verify)
+            elif etype == "query_replay":
+                # A cache-served re-release: no audit state to rebuild
+                # (the original "query" event already carried it).
+                continue
             elif etype == "modify":
                 dataset.set_value(int(event["index"]), float(event["value"]))
                 auditor.apply_update(Modify(int(event["index"]),
@@ -224,6 +247,21 @@ class JournaledAuditor:
             self.wal.append(event)
         fault_site("journal.post-record")
         return decision
+
+    def record_replay(self, query: Query, decision: AuditDecision) -> None:
+        """Durably log a cache-served re-release before it goes out.
+
+        The wrapped auditor is *not* re-run (a replayed bit carries no new
+        information and must not mutate audit state), but the journal/WAL
+        still gains a ``query_replay`` event — cache hits never bypass the
+        disclosure log.
+        """
+        self.trail.record(query, decision)
+        fault_site("journal.pre-record")
+        event = self.journal.record_replay(query, decision)
+        if self.wal is not None:
+            self.wal.append(event)
+        fault_site("journal.post-record")
 
     def apply_update(self, event) -> None:
         """Apply and journal an update (durably, when a WAL is attached)."""

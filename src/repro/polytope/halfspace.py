@@ -14,6 +14,11 @@ import numpy as np
 
 from ..exceptions import SamplingError
 
+#: Coordinates whose direction component is at most this are treated as
+#: non-moving during chord intersection (shared by the scalar chord and the
+#: vectorized walk so both compute identical feasible ranges).
+CHORD_TOL = 1e-12
+
 
 class AffineSlice:
     """The feasible set ``{x in [low, high]^n : A x = b}``."""
@@ -86,7 +91,7 @@ class AffineSlice:
         return bool(np.all(np.abs(a @ x - b) <= tol * max(1.0, self.n)))
 
     def chord(self, x: np.ndarray, direction: np.ndarray,
-              tol: float = 1e-12) -> Tuple[float, float]:
+              tol: float = CHORD_TOL) -> Tuple[float, float]:
         """Feasible parameter range ``[t_lo, t_hi]`` for ``x + t * direction``.
 
         ``direction`` must lie in the null space of ``A`` (the caller draws

@@ -1,0 +1,65 @@
+"""A small LRU cache with hit/miss accounting.
+
+Backs the engine's two memoization layers (query-set resolution and
+decision replay — see :mod:`repro.sdb.engine`).  Deliberately minimal:
+an :class:`collections.OrderedDict` with move-to-end on hit and
+evict-oldest on overflow, plus counters the benchmark and the
+cache-invalidation tests read.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+
+class LruCache:
+    """Least-recently-used mapping bounded to ``capacity`` entries."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Optional[Any]:
+        """Look up ``key``, refreshing its recency on a hit."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``, evicting the oldest entry on overflow."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they span invalidations)."""
+        self._data.clear()
+
+    def stats(self) -> dict:
+        """Counters snapshot: hits, misses, evictions, current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._data),
+        }

@@ -1,0 +1,184 @@
+"""Columnar views of a table's public attributes.
+
+:class:`TableView` snapshots a :class:`~repro.sdb.table.Table` at a
+version: one :class:`ColumnData` per referenced column, each holding a
+missing-mask plus a typed array (float64 for numeric columns, a NumPy
+string array for string columns).  Predicate evaluation becomes a few
+ufunc calls per column instead of a Python row loop; predicates and
+columns the fast paths cannot represent *exactly* fall back to the
+scalar ``matches`` loop, so mask evaluation always agrees with the
+row-by-row semantics (the hypothesis suite asserts this equivalence).
+
+Exactness notes baked into the fast-path guards:
+
+* Python compares ``bool``/``int``/``float`` by value (``True == 1``),
+  so booleans ride the numeric path;
+* integers beyond ``2**53`` would round on conversion to float64 while
+  Python compares them exactly — such values force the object path;
+* ``Range`` bounds must match the column's kind, otherwise the scalar
+  semantics (a ``TypeError`` means "does not match", but exotic types
+  like ``Decimal`` *can* compare against floats) are reproduced by the
+  fallback loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+#: Largest integer magnitude exactly representable in float64.
+_EXACT_INT = 2 ** 53
+
+
+def _as_float(value: Any) -> Optional[float]:
+    """``value`` as an exactly-equivalent float, or ``None``.
+
+    Returns ``None`` when ``value`` is not a plain number or would lose
+    precision (large ints), i.e. when the numeric fast path must not be
+    used for it.
+    """
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, int):
+        return float(value) if -_EXACT_INT <= value <= _EXACT_INT else None
+    if isinstance(value, float):
+        return value
+    return None
+
+
+class ColumnData:
+    """One column's values in typed, mask-friendly form.
+
+    ``missing[i]`` is True when row ``i`` is deleted or lacks the column
+    (``row.get`` returns ``None``); ``kind`` is ``'num'``, ``'str'`` or
+    ``'obj'``.  Only ``'num'``/``'str'`` columns have typed arrays; the
+    ``'obj'`` kind means a mixed or exotic column for which every
+    predicate falls back to the scalar loop.
+    """
+
+    __slots__ = ("n", "missing", "kind", "num", "strs")
+
+    def __init__(self, n: int, rows: List[Optional[Dict[str, Any]]],
+                 column: str):
+        self.n = n
+        self.missing = np.ones(n, dtype=bool)
+        values: List[Any] = [None] * n
+        numeric = True
+        stringy = True
+        for i, row in enumerate(rows):
+            if row is None:
+                continue
+            value = row.get(column)
+            if value is None:
+                continue
+            self.missing[i] = False
+            values[i] = value
+            if numeric and _as_float(value) is None:
+                numeric = False
+            if stringy and not isinstance(value, str):
+                stringy = False
+        self.num: Optional[np.ndarray] = None
+        self.strs: Optional[np.ndarray] = None
+        if numeric:
+            self.kind = "num"
+            self.num = np.array(
+                [0.0 if v is None else float(v) for v in values]
+            )
+        elif stringy:
+            self.kind = "str"
+            self.strs = np.array(
+                ["" if v is None else v for v in values], dtype=str
+            )
+        else:
+            self.kind = "obj"
+
+    # ------------------------------------------------------------------
+    # Mask kernels (None = "no exact fast path; use the scalar loop")
+    # ------------------------------------------------------------------
+
+    def eq_mask(self, value: Any) -> Optional[np.ndarray]:
+        """Rows where ``stored == value`` (Python semantics), or ``None``."""
+        if value is None:
+            # row.get(column) is None on both missing keys and stored Nones;
+            # the builder folds stored Nones into ``missing``.
+            return self.missing.copy()
+        if self.kind == "num":
+            target = _as_float(value)
+            if target is not None:
+                return ~self.missing & (self.num == target)
+            # non-numeric values never equal numbers (for plain types)
+            if isinstance(value, str):
+                return np.zeros(self.n, dtype=bool)
+            return None
+        if self.kind == "str":
+            if isinstance(value, str):
+                return ~self.missing & (self.strs == value)
+            if _as_float(value) is not None:
+                return np.zeros(self.n, dtype=bool)
+            return None
+        return None
+
+    def in_mask(self, values) -> Optional[np.ndarray]:
+        """Rows where ``stored in values``, or ``None``."""
+        mask = np.zeros(self.n, dtype=bool)
+        for value in values:
+            part = self.eq_mask(value)
+            if part is None:
+                return None
+            mask |= part
+        return mask
+
+    def range_mask(self, low: Any, high: Any) -> Optional[np.ndarray]:
+        """Rows where ``low <= stored <= high`` (None bound = open), or
+        ``None`` when a bound's type prevents an exact vector compare."""
+        if self.kind == "num":
+            lo = None if low is None else _as_float(low)
+            hi = None if high is None else _as_float(high)
+            if (low is not None and lo is None) or \
+                    (high is not None and hi is None):
+                return None
+            mask = ~self.missing
+            if lo is not None:
+                mask &= self.num >= lo
+            if hi is not None:
+                mask &= self.num <= hi
+            return mask
+        if self.kind == "str":
+            if (low is not None and not isinstance(low, str)) or \
+                    (high is not None and not isinstance(high, str)):
+                return None
+            mask = ~self.missing
+            if low is not None:
+                mask &= self.strs >= low
+            if high is not None:
+                mask &= self.strs <= high
+            return mask
+        return None
+
+
+class TableView:
+    """A per-version snapshot: live mask plus lazily-built columns."""
+
+    def __init__(self, rows: List[Optional[Dict[str, Any]]], version: int):
+        self._rows = rows
+        self.version = version
+        self.n = len(rows)
+        self.live = np.array([row is not None for row in rows], dtype=bool)
+        self._columns: Dict[str, ColumnData] = {}
+
+    def column(self, name: str) -> ColumnData:
+        """The (cached) columnar form of ``name``."""
+        data = self._columns.get(name)
+        if data is None:
+            data = ColumnData(self.n, self._rows, name)
+            self._columns[name] = data
+        return data
+
+    def scalar_mask(self, predicate) -> np.ndarray:
+        """Row-loop fallback over live rows (dead rows read as False)."""
+        out = np.zeros(self.n, dtype=bool)
+        for i in np.flatnonzero(self.live):
+            row = self._rows[i]
+            out[i] = bool(predicate.matches(row))
+        return out

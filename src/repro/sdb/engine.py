@@ -7,6 +7,23 @@ gatekeeps every aggregate request.  It is the library's equivalent of the
 paper's running example::
 
     db.query(Eq("zipcode", 94305), AggregateKind.SUM)   # sum(Salary) WHERE ...
+
+Two LRU memoization layers sit on the serving path:
+
+* the **query-set cache** maps a predicate's canonical form (see
+  :func:`~repro.sdb.predicates.canonical_key`) to its resolved record-index
+  set, guarded by the table version;
+* the **decision cache** maps ``(kind, query_set)`` to the released
+  decision.  Semantics are *replay*: a hit re-releases a bit the auditor
+  already disclosed — information-free by definition — and is still
+  journalled/WAL-appended (as a ``query_replay`` event) before the answer
+  goes out, so the disclosure log stays complete.  A hit never re-runs the
+  auditor, so it cannot mutate audit state.
+
+Invalidation follows the :mod:`repro.sdb.updates` stream: ``Insert`` and
+``Delete`` reshape query sets *and* posteriors (both caches drop);
+``Modify`` touches only sensitive values (decision cache drops, query-set
+cache survives — public attributes are unchanged).
 """
 
 from __future__ import annotations
@@ -16,16 +33,23 @@ from typing import Any, Mapping, Optional, Sequence
 
 from ..exceptions import InvalidQueryError
 from ..types import AggregateKind, AuditDecision, Query
+from .cache import LruCache
 from .dataset import Dataset
-from .predicates import Predicate
+from .predicates import Predicate, canonical_key
 from .table import Table
 from .updates import Delete, Insert, Modify, UpdateEvent
 
 
 class StatisticalDatabase:
-    """An SDB that only releases audited aggregate statistics."""
+    """An SDB that only releases audited aggregate statistics.
 
-    def __init__(self, table: Table, dataset: Dataset, auditor) -> None:
+    ``query_cache_size`` / ``decision_cache_size`` bound the two LRU
+    layers; pass 0 to disable either.
+    """
+
+    def __init__(self, table: Table, dataset: Dataset, auditor,
+                 query_cache_size: int = 128,
+                 decision_cache_size: int = 128) -> None:
         if table.n != dataset.n:
             raise InvalidQueryError(
                 f"table has {table.n} records but dataset has {dataset.n}"
@@ -33,6 +57,12 @@ class StatisticalDatabase:
         self.table = table
         self.dataset = dataset
         self.auditor = auditor
+        self._query_set_cache: Optional[LruCache] = (
+            LruCache(query_cache_size) if query_cache_size > 0 else None
+        )
+        self._decision_cache: Optional[LruCache] = (
+            LruCache(decision_cache_size) if decision_cache_size > 0 else None
+        )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -106,21 +136,76 @@ class StatisticalDatabase:
 
     def query(self, predicate: Predicate, kind: AggregateKind) -> AuditDecision:
         """Pose an aggregate query through the auditor."""
-        query_set = self.table.select(predicate)
+        query_set = self._resolve_query_set(predicate)
         if not query_set:
             raise InvalidQueryError("predicate selects no records")
-        return self.auditor.audit(Query(kind, query_set))
+        return self._audit(Query(kind, query_set))
 
     def query_indices(self, indices, kind: AggregateKind) -> AuditDecision:
         """Pose a query over explicit record indices (for experiments)."""
-        return self.auditor.audit(Query(kind, frozenset(indices)))
+        return self._audit(Query(kind, frozenset(indices)))
+
+    def cache_stats(self) -> Mapping[str, Any]:
+        """Counters for both memoization layers (empty dicts = disabled)."""
+        return {
+            "query_set": (self._query_set_cache.stats()
+                          if self._query_set_cache is not None else {}),
+            "decision": (self._decision_cache.stats()
+                         if self._decision_cache is not None else {}),
+        }
+
+    def _resolve_query_set(self, predicate: Predicate):
+        cache = self._query_set_cache
+        if cache is None:
+            return self.table.select(predicate)
+        try:
+            key = canonical_key(predicate)
+        except TypeError:  # unhashable operand: not cacheable
+            return self.table.select(predicate)
+        hit = cache.get(key)
+        if hit is not None and hit[0] == self.table.version:
+            return hit[1]
+        query_set = self.table.select(predicate)
+        cache.put(key, (self.table.version, query_set))
+        return query_set
+
+    def _audit(self, query: Query) -> AuditDecision:
+        cache = self._decision_cache
+        if cache is None:
+            return self.auditor.audit(query)
+        key = (query.kind, query.query_set)
+        cached = cache.get(key)
+        if cached is not None:
+            # Replay of an already-released bit: journal/WAL it (the
+            # disclosure log must stay complete) but never re-run the
+            # auditor or touch its state.
+            self._record_replay(query, cached)
+            return cached
+        decision = self.auditor.audit(query)
+        cache.put(key, decision)
+        return decision
+
+    def _record_replay(self, query: Query, decision: AuditDecision) -> None:
+        recorder = getattr(self.auditor, "record_replay", None)
+        if recorder is not None:
+            recorder(query, decision)
+            return
+        trail = getattr(self.auditor, "trail", None)
+        if trail is not None:
+            trail.record(query, decision)
 
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
 
     def apply(self, event: UpdateEvent) -> None:
-        """Apply an update to the data *and* the auditor's bookkeeping."""
+        """Apply an update to the data *and* the auditor's bookkeeping.
+
+        Also invalidates the memoization layers: inserts and deletes
+        reshape query sets and posteriors (both caches drop); a modify
+        changes only sensitive values (decisions drop, query sets
+        survive).
+        """
         if isinstance(event, Insert):
             self.table.insert(dict(event.public or {}))
             self.dataset.append(event.value)
@@ -131,3 +216,7 @@ class StatisticalDatabase:
         else:  # pragma: no cover - defensive
             raise InvalidQueryError(f"unknown update event {event!r}")
         self.auditor.apply_update(event)
+        if self._decision_cache is not None:
+            self._decision_cache.clear()
+        if not isinstance(event, Modify) and self._query_set_cache is not None:
+            self._query_set_cache.clear()

@@ -5,22 +5,46 @@ attribute values, e.g.::
 
     SELECT sum(Salary) FROM CompanyTable WHERE ZipCode = 94305
 
-Predicates here are small composable objects evaluated row-by-row against a
-:class:`~repro.sdb.table.Table`; the resulting record-index set is the query
-set ``Q``.
+Predicates here are small composable objects; a :class:`Predicate` can be
+evaluated row-by-row via :meth:`~Predicate.matches` or — the serving path —
+as a boolean *mask* over a columnar
+:class:`~repro.sdb.columns.TableView` via :meth:`~Predicate.mask`, where
+leaf predicates become per-column ufunc comparisons and connectives become
+bitset operations.  The two evaluation strategies agree exactly (the
+hypothesis suite asserts it); mask kernels that cannot reproduce the
+scalar semantics for a given column/operand type fall back to the row
+loop internally.  The resulting record-index set is the query set ``Q``.
+
+:func:`canonical_key` maps a predicate to a hashable canonical form
+(commutative connectives flattened, double negation elided) used to key
+the engine's query-set cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence, Tuple
+from typing import Any, Hashable, Mapping, Sequence, Tuple
+
+import numpy as np
 
 
 class Predicate:
-    """Base class; subclasses implement :meth:`matches`."""
+    """Base class; subclasses implement :meth:`matches` and :meth:`mask`."""
 
     def matches(self, row: Mapping[str, Any]) -> bool:
         """Whether a record's public attributes satisfy the predicate."""
+        raise NotImplementedError
+
+    def mask(self, view) -> np.ndarray:
+        """Boolean match mask over all row slots of ``view``.
+
+        Liveness is *not* applied here (``Not`` must complement the raw
+        match mask); callers intersect with ``view.live``.
+        """
+        return view.scalar_mask(self)
+
+    def key(self) -> Hashable:
+        """Canonical hashable form (see :func:`canonical_key`)."""
         raise NotImplementedError
 
     # Composition sugar -------------------------------------------------
@@ -42,6 +66,12 @@ class All(Predicate):
     def matches(self, row: Mapping[str, Any]) -> bool:
         return True
 
+    def mask(self, view) -> np.ndarray:
+        return np.ones(view.n, dtype=bool)
+
+    def key(self) -> Hashable:
+        return ("all",)
+
 
 @dataclass(frozen=True)
 class Eq(Predicate):
@@ -52,6 +82,13 @@ class Eq(Predicate):
 
     def matches(self, row: Mapping[str, Any]) -> bool:
         return row.get(self.column) == self.value
+
+    def mask(self, view) -> np.ndarray:
+        result = view.column(self.column).eq_mask(self.value)
+        return view.scalar_mask(self) if result is None else result
+
+    def key(self) -> Hashable:
+        return ("eq", self.column, self.value)
 
 
 @dataclass(frozen=True)
@@ -67,6 +104,16 @@ class In(Predicate):
 
     def matches(self, row: Mapping[str, Any]) -> bool:
         return row.get(self.column) in self.values
+
+    def mask(self, view) -> np.ndarray:
+        result = view.column(self.column).in_mask(self.values)
+        return view.scalar_mask(self) if result is None else result
+
+    def key(self) -> Hashable:
+        # Membership is an unordered union; 1, 1.0 and True hash (and
+        # compare) equal in Python, so the frozenset collapses them just
+        # like ``in`` does.
+        return ("in", self.column, frozenset(self.values))
 
 
 @dataclass(frozen=True)
@@ -92,6 +139,13 @@ class Range(Predicate):
             return False
         return True
 
+    def mask(self, view) -> np.ndarray:
+        result = view.column(self.column).range_mask(self.low, self.high)
+        return view.scalar_mask(self) if result is None else result
+
+    def key(self) -> Hashable:
+        return ("range", self.column, self.low, self.high)
+
 
 @dataclass(frozen=True)
 class And(Predicate):
@@ -102,6 +156,12 @@ class And(Predicate):
 
     def matches(self, row: Mapping[str, Any]) -> bool:
         return self.left.matches(row) and self.right.matches(row)
+
+    def mask(self, view) -> np.ndarray:
+        return self.left.mask(view) & self.right.mask(view)
+
+    def key(self) -> Hashable:
+        return ("and", frozenset(_flatten(self, And)))
 
 
 @dataclass(frozen=True)
@@ -114,6 +174,12 @@ class Or(Predicate):
     def matches(self, row: Mapping[str, Any]) -> bool:
         return self.left.matches(row) or self.right.matches(row)
 
+    def mask(self, view) -> np.ndarray:
+        return self.left.mask(view) | self.right.mask(view)
+
+    def key(self) -> Hashable:
+        return ("or", frozenset(_flatten(self, Or)))
+
 
 @dataclass(frozen=True)
 class Not(Predicate):
@@ -123,3 +189,34 @@ class Not(Predicate):
 
     def matches(self, row: Mapping[str, Any]) -> bool:
         return not self.inner.matches(row)
+
+    def mask(self, view) -> np.ndarray:
+        return ~self.inner.mask(view)
+
+    def key(self) -> Hashable:
+        if isinstance(self.inner, Not):  # double negation
+            return self.inner.inner.key()
+        return ("not", self.inner.key())
+
+
+def _flatten(predicate: Predicate, connective: type) -> list:
+    """Keys of the maximal same-connective subtree (associativity +
+    commutativity collapse into one frozenset of operand keys)."""
+    if isinstance(predicate, connective):
+        return (_flatten(predicate.left, connective)
+                + _flatten(predicate.right, connective))
+    return [predicate.key()]
+
+
+def canonical_key(predicate: Predicate) -> Hashable:
+    """A hashable canonical form of ``predicate``.
+
+    Predicates with equal keys select identical query sets on any table:
+    ``And``/``Or`` are flattened into operand frozensets (associative,
+    commutative, idempotent) and double negations are elided.  Raises
+    ``TypeError`` when an operand value is unhashable — callers treat
+    that as "not cacheable".
+    """
+    key = predicate.key()
+    hash(key)
+    return key

@@ -11,16 +11,34 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional
 
+import numpy as np
+
 from ..exceptions import InvalidQueryError
+from .columns import TableView
 from .predicates import Predicate
 
 
 class Table:
-    """Public-attribute store mapping record index -> row dict."""
+    """Public-attribute store mapping record index -> row dict.
+
+    Every mutation bumps :attr:`version`; :meth:`select` evaluates
+    predicates against a columnar :class:`~repro.sdb.columns.TableView`
+    snapshot cached per version, so repeated selections touch typed
+    arrays instead of re-walking row dicts.  :meth:`select_scalar` keeps
+    the original row loop as the reference the property-based suite
+    compares against.
+    """
 
     def __init__(self, columns: Iterable[str]):
         self._columns = tuple(columns)
         self._rows: List[Optional[Dict[str, Any]]] = []
+        self._version = 0
+        self._view: Optional[TableView] = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (cache-invalidation token)."""
+        return self._version
 
     @property
     def columns(self):
@@ -46,12 +64,14 @@ class Table:
         if unknown:
             raise InvalidQueryError(f"unknown public columns: {sorted(unknown)}")
         self._rows.append(dict(row))
+        self._bump()
         return len(self._rows) - 1
 
     def delete(self, index: int) -> None:
         """Mark a record deleted; its index is never reused."""
         self._check(index)
         self._rows[index] = None
+        self._bump()
 
     def update_public(self, index: int, row: Mapping[str, Any]) -> None:
         """Overwrite public attributes of a live record."""
@@ -61,6 +81,11 @@ class Table:
             raise InvalidQueryError(f"unknown public columns: {sorted(unknown)}")
         assert self._rows[index] is not None
         self._rows[index].update(row)
+        self._bump()
+
+    def _bump(self) -> None:
+        self._version += 1
+        self._view = None
 
     # ------------------------------------------------------------------
     # Selection
@@ -73,8 +98,21 @@ class Table:
         assert row is not None
         return row
 
+    def view(self) -> TableView:
+        """The columnar snapshot of the current version (cached)."""
+        if self._view is None or self._view.version != self._version:
+            self._view = TableView(self._rows, self._version)
+        return self._view
+
     def select(self, predicate: Predicate) -> FrozenSet[int]:
         """Record indices of live rows matching ``predicate`` (query set)."""
+        view = self.view()
+        mask = predicate.mask(view) & view.live
+        return frozenset(int(i) for i in np.flatnonzero(mask))
+
+    def select_scalar(self, predicate: Predicate) -> FrozenSet[int]:
+        """Row-by-row reference selection (the pre-columnar semantics the
+        mask path must reproduce exactly)."""
         return frozenset(
             i for i, row in enumerate(self._rows)
             if row is not None and predicate.matches(row)

