@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test faults lint typecheck bench examples figures clean
+.PHONY: install test faults lint analyze typecheck bench examples figures clean
 
 install:
 	$(PY) setup.py develop
@@ -14,12 +14,17 @@ test:
 faults:
 	PYTHONPATH=src $(PY) -m pytest -q -m faults tests/resilience/
 
-# ruff/mypy may be absent in the offline container; the simulatability
-# analyzer (`repro-audit lint`) is in-tree and always runs.
+# ruff/mypy may be absent in the offline container; the in-tree analyzer
+# (`repro-audit lint`) always runs.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then ruff check src tests; \
 	else echo "ruff not installed -- skipping style checks"; fi
 	PYTHONPATH=src $(PY) -m repro lint
+
+# The full static gate (SIM + DET + WAL + BUD) against the shipped
+# baseline — what CI's lint-analysis job runs.
+analyze:
+	PYTHONPATH=src $(PY) -m repro lint --baseline .repro-audit-baseline.json
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then mypy; \

@@ -1,30 +1,56 @@
 """Static analysis tooling enforcing the paper's safety contracts.
 
-The flagship check is the *simulatability* taint analyzer
-(:mod:`repro.analysis.simulatability`): it statically proves that auditor
-decision paths never touch the sensitive data, the invariant the whole
-reproduction rests on (paper §2.2).  Run it as a library::
+Four rule families prove the serving invariants at lint time:
 
-    from repro.analysis import check_package
-    report = check_package()
-    assert report.ok, report.format_text()
+* **SIM** (:mod:`~repro.analysis.simulatability`) — auditor decision paths
+  never touch the sensitive data (paper §2.2);
+* **DET** (:mod:`~repro.analysis.determinism`) — decision/sampler paths
+  are bitwise deterministic: no unseeded RNG, wall-clock reads, or
+  set/dict-iteration-order dependence;
+* **WAL** (:mod:`~repro.analysis.ordering`) — every released answer is
+  dominated by an audit-journal append (fail-closed ordering);
+* **BUD** (:mod:`~repro.analysis.ordering`) — sampler/chain loops
+  checkpoint their budget so exhaustion can cancel them cooperatively.
+
+Run the SIM-only legacy entry point or the full analysis as a library::
+
+    from repro.analysis import analyze_package, check_package
+    assert check_package().ok                      # SIM only
+    assert analyze_package().ok                    # SIM+DET+WAL+BUD
 
 or from the shell (non-zero exit on undocumented violations)::
 
-    repro-audit lint --format json
+    repro-audit lint --select DET,WAL --format sarif
 
 See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and pragma syntax.
 """
 
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .determinism import DeterminismConfig, check_determinism
+from .driver import active_rules, analyze_package
 from .findings import (
+    ALL_RULES,
+    RULE_FAMILIES,
+    RULE_RELEASE_BEFORE_APPEND,
     RULE_SENSITIVE_ESCAPE,
     RULE_SENSITIVE_READ,
+    RULE_SUMMARIES,
+    RULE_SWALLOWED_APPEND_FAILURE,
     RULE_TRUE_ANSWER,
+    RULE_UNCHECKPOINTED_LOOP,
+    RULE_UNORDERED_ACCUMULATION,
+    RULE_UNORDERED_ITERATION,
+    RULE_UNSEEDED_RNG,
+    RULE_WALLCLOCK_READ,
     SCHEMA_VERSION,
     Finding,
     Frame,
     Report,
+    expand_rule_selection,
 )
+from .ordering import OrderingConfig, check_ordering
+from .purity import EffectConfig, EffectEngine, EffectSummary
+from .sarif import report_to_sarif, report_to_sarif_json
 from .simulatability import (
     DEFAULT_CONFIG,
     AnalysisConfig,
@@ -35,17 +61,42 @@ from .simulatability import (
 )
 
 __all__ = [
+    "ALL_RULES",
     "AnalysisConfig",
     "DEFAULT_CONFIG",
+    "DeterminismConfig",
+    "EffectConfig",
+    "EffectEngine",
+    "EffectSummary",
     "Finding",
     "Frame",
+    "OrderingConfig",
     "Report",
+    "RULE_FAMILIES",
+    "RULE_RELEASE_BEFORE_APPEND",
     "RULE_SENSITIVE_ESCAPE",
     "RULE_SENSITIVE_READ",
+    "RULE_SUMMARIES",
+    "RULE_SWALLOWED_APPEND_FAILURE",
     "RULE_TRUE_ANSWER",
+    "RULE_UNCHECKPOINTED_LOOP",
+    "RULE_UNORDERED_ACCUMULATION",
+    "RULE_UNORDERED_ITERATION",
+    "RULE_UNSEEDED_RNG",
+    "RULE_WALLCLOCK_READ",
     "SCHEMA_VERSION",
     "SensitiveClass",
+    "active_rules",
+    "analyze_package",
+    "apply_baseline",
+    "check_determinism",
+    "check_ordering",
     "check_package",
     "default_package_dir",
+    "expand_rule_selection",
     "find_auditor_classes",
+    "load_baseline",
+    "report_to_sarif",
+    "report_to_sarif_json",
+    "write_baseline",
 ]

@@ -1,0 +1,82 @@
+"""Baseline files: record known findings so new rules can land strict.
+
+A baseline is a JSON file of finding fingerprints (see
+:attr:`~repro.analysis.findings.Finding.fingerprint` — deliberately
+line-insensitive so unrelated edits don't invalidate it).  ``repro-audit
+lint --baseline <file>`` suppresses exactly the recorded findings — each
+fingerprint suppresses as many occurrences as were recorded, so *new*
+instances of a baselined pattern still fail.  ``--update-baseline``
+rewrites the file from the current run.
+
+The shipped tree's baseline is intentionally empty: every real finding was
+either fixed or documented with a pragma.  The file exists so the strict
+gate has somewhere to grow from if a future rule lands with debt.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .findings import Finding, Report
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    """``fingerprint -> allowed occurrence count`` from a baseline file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version: {payload.get('version')!r}")
+    counts: Dict[str, int] = {}
+    for entry in payload.get("findings", []):
+        counts[entry["fingerprint"]] = counts.get(
+            entry["fingerprint"], 0) + int(entry.get("count", 1) or 1)
+    return counts
+
+
+def write_baseline(path: Union[str, Path], report: Report) -> int:
+    """Record the report's undocumented violations; returns how many."""
+    counts = Counter(f.fingerprint for f in report.violations)
+    by_fingerprint = {}
+    for finding in report.violations:
+        by_fingerprint.setdefault(finding.fingerprint, finding)
+    entries = [
+        {
+            "fingerprint": fingerprint,
+            "count": counts[fingerprint],
+            "rule": by_fingerprint[fingerprint].rule,
+            "file": by_fingerprint[fingerprint].file,
+            "sink": by_fingerprint[fingerprint].sink,
+        }
+        for fingerprint in sorted(counts)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    return sum(counts.values())
+
+
+def apply_baseline(report: Report, baseline: Dict[str, int]) -> Report:
+    """Mark up to ``count`` occurrences of each fingerprint as baselined.
+
+    Occurrences are consumed in (file, line, col) order so suppression is
+    deterministic; findings already documented by a pragma don't consume
+    baseline slots.
+    """
+    budget = dict(baseline)
+    rewritten: List[Finding] = []
+    ordered = sorted(report.findings,
+                     key=lambda f: (f.file, f.line, f.col, f.rule))
+    for finding in ordered:
+        if (not finding.documented
+                and budget.get(finding.fingerprint, 0) > 0):
+            budget[finding.fingerprint] -= 1
+            finding = dataclasses.replace(finding, baselined=True)
+        rewritten.append(finding)
+    report.findings = rewritten
+    return report

@@ -200,6 +200,23 @@ class Resolver:
     # Expression typing
     # ------------------------------------------------------------------
 
+    def _property_return_class(self, cls: ClassInfo,
+                               name: str) -> Optional[ClassInfo]:
+        """The annotated return class of a ``@property`` accessor, if any."""
+        hit = self.find_method(cls, name)
+        if hit is None:
+            return None
+        defining, node = hit
+        for deco in getattr(node, "decorator_list", ()):
+            text = None
+            if isinstance(deco, ast.Name):
+                text = deco.id
+            elif isinstance(deco, ast.Attribute):
+                text = deco.attr
+            if text in ("property", "cached_property"):
+                return self._annotation_class(defining.module, node.returns)
+        return None
+
     def infer_type(self, expr: ast.expr, env: TypeEnv) -> Optional[ClassInfo]:
         """The class of ``expr``, when statically inferable."""
         if isinstance(expr, ast.Name):
@@ -209,7 +226,10 @@ class Resolver:
         if isinstance(expr, ast.Attribute):
             base = self.infer_type(expr.value, env)
             if base is not None:
-                return self.instance_attr_types(base).get(expr.attr)
+                attr = self.instance_attr_types(base).get(expr.attr)
+                if attr is not None:
+                    return attr
+                return self._property_return_class(base, expr.attr)
             return None
         if isinstance(expr, ast.Call):
             resolved = self.resolve_call(expr.func, env)

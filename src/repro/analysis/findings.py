@@ -1,24 +1,47 @@
-"""Finding and report types for the simulatability analyzer.
+"""Finding and report types for the static analyzers.
 
-A *finding* is one reachable read of a sensitive source from a decision
-entry point, together with the call chain that reaches it.  Findings are
+A *finding* is one rule hit (a sensitive read on a decision path, an
+unseeded RNG call in a sampler, a release not dominated by a journal
+append, …) together with the call chain that reaches it.  Findings are
 plain data so they serialise to a stable JSON schema (``SCHEMA_VERSION``)
-that the CLI, the pytest gate, and CI all consume.
+that the CLI, the pytest gates, the SARIF emitter, and CI all consume.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 #: Bumped only when the JSON layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: per-finding ``fingerprint`` (baseline key), report-level ``rules``,
+#: ``baselined`` severity/count, ``functions_scanned`` count.
+SCHEMA_VERSION = 2
 
 #: Rule identifiers, stable across releases.
 RULE_TRUE_ANSWER = "SIM001"
 RULE_SENSITIVE_READ = "SIM002"
 RULE_SENSITIVE_ESCAPE = "SIM003"
+RULE_UNSEEDED_RNG = "DET001"
+RULE_WALLCLOCK_READ = "DET002"
+RULE_UNORDERED_ITERATION = "DET003"
+RULE_UNORDERED_ACCUMULATION = "DET004"
+RULE_RELEASE_BEFORE_APPEND = "WAL001"
+RULE_SWALLOWED_APPEND_FAILURE = "WAL002"
+RULE_UNCHECKPOINTED_LOOP = "BUD001"
+
+#: Every rule the full analyzer can run, grouped by family.
+RULE_FAMILIES: Dict[str, tuple] = {
+    "SIM": (RULE_TRUE_ANSWER, RULE_SENSITIVE_READ, RULE_SENSITIVE_ESCAPE),
+    "DET": (RULE_UNSEEDED_RNG, RULE_WALLCLOCK_READ,
+            RULE_UNORDERED_ITERATION, RULE_UNORDERED_ACCUMULATION),
+    "WAL": (RULE_RELEASE_BEFORE_APPEND, RULE_SWALLOWED_APPEND_FAILURE),
+    "BUD": (RULE_UNCHECKPOINTED_LOOP,),
+}
+
+ALL_RULES: tuple = tuple(rule for rules in RULE_FAMILIES.values()
+                         for rule in rules)
 
 RULE_SUMMARIES = {
     RULE_TRUE_ANSWER:
@@ -30,7 +53,51 @@ RULE_SUMMARIES = {
     RULE_SENSITIVE_ESCAPE:
         "decision path passes the sensitive dataset into a call the "
         "analyzer cannot follow",
+    RULE_UNSEEDED_RNG:
+        "decision/sampler path calls unseeded or global-state RNG "
+        "(random.*, np.random.<fn>, default_rng() with no seed)",
+    RULE_WALLCLOCK_READ:
+        "decision/sampler path reads wall-clock time or OS entropy "
+        "(time.time, os.urandom, uuid4, datetime.now)",
+    RULE_UNORDERED_ITERATION:
+        "decision/sampler path iterates a set/dict where order can reach "
+        "released answers or RNG consumption order",
+    RULE_UNORDERED_ACCUMULATION:
+        "non-canonical float accumulation: sum() over an unordered "
+        "collection on a replay-sensitive path",
+    RULE_RELEASE_BEFORE_APPEND:
+        "a code path releases an answer without a dominating audit-journal "
+        "append (fail-closed ordering)",
+    RULE_SWALLOWED_APPEND_FAILURE:
+        "an exception handler swallows a journal-write failure and the "
+        "function can still release an answer",
+    RULE_UNCHECKPOINTED_LOOP:
+        "a sampler/chain loop does work with no Budget checkpoint call "
+        "in its body",
 }
+
+
+def expand_rule_selection(tokens: Optional[List[str]]) -> Optional[set]:
+    """Expand ``--select``/``--ignore`` tokens (families or rule IDs).
+
+    ``None`` stays None (= everything); unknown tokens raise ValueError so
+    typos fail loudly in CI.
+    """
+    if tokens is None:
+        return None
+    out: set = set()
+    for token in tokens:
+        token = token.strip().upper()
+        if not token:
+            continue
+        if token in RULE_FAMILIES:
+            out.update(RULE_FAMILIES[token])
+        elif token in ALL_RULES:
+            out.add(token)
+        else:
+            raise ValueError(f"unknown rule or family: {token!r} "
+                             f"(families: {', '.join(RULE_FAMILIES)})")
+    return out
 
 
 @dataclass(frozen=True)
@@ -52,7 +119,7 @@ class Frame:
 
 @dataclass(frozen=True)
 class Finding:
-    """One sensitive-source read reachable from a decision entry point."""
+    """One rule hit reachable from an analysis entry point."""
 
     rule: str
     message: str
@@ -65,15 +132,36 @@ class Finding:
     sink: str
     chain: tuple = ()                       # tuple[Frame, ...]
     pragma_reason: Optional[str] = None     # set => documented violation
+    baselined: bool = False                 # set => suppressed by baseline
 
     @property
     def documented(self) -> bool:
-        """Whether a ``# simulatability: violation`` pragma covers the path."""
+        """Whether a violation pragma covers the path."""
         return self.pragma_reason is not None
 
     @property
     def severity(self) -> str:
-        return "documented" if self.documented else "violation"
+        if self.documented:
+            return "documented"
+        if self.baselined:
+            return "baselined"
+        return "violation"
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-insensitive identity used by baselines and SARIF.
+
+        Deliberately excludes the line/column so a baseline survives
+        unrelated edits above the finding.
+        """
+        key = "|".join((self.rule, self.file, self.entry_class,
+                        self.entry_method, self.sink))
+        return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def suppress_hint(self) -> str:
+        """The pragma that would document this finding."""
+        return f"# audit: {self.rule} -- <why this is intentional>"
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -89,6 +177,7 @@ class Finding:
             "sink": self.sink,
             "chain": [frame.to_dict() for frame in self.chain],
             "pragma": self.pragma_reason,
+            "fingerprint": self.fingerprint,
         }
 
     def format_text(self) -> str:
@@ -97,18 +186,22 @@ class Finding:
                 f"[{self.severity}] {self.message}")
         lines = [head,
                  f"    entry: {self.entry_module}."
-                 f"{self.entry_class}.{self.entry_method}"]
+                 f"{self.entry_class}.{self.entry_method}"
+                 if self.entry_class else
+                 f"    entry: {self.entry_module}.{self.entry_method}"]
         for depth, frame in enumerate(self.chain):
             lines.append(f"    {'  ' * depth}-> {frame}")
         lines.append(f"    sink: {self.sink}")
         if self.pragma_reason is not None:
             lines.append(f"    pragma: {self.pragma_reason}")
+        elif not self.baselined:
+            lines.append(f"    suppress: {self.suppress_hint}")
         return "\n".join(lines)
 
 
 @dataclass
 class Report:
-    """Everything one :func:`check_package` run produced."""
+    """Everything one analysis run produced."""
 
     package: str
     root: str
@@ -116,16 +209,26 @@ class Report:
     entry_points: int = 0
     classes_checked: int = 0
     modules_scanned: int = 0
+    functions_scanned: int = 0
+    #: rule IDs this run actually evaluated (empty = legacy SIM-only run)
+    rules: List[str] = field(default_factory=list)
 
     @property
     def violations(self) -> List[Finding]:
-        """Undocumented findings — these fail the gate."""
-        return [f for f in self.findings if not f.documented]
+        """Undocumented, un-baselined findings — these fail the gate."""
+        return [f for f in self.findings
+                if not f.documented and not f.baselined]
 
     @property
     def documented(self) -> List[Finding]:
         """Findings covered by a violation pragma."""
         return [f for f in self.findings if f.documented]
+
+    @property
+    def baselined(self) -> List[Finding]:
+        """Findings suppressed by the ``--baseline`` file."""
+        return [f for f in self.findings
+                if f.baselined and not f.documented]
 
     @property
     def ok(self) -> bool:
@@ -139,13 +242,16 @@ class Report:
             "schema_version": SCHEMA_VERSION,
             "package": self.package,
             "root": self.root,
+            "rules": sorted(self.rules),
             "counts": {
                 "findings": len(self.findings),
                 "violations": len(self.violations),
                 "documented": len(self.documented),
+                "baselined": len(self.baselined),
                 "entry_points": self.entry_points,
                 "classes_checked": self.classes_checked,
                 "modules_scanned": self.modules_scanned,
+                "functions_scanned": self.functions_scanned,
             },
             "findings": [f.to_dict() for f in ordered],
         }
@@ -166,11 +272,19 @@ class Report:
             f"{self.entry_points} decision entry point(s), "
             f"{self.modules_scanned} module(s) scanned"
         )
+        if self.rules:
+            families = sorted({rule[:3] for rule in self.rules})
+            lines.append(
+                f"analysis: {len(self.rules)} rule(s) active "
+                f"({'/'.join(families)}), "
+                f"{self.functions_scanned} function(s) scanned"
+            )
         if not self.findings:
             lines.append("no sensitive reads reachable from decision paths")
         else:
-            lines.append(
-                f"{len(self.violations)} violation(s), "
-                f"{len(self.documented)} documented violation(s)"
-            )
+            summary = (f"{len(self.violations)} violation(s), "
+                       f"{len(self.documented)} documented violation(s)")
+            if self.baselined:
+                summary += f", {len(self.baselined)} baselined"
+            lines.append(summary)
         return "\n".join(lines)

@@ -20,10 +20,37 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
-#: ``# simulatability: violation -- reason`` (reason optional).
+#: ``# simulatability: violation -- reason`` (reason optional).  Legacy
+#: syntax; covers the SIM rule family only.
 PRAGMA_RE = re.compile(
     r"#\s*simulatability:\s*violation\s*(?:--\s*(?P<reason>.*\S))?\s*$"
 )
+
+#: ``# audit: DET001 -- reason`` / ``# audit: WAL001,BUD001 -- reason``.
+#: Rule tokens may be full IDs (``DET003``) or family prefixes (``DET``).
+AUDIT_PRAGMA_RE = re.compile(
+    r"#\s*audit:\s*(?P<rules>[A-Z]{2,4}\d*(?:\s*,\s*[A-Z]{2,4}\d*)*)"
+    r"\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One documented-violation pragma line.
+
+    ``rules`` is None for the legacy ``# simulatability: violation`` form
+    (which covers the SIM family); otherwise the explicit rule IDs or
+    family prefixes of an ``# audit:`` pragma.
+    """
+
+    reason: str
+    rules: Optional[frozenset] = None
+
+    def covers(self, rule: str) -> bool:
+        if self.rules is None:
+            return rule.startswith("SIM")
+        return any(rule == token or rule.startswith(token)
+                   for token in self.rules)
 
 
 @dataclass
@@ -58,8 +85,8 @@ class ModuleInfo:
     imports: Dict[str, str] = field(default_factory=dict)
     functions: Dict[str, FunctionNode] = field(default_factory=dict)
     classes: Dict[str, ClassInfo] = field(default_factory=dict)
-    #: 1-based line numbers carrying a violation pragma -> reason text.
-    pragmas: Dict[int, str] = field(default_factory=dict)
+    #: 1-based line numbers carrying a violation pragma.
+    pragmas: Dict[int, Pragma] = field(default_factory=dict)
 
 
 class PackageIndex:
@@ -148,8 +175,9 @@ class PackageIndex:
             return f"{module}.{name}"
         return mod.imports.get(name)
 
-    def pragma_reason(self, module: str, *lines: int) -> Optional[str]:
-        """The pragma reason covering any of ``lines`` in ``module``.
+    def pragma_for(self, module: str, rule: str,
+                   *lines: int) -> Optional[str]:
+        """The pragma reason covering ``rule`` at any of ``lines``.
 
         A pragma documents the statement on its own line; a pragma written
         as a standalone comment documents the statement on the next line, so
@@ -160,9 +188,14 @@ class PackageIndex:
             return None
         for line in lines:
             for probe in (line, line - 1, line - 2):
-                if probe in mod.pragmas:
-                    return mod.pragmas[probe] or "(no reason given)"
+                pragma = mod.pragmas.get(probe)
+                if pragma is not None and pragma.covers(rule):
+                    return pragma.reason or "(no reason given)"
         return None
+
+    def pragma_reason(self, module: str, *lines: int) -> Optional[str]:
+        """Legacy SIM-family lookup (kept for API compatibility)."""
+        return self.pragma_for(module, "SIM", *lines)
 
     def relpath(self, module: str) -> str:
         """Module path relative to the analysis root (for findings)."""
@@ -218,24 +251,30 @@ def _collect_imports(module: str, tree: ast.Module,
     return out
 
 
-def _collect_pragmas(source: str) -> Dict[int, str]:
-    pragmas: Dict[int, str] = {}
+def _collect_pragmas(source: str) -> Dict[int, Pragma]:
+    pragmas: Dict[int, Pragma] = {}
     lines = source.splitlines()
     for lineno, line in enumerate(lines, start=1):
+        rules: Optional[frozenset] = None
         match = PRAGMA_RE.search(line)
         if not match:
-            continue
+            match = AUDIT_PRAGMA_RE.search(line)
+            if not match:
+                continue
+            rules = frozenset(token.strip() for token in
+                              match.group("rules").split(","))
         reason = (match.group("reason") or "").strip()
         # A pragma reason may wrap onto following pure-comment lines.
         probe = lineno  # 0-based index of the next line
         while probe < len(lines):
             stripped = lines[probe].strip()
             if (not stripped.startswith("#")
-                    or PRAGMA_RE.search(stripped)):
+                    or PRAGMA_RE.search(stripped)
+                    or AUDIT_PRAGMA_RE.search(stripped)):
                 break
             reason = f"{reason} {stripped.lstrip('#').strip()}".strip()
             probe += 1
-        pragmas[lineno] = reason
+        pragmas[lineno] = Pragma(reason=reason, rules=rules)
     return pragmas
 
 

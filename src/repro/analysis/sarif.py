@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 emitter for ``repro-audit lint --format sarif``.
+
+Emits one run with the full rule catalogue as ``tool.driver.rules`` and one
+result per finding.  Call chains become ``codeFlows`` so GitHub code
+scanning renders the entry-point-to-sink path inline on PRs; the
+line-insensitive finding fingerprint is exported as a partial fingerprint
+so alerts track across unrelated edits.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .findings import ALL_RULES, RULE_SUMMARIES, Finding, Report
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {"violation": "error", "documented": "note", "baselined": "note"}
+
+
+def _rules_metadata() -> List[Dict[str, Any]]:
+    return [
+        {
+            "id": rule,
+            "shortDescription": {"text": RULE_SUMMARIES[rule]},
+            "help": {"text": "See docs/STATIC_ANALYSIS.md for the rule "
+                             "catalogue and pragma syntax."},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in ALL_RULES
+    ]
+
+
+def _location(file: str, line: int, col: int) -> Dict[str, Any]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": file.replace("\\", "/")},
+            "region": {"startLine": max(1, line),
+                       "startColumn": max(1, col + 1)},
+        }
+    }
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "error"),
+        "message": {"text": f"{finding.message} [sink: {finding.sink}]"},
+        "locations": [_location(finding.file, finding.line, finding.col)],
+        "partialFingerprints": {"reproAudit/v1": finding.fingerprint},
+    }
+    if finding.severity != "violation":
+        result["suppressions"] = [{
+            "kind": "inSource" if finding.documented else "external",
+            "justification": finding.pragma_reason or "baselined",
+        }]
+    if finding.chain:
+        result["codeFlows"] = [{
+            "threadFlows": [{
+                "locations": [
+                    {
+                        "location": {
+                            **_location(frame.file, frame.line, 0),
+                            "message": {"text": frame.function},
+                        }
+                    }
+                    for frame in finding.chain
+                ]
+            }]
+        }]
+    return result
+
+
+def report_to_sarif(report: Report) -> Dict[str, Any]:
+    """The SARIF 2.1.0 payload for one analysis run (as a dict)."""
+    ordered = sorted(report.findings,
+                     key=lambda f: (f.file, f.line, f.col, f.rule))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-audit",
+                    "rules": _rules_metadata(),
+                }
+            },
+            "results": [_result(finding) for finding in ordered],
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def report_to_sarif_json(report: Report, indent: int = 2) -> str:
+    return json.dumps(report_to_sarif(report), indent=indent,
+                      sort_keys=False)

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from .callgraph import ResolvedCall, Resolver, TypeEnv
+from .cfg import CFG, StmtNode, build_cfg, flow_locals, stmt_expr_nodes
 from .findings import (
     RULE_SENSITIVE_ESCAPE,
     RULE_SENSITIVE_READ,
@@ -127,6 +128,7 @@ class _Walker:
         self.config = config
         self.findings: List[Finding] = []
         self._seen_findings: Set[Tuple] = set()
+        self._cfg_cache: Dict[int, CFG] = {}
 
     # -- sensitivity helpers -------------------------------------------
 
@@ -179,34 +181,78 @@ class _Walker:
               entry: Tuple[ClassInfo, str], chain: Tuple[Frame, ...],
               depth: int, visited: Set[Tuple],
               extra_param_types: Dict[str, ClassInfo]) -> None:
+        """Flow-sensitive scan of one function body.
+
+        The body is lowered to a statement-level CFG; local types are
+        propagated forward with branch joins (a binding survives a join
+        only when both arms agree), and each statement's expressions are
+        scanned against the type state that actually reaches it.
+        """
         env = self.resolver.param_env(module, node, self_class=self_class)
         env.locals.update(extra_param_types)
-        self._infer_locals(node, env)
-        call_funcs = set()
-        for call in _walk_nodes(node, ast.Call):
-            call_funcs.add(id(call.func))
-            self._scan_call(call, module, node, env, entry, chain, depth,
-                            visited)
-        for attr in _walk_nodes(node, ast.Attribute):
-            if id(attr) in call_funcs:
-                continue  # method calls are handled by _scan_call
-            self._scan_attribute(attr, module, env, entry, chain)
-        for sub in _walk_nodes(node, ast.Subscript):
-            self._scan_subscript(sub, module, env, entry, chain)
-        for loop_iter in _iteration_exprs(node):
-            self._scan_iteration(loop_iter, module, env, entry, chain)
+        graph = self._cfg(node)
+        states = self._flow_types(graph, env)
+        for stmt in graph.statements():
+            local_env = TypeEnv(
+                module=env.module, self_class=env.self_class,
+                self_name=env.self_name,
+                locals=dict(states.get(stmt.sid, env.locals)))
+            call_funcs = set()
+            for call in stmt_expr_nodes(stmt, (ast.Call,)):
+                call_funcs.add(id(call.func))
+                self._scan_call(call, module, node, local_env, entry, chain,
+                                depth, visited)
+            for attr in stmt_expr_nodes(stmt, (ast.Attribute,)):
+                if id(attr) in call_funcs:
+                    continue  # method calls are handled by _scan_call
+                self._scan_attribute(attr, module, local_env, entry, chain)
+            for sub in stmt_expr_nodes(stmt, (ast.Subscript,)):
+                self._scan_subscript(sub, module, local_env, entry, chain)
+            for loop_iter in _stmt_iteration_exprs(stmt):
+                self._scan_iteration(loop_iter, module, local_env, entry,
+                                     chain)
 
-    def _infer_locals(self, node: FunctionNode, env: TypeEnv) -> None:
-        """Flow-insensitive local typing from assignments, in line order."""
-        assigns = [stmt for stmt in _walk_nodes(node, ast.Assign)]
-        assigns.sort(key=lambda stmt: stmt.lineno)
-        for stmt in assigns:
-            if len(stmt.targets) != 1 or not isinstance(stmt.targets[0],
-                                                        ast.Name):
-                continue
-            inferred = self.resolver.infer_type(stmt.value, env)
-            if inferred is not None:
-                env.locals[stmt.targets[0].id] = inferred
+    def _cfg(self, node: FunctionNode) -> CFG:
+        cached = self._cfg_cache.get(id(node))
+        if cached is None:
+            cached = build_cfg(node)
+            self._cfg_cache[id(node)] = cached
+        return cached
+
+    def _flow_types(self, graph: CFG,
+                    env: TypeEnv) -> Dict[int, Dict[str, ClassInfo]]:
+        """Per-statement local-type states (forward flow, branch joins)."""
+        resolver = self.resolver
+
+        def transfer(stmt: StmtNode,
+                     state: Dict[str, ClassInfo]) -> Dict[str, ClassInfo]:
+            node = stmt.node
+            at = TypeEnv(module=env.module, self_class=env.self_class,
+                         self_name=env.self_name, locals=state)
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                inferred = resolver.infer_type(node.value, at)
+                if inferred is not None:
+                    state[node.targets[0].id] = inferred
+                else:
+                    state.pop(node.targets[0].id, None)
+            elif (isinstance(node, ast.AnnAssign)
+                    and isinstance(node.target, ast.Name)):
+                chosen = resolver._annotation_class(env.module,
+                                                    node.annotation)
+                if chosen is None and node.value is not None:
+                    chosen = resolver.infer_type(node.value, at)
+                if chosen is not None:
+                    state[node.target.id] = chosen
+                else:
+                    state.pop(node.target.id, None)
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and stmt.is_header:
+                for name_node in ast.walk(node.target):
+                    if isinstance(name_node, ast.Name):
+                        state.pop(name_node.id, None)
+            return state
+
+        return flow_locals(graph, dict(env.locals), transfer)
 
     # -- sinks ----------------------------------------------------------
 
@@ -386,10 +432,11 @@ class _Walker:
         if key in self._seen_findings:
             return
         self._seen_findings.add(key)
-        pragma = self.index.pragma_reason(module, line)
+        pragma = self.index.pragma_for(module, rule, line)
         if pragma is None:
             for frame in chain:
-                pragma = self.index.pragma_reason(frame.module, frame.line)
+                pragma = self.index.pragma_for(frame.module, rule,
+                                               frame.line)
                 if pragma is not None:
                     break
         self.findings.append(Finding(
@@ -411,30 +458,17 @@ class _Walker:
 # AST helpers
 # ----------------------------------------------------------------------
 
-def _walk_nodes(node: FunctionNode,
-                kind: Union[type, Tuple[type, ...]]) -> List[ast.AST]:
-    """All ``kind`` nodes in a function body, *excluding* nested defs."""
-    out: List[ast.AST] = []
+def _stmt_iteration_exprs(stmt: StmtNode) -> List[ast.expr]:
+    """Iterable expressions evaluated at one CFG node.
 
-    def visit(current: ast.AST) -> None:
-        for child in ast.iter_child_nodes(current):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.ClassDef)):
-                continue  # nested definitions are separate scopes
-            if isinstance(child, kind):
-                out.append(child)
-            visit(child)
-
-    visit(node)
-    return out
-
-
-def _iteration_exprs(node: FunctionNode) -> List[ast.expr]:
+    A ``for`` header contributes its iterable; comprehensions anywhere in
+    the node's expressions contribute each generator's iterable.
+    """
     out: List[ast.expr] = []
-    for loop in _walk_nodes(node, ast.For):
-        out.append(loop.iter)
-    for comp_node in _walk_nodes(node, (ast.ListComp, ast.SetComp,
-                                        ast.DictComp, ast.GeneratorExp)):
+    if isinstance(stmt.node, (ast.For, ast.AsyncFor)) and stmt.is_header:
+        out.append(stmt.node.iter)
+    for comp_node in stmt_expr_nodes(stmt, (ast.ListComp, ast.SetComp,
+                                            ast.DictComp, ast.GeneratorExp)):
         for generator in comp_node.generators:
             out.append(generator.iter)
     return out

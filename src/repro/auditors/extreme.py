@@ -94,7 +94,7 @@ def compute_extremes(constraints: Sequence[Constraint]) -> ExtremeAnalysis:
     groups: Dict[Tuple[bool, float], List[int]] = {}
     for k, c in enumerate(constraints):
         groups.setdefault((c.is_max, c.answer), []).append(k)
-    for members in groups.values():
+    for _, members in sorted(groups.items()):
         if len(members) < 2:
             continue
         shared: Optional[Set[int]] = None
@@ -135,7 +135,7 @@ def compute_extremes(constraints: Sequence[Constraint]) -> ExtremeAnalysis:
                     changed = True
         if changed:
             # Re-apply rule 3 after removals.
-            for members in groups.values():
+            for _, members in sorted(groups.items()):
                 if len(members) < 2:
                     continue
                 shared2: Optional[Set[int]] = None

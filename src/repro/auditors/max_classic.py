@@ -85,7 +85,7 @@ class MaxClassicAuditor(Auditor):
     def _relevant_records(self, q: frozenset) -> Dict[int, int]:
         """Record id -> |E_k ∩ Q_t| for records whose extremes meet Q_t."""
         common: Dict[int, int] = {}
-        for j in q:
+        for j in sorted(q):
             for rid in self._extreme_in.get(j, ()):
                 common[rid] = common.get(rid, 0) + 1
         return common
@@ -120,7 +120,7 @@ class MaxClassicAuditor(Auditor):
         rid = len(self._records)
         record = _QueryRecord(elements=q, answer=value)
         # Tighten bounds; elements leaving other extreme sets trickle out.
-        for j in q:
+        for j in sorted(q):
             old = self._upper.get(j)
             if old is None or old > value:
                 if old is not None:

@@ -60,7 +60,7 @@ class SumClassicAuditor(Auditor):
 
     def _vector(self, query: Query) -> List[int]:
         vec = [0] * self._space.ncols
-        for record in query.query_set:
+        for record in sorted(query.query_set):
             if record >= len(self._column_of):
                 raise InvalidQueryError(f"unknown record {record}")
             vec[self._column_of[record]] = 1

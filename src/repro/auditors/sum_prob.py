@@ -93,7 +93,7 @@ class SumProbabilisticAuditor(Auditor):
 
     def _indicator(self, query: Query) -> np.ndarray:
         vec = np.zeros(self.dataset.n)
-        vec[list(query.query_set)] = 1.0
+        vec[sorted(query.query_set)] = 1.0
         return vec
 
     def _posterior_buckets(self, slice_: AffineSlice,

@@ -122,14 +122,26 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="statically verify that auditor decision paths never read "
-             "sensitive data (the simulatability invariant)",
+        help="statically verify the serving invariants: simulatability "
+             "(SIM), determinism (DET), fail-closed ordering (WAL) and "
+             "budget checkpointing (BUD)",
     )
-    p.add_argument("--format", choices=["text", "json"], default="text",
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text",
                    help="output format (default: text)")
     p.add_argument("--package-dir", default=None,
                    help="analyse this package directory instead of the "
                         "installed repro package")
+    p.add_argument("--select", default=None, metavar="RULES",
+                   help="comma-separated rule IDs or families to run "
+                        "(e.g. 'DET,WAL001'); default: all rules")
+    p.add_argument("--ignore", default=None, metavar="RULES",
+                   help="comma-separated rule IDs or families to skip")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="suppress findings recorded in this baseline file")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite --baseline from the current run's "
+                        "undocumented findings and exit 0")
     p.add_argument("--quiet", action="store_true",
                    help="print nothing when the tree is clean")
     p.set_defaults(handler=_cmd_lint)
@@ -330,19 +342,49 @@ def _cmd_price(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from .analysis import check_package
+    import os
+    import traceback
 
+    from .analysis import analyze_package, report_to_sarif_json, \
+        write_baseline
+
+    if args.update_baseline and not args.baseline:
+        print("error: --update-baseline requires --baseline",
+              file=sys.stderr)
+        return 2
+    baseline = args.baseline
+    if baseline is not None and not os.path.exists(baseline):
+        if not args.update_baseline:
+            print(f"error: baseline file not found: {baseline}",
+                  file=sys.stderr)
+            return 2
+        baseline = None
     try:
-        report = check_package(package_dir=args.package_dir)
-    except FileNotFoundError as exc:
+        report = analyze_package(
+            package_dir=args.package_dir,
+            select=args.select.split(",") if args.select else None,
+            ignore=args.ignore.split(",") if args.ignore else None,
+            baseline=None if args.update_baseline else baseline,
+        )
+    except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except Exception:  # internal analyzer bug: fail loudly, not as findings
+        print("error: internal analyzer error", file=sys.stderr)
+        traceback.print_exc(file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        recorded = write_baseline(args.baseline, report)
+        print(f"lint: recorded {recorded} finding(s) in {args.baseline}")
+        return 0
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "sarif":
+        print(report_to_sarif_json(report))
     elif not (args.quiet and report.ok):
         print(report.format_text())
     if not report.ok:
-        print(f"lint: {len(report.violations)} undocumented simulatability "
+        print(f"lint: {len(report.violations)} undocumented "
               f"violation(s)", file=sys.stderr)
         return 1
     return 0

@@ -139,8 +139,8 @@ class PosteriorSampler:
             for node_id, element in coloring.items():
                 bucket = counts[node_id]
                 bucket[element] = bucket.get(element, 0.0) + 1.0
-        for node_id, bucket in counts.items():
-            for element in bucket:
+        for node_id, bucket in sorted(counts.items()):
+            for element in sorted(bucket):
                 bucket[element] /= count
         return counts
 

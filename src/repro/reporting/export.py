@@ -20,6 +20,8 @@ def write_series_csv(path: str, series: Mapping[str, Sequence[float]],
     """
     if not series:
         raise ValueError("no series to write")
+    # audit: DET003 -- CSV column order follows the caller's deterministic
+    # dict insertion order; sorting would scramble the published layout
     names = list(series)
     length = max(len(series[name]) for name in names)
     with open(path, "w", newline="") as handle:

@@ -218,7 +218,7 @@ class ExtremeSynopsis:
         if outside:
             tight |= outside
 
-        for other_pid, part in parts.items():
+        for other_pid, part in sorted(parts.items()):
             if other_pid == pid:
                 continue
             tight |= self._strip_if_beyond(other_pid, part, a)
@@ -231,7 +231,7 @@ class ExtremeSynopsis:
                             free_part: Set[int], a: float) -> None:
         """No equality predicate shares the value; form a fresh witness pool."""
         witness_pool: Set[int] = set(free_part)
-        for other_pid, part in list(parts.items()):
+        for other_pid, part in sorted(parts.items()):
             witness_pool |= self._strip_if_beyond(other_pid, part, a)
         self._add_pred(witness_pool, a, equality=True)
 
@@ -263,7 +263,7 @@ class ExtremeSynopsis:
         self._next_id += 1
         pred = SynopsisPredicate(set(elements), value, equality, self.direction)
         self._preds[pid] = pred
-        for i in elements:
+        for i in sorted(elements):
             self._member[i] = pid
         self._note_if_determined(pred)
         return pid

@@ -1,0 +1,28 @@
+"""Fixture: BUD001 true positive and checkpointed twin.
+
+Injected as ``repro._fixture_budget_sampler`` (the module name keeps the
+``sampler`` token so the BUD scope applies).  Never imported at runtime.
+"""
+
+from repro.resilience.budget import BudgetScope
+
+
+class GreedyFixtureSampler:
+    """Draws inside a loop without ever checkpointing (BUD001)."""
+
+    def run(self, gen, scope: BudgetScope, steps: int) -> float:
+        total = 0.0
+        for _ in range(steps):  # BUD001: no checkpoint in body
+            total += float(gen.normal())
+        return total
+
+
+class PoliteFixtureSampler:
+    """Checkpointed twin: zero findings expected."""
+
+    def run(self, gen, scope: BudgetScope, steps: int) -> float:
+        total = 0.0
+        for _ in range(steps):
+            scope.checkpoint()
+            total += float(gen.normal())
+        return total

@@ -1,0 +1,64 @@
+"""Fixture: call-graph resolver edge cases.
+
+Injected as ``repro._fixture_callgraph_edges`` and resolved statically by
+``tests/analysis/test_callgraph.py``; never imported at runtime.
+"""
+
+import functools
+from typing import Optional
+
+
+def logged(fn):
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+
+    return wrapper
+
+
+class Engine:
+    def start(self) -> int:
+        return 1
+
+    @logged
+    def decorated_start(self) -> int:
+        return 2
+
+
+class TurboEngine(Engine):
+    pass
+
+
+class Car:
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+
+    @property
+    def motor(self) -> Engine:
+        return self.engine
+
+    def build_engine(self) -> "Engine":
+        return Engine()
+
+    def drive(self) -> int:
+        # local typed only via the return annotation of build_engine()
+        fresh = self.build_engine()
+        return fresh.start()
+
+    def drive_via_property(self) -> int:
+        return self.motor.start()
+
+
+class SportsCar(Car):
+    pass
+
+
+class RaceCar(SportsCar):
+    """Two inheritance hops away from every method it uses."""
+
+    def lap(self) -> int:
+        return self.drive()
+
+
+def maybe_engine(flag: bool) -> Optional[Engine]:
+    return Engine() if flag else None

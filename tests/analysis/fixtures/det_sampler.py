@@ -1,0 +1,56 @@
+"""Fixture: DET rule true positives and their deterministic twins.
+
+Injected into the analyzer as ``repro._fixture_det_sampler``; the
+``*Sampler`` class names make both classes determinism roots.  Never
+imported at runtime.
+"""
+
+import time
+from typing import List, Set
+
+import numpy as np
+
+
+class BrokenFixtureSampler:
+    """Each method trips exactly one DET rule."""
+
+    weights: Set[float]
+
+    def make_generator(self):
+        return np.random.default_rng()  # DET001: unseeded
+
+    def stamp(self) -> float:
+        return time.time()  # DET002: wall clock
+
+    def emit_order(self, items: Set[int], gen) -> List[int]:
+        out = []
+        for x in items:  # DET003: set order feeds RNG consumption
+            out.append(x + int(gen.integers(10)))
+        return out
+
+    def total(self) -> float:
+        return sum(self.weights)  # DET004: float sum over a set
+
+
+class CleanFixtureSampler:
+    """The deterministic twins: zero findings expected."""
+
+    weights: Set[float]
+
+    def make_generator(self, seed: int):
+        return np.random.default_rng(seed)
+
+    def stamp(self) -> float:
+        return time.monotonic()
+
+    def emit_order(self, items: Set[int], gen) -> List[int]:
+        out = []
+        for x in sorted(items):
+            out.append(x + int(gen.integers(10)))
+        return out
+
+    def total(self) -> float:
+        return sum(sorted(self.weights))
+
+    def count_small(self, items: Set[int]) -> int:
+        return sum(1 for x in items if x < 10)

@@ -1,0 +1,93 @@
+"""Resolver edge cases: decorators, properties, deep MRO, annotations."""
+
+import ast
+import pathlib
+
+import pytest
+
+from repro.analysis.callgraph import Resolver, TypeEnv
+from repro.analysis.modindex import build_index
+from repro.analysis.simulatability import default_package_dir
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+MODULE = "repro._fixture_callgraph_edges"
+
+
+@pytest.fixture(scope="module")
+def resolver():
+    index = build_index(default_package_dir(), extra_modules=[
+        (MODULE, FIXTURES / "callgraph_edges.py"),
+    ])
+    return Resolver(index)
+
+
+def get_class(resolver, name):
+    cls = resolver.index.modules[MODULE].classes[name]
+    assert cls is not None
+    return cls
+
+
+def env_for(resolver, class_name):
+    cls = get_class(resolver, class_name)
+    return TypeEnv(module=MODULE, self_name="self", self_class=cls,
+                   locals={})
+
+
+def parse_expr(text):
+    return ast.parse(text, mode="eval").body
+
+
+def test_decorated_method_found_through_mro(resolver):
+    car = get_class(resolver, "TurboEngine")
+    hit = resolver.find_method(car, "decorated_start")
+    assert hit is not None
+    defining, node = hit
+    assert defining.name == "Engine"
+    assert node.name == "decorated_start"
+
+
+def test_property_accessor_types_the_attribute(resolver):
+    env = env_for(resolver, "Car")
+    inferred = resolver.infer_type(parse_expr("self.motor"), env)
+    assert inferred is not None and inferred.name == "Engine"
+
+
+def test_call_through_property_resolves_method(resolver):
+    env = env_for(resolver, "Car")
+    resolved = resolver.resolve_call(
+        parse_expr("self.motor.start()").func, env)
+    assert resolved is not None
+    assert resolved.qualname.endswith("Engine.start")
+    assert resolved.node is not None
+
+
+def test_method_inherited_across_two_levels(resolver):
+    env = env_for(resolver, "RaceCar")
+    resolved = resolver.resolve_call(parse_expr("self.drive()").func, env)
+    assert resolved is not None
+    assert resolved.qualname.endswith("RaceCar.drive")
+    assert resolved.module == MODULE
+    assert resolved.node is not None and resolved.node.name == "drive"
+
+
+def test_local_typed_only_by_return_annotation(resolver):
+    env = env_for(resolver, "Car")
+    inferred = resolver.infer_type(parse_expr("self.build_engine()"), env)
+    assert inferred is not None and inferred.name == "Engine"
+    # and a call on such a local resolves once the local is bound
+    env.locals["fresh"] = inferred
+    resolved = resolver.resolve_call(parse_expr("fresh.start()").func, env)
+    assert resolved is not None
+    assert resolved.qualname.endswith("Engine.start")
+
+
+def test_optional_return_annotation_unwraps(resolver):
+    env = TypeEnv(module=MODULE, self_name=None, self_class=None, locals={})
+    inferred = resolver.infer_type(parse_expr("maybe_engine(True)"), env)
+    assert inferred is not None and inferred.name == "Engine"
+
+
+def test_subclass_mro_prefers_nearest_definition(resolver):
+    race = get_class(resolver, "RaceCar")
+    mro_names = [c.name for c in resolver.mro(race)]
+    assert mro_names[:3] == ["RaceCar", "SportsCar", "Car"]

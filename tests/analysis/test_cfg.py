@@ -1,0 +1,169 @@
+"""Unit tests for the statement-level CFG and its dataflow helpers."""
+
+import ast
+
+from repro.analysis.cfg import build_cfg, flow_locals, must_pass_before
+
+
+def make_cfg(source: str):
+    tree = ast.parse(source)
+    fn = next(node for node in tree.body
+              if isinstance(node, ast.FunctionDef))
+    return build_cfg(fn)
+
+
+def sid_where(cfg, predicate):
+    hits = [stmt.sid for stmt in cfg.statements() if predicate(stmt.node)]
+    assert len(hits) == 1, hits
+    return hits[0]
+
+
+def is_call_to(name):
+    def check(node):
+        return (isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+                and node.value.func.id == name)
+    return check
+
+
+def is_return(node):
+    return isinstance(node, ast.Return)
+
+
+def test_linear_effect_dominates_return():
+    cfg = make_cfg("""
+def f():
+    append()
+    return 1
+""")
+    append = sid_where(cfg, is_call_to("append"))
+    ret = sid_where(cfg, is_return)
+    assert must_pass_before(cfg, {append}, ret)
+
+
+def test_branch_skipping_effect_breaks_domination():
+    cfg = make_cfg("""
+def f(flag):
+    if flag:
+        append()
+    return 1
+""")
+    append = sid_where(cfg, is_call_to("append"))
+    ret = sid_where(cfg, is_return)
+    assert not must_pass_before(cfg, {append}, ret)
+
+
+def test_effect_on_both_branches_dominates():
+    cfg = make_cfg("""
+def f(flag):
+    if flag:
+        append()
+    else:
+        append2()
+    return 1
+""")
+    a = sid_where(cfg, is_call_to("append"))
+    b = sid_where(cfg, is_call_to("append2"))
+    ret = sid_where(cfg, is_return)
+    assert must_pass_before(cfg, {a, b}, ret)
+    assert not must_pass_before(cfg, {a}, ret)
+
+
+def test_handler_path_de_dominates_effect_in_try():
+    # The append itself can raise; the handler path reaches the return
+    # without the effect having happened.
+    cfg = make_cfg("""
+def f():
+    try:
+        append()
+    except OSError:
+        cleanup()
+    return 1
+""")
+    append = sid_where(cfg, is_call_to("append"))
+    ret = sid_where(cfg, is_return)
+    assert not must_pass_before(cfg, {append}, ret)
+
+
+def test_effect_before_try_still_dominates():
+    cfg = make_cfg("""
+def f():
+    append()
+    try:
+        risky()
+    except OSError:
+        cleanup()
+    return 1
+""")
+    append = sid_where(cfg, is_call_to("append"))
+    ret = sid_where(cfg, is_return)
+    assert must_pass_before(cfg, {append}, ret)
+
+
+def test_loop_body_does_not_dominate_exit():
+    # A for-loop body may run zero times.
+    cfg = make_cfg("""
+def f(items):
+    for x in items:
+        append()
+    return 1
+""")
+    append = sid_where(cfg, is_call_to("append"))
+    ret = sid_where(cfg, is_return)
+    assert not must_pass_before(cfg, {append}, ret)
+
+
+def test_statements_are_in_source_order():
+    cfg = make_cfg("""
+def f(flag):
+    a = 1
+    if flag:
+        b = 2
+    else:
+        c = 3
+    return a
+""")
+    lines = [stmt.node.lineno for stmt in cfg.statements()]
+    assert lines == sorted(lines)
+
+
+def test_flow_locals_joins_by_intersection():
+    cfg = make_cfg("""
+def f(flag):
+    if flag:
+        x = 1
+        y = 1
+    else:
+        x = 1
+    sink(x, y)
+""")
+
+    def transfer(stmt, state):
+        state = dict(state)
+        node = stmt.node
+        if (isinstance(node, ast.Assign)
+                and isinstance(node.targets[0], ast.Name)):
+            state[node.targets[0].id] = "int"
+        return state
+
+    states = flow_locals(cfg, {}, transfer)
+    sink = sid_where(cfg, is_call_to("sink"))
+    at_sink = states[sink]
+    assert at_sink.get("x") == "int"   # assigned on both branches
+    assert "y" not in at_sink          # only on one branch
+
+
+def test_while_true_loop_has_no_fallthrough_exit():
+    cfg = make_cfg("""
+def f():
+    while True:
+        step()
+        if done():
+            break
+    return 1
+""")
+    step = sid_where(cfg, is_call_to("step"))
+    ret = sid_where(cfg, is_return)
+    # The only way to the return is through the loop body's break.
+    assert must_pass_before(cfg, {step}, ret)

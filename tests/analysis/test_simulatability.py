@@ -142,19 +142,21 @@ def test_two_hop_indirect_read_is_caught():
 
 def test_json_schema_is_stable(report):
     payload = json.loads(report.to_json())
-    assert payload["schema_version"] == SCHEMA_VERSION == 1
-    assert set(payload) == {"schema_version", "package", "root", "counts",
-                            "findings"}
+    assert payload["schema_version"] == SCHEMA_VERSION == 2
+    assert set(payload) == {"schema_version", "package", "root", "rules",
+                            "counts", "findings"}
     assert set(payload["counts"]) == {
-        "findings", "violations", "documented", "entry_points",
-        "classes_checked", "modules_scanned"}
+        "findings", "violations", "documented", "baselined", "entry_points",
+        "classes_checked", "modules_scanned", "functions_scanned"}
     for finding in payload["findings"]:
         assert set(finding) == {"rule", "severity", "message", "file",
                                 "line", "col", "entry", "sink", "chain",
-                                "pragma"}
+                                "pragma", "fingerprint"}
         assert set(finding["entry"]) == {"class", "method", "module"}
-        assert finding["severity"] in ("violation", "documented")
+        assert finding["severity"] in ("violation", "documented",
+                                       "baselined")
         assert finding["rule"].startswith("SIM")
+        assert len(finding["fingerprint"]) == 16
         for frame in finding["chain"]:
             assert set(frame) == {"function", "module", "file", "line"}
 
@@ -183,7 +185,7 @@ def test_cli_lint_clean_tree_exits_zero(capsys):
 def test_cli_lint_json(capsys):
     assert main(["lint", "--format", "json"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert payload["schema_version"] == 1
+    assert payload["schema_version"] == 2
     assert payload["counts"]["violations"] == 0
 
 
