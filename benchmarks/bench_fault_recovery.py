@@ -1,25 +1,38 @@
 """Robustness layer costs: WAL append overhead and recovery-replay time.
 
-Two tables (see docs/ROBUSTNESS.md):
+Three tables (see docs/ROBUSTNESS.md):
 
 1. per-query serving cost of the journalling stack — bare auditor, journal
    only, WAL without fsync, and the full durable WAL (fsync per record) —
    the price of the "answer released ⇒ record durable" invariant;
 2. crash-recovery time (parse + heal + replay, with and without verify
-   mode) as a function of journal length.
+   mode) as a function of journal length;
+3. the same recovery with checkpoints: replay is bounded by the
+   checkpoint interval instead of growing with the log, which is the
+   point of ``repro.resilience.checkpoint``.
+
+The checkpointed series is written to ``BENCH_fault_recovery.json`` (a
+committed artifact, like ``BENCH_prob_auditor_runtime.json``) so the
+bounded-replay claim is pinned in the repo.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.auditors.sum_classic import SumClassicAuditor
 from repro.persistence import JournaledAuditor
 from repro.reporting.tables import format_table
+from repro.resilience.checkpoint import (
+    CheckpointPolicy,
+    open_checkpointed_auditor,
+)
 from repro.resilience.wal import WriteAheadLog, recover_journaled
 from repro.sdb.dataset import Dataset
 from repro.types import sum_query
@@ -28,6 +41,9 @@ from .conftest import run_once
 
 N = 60
 QUERIES = 150
+CHECKPOINT_EVERY = 128
+RESULT_PATH = Path(__file__).resolve().parents[1] / \
+    "BENCH_fault_recovery.json"
 
 
 def _query_stream(rng):
@@ -119,6 +135,72 @@ def _measure_recovery():
     return rows
 
 
+def _pose(wrapped, events):
+    """Audit ``events`` queries from the standard stream."""
+    rng = np.random.default_rng(7)
+    posed = 0
+    while posed < events:
+        for query in _query_stream(rng):
+            if posed >= events:
+                break
+            wrapped.audit(query)
+            posed += 1
+    wrapped.close()
+
+
+def _measure_checkpointed_recovery():
+    tmp = tempfile.mkdtemp()
+    factory = SumClassicAuditor
+    policy = CheckpointPolicy(every_records=CHECKPOINT_EVERY)
+    series = []
+    for events in (100, 400, 1600):
+        # Full-replay baseline: single-file WAL, no checkpoints.
+        path = os.path.join(tmp, f"flat-{events}.wal")
+        log = WriteAheadLog.create(path, _make_dataset(), fsync=False)
+        _pose(JournaledAuditor(factory(_make_dataset()), wal=log), events)
+        start = time.perf_counter()
+        recovered, _ = recover_journaled(path, factory, fsync=False)
+        flat_ms = (time.perf_counter() - start) * 1e3
+        assert len(recovered.trail) == events
+        recovered.close()
+
+        # Checkpointed directory: recovery loads the newest snapshot and
+        # replays only the post-checkpoint suffix.
+        directory = os.path.join(tmp, f"ckpt-{events}")
+        wrapped, _ = open_checkpointed_auditor(
+            directory, factory, _make_dataset(), policy=policy,
+            fsync=False)
+        _pose(wrapped, events)
+        start = time.perf_counter()
+        recovered, _ = open_checkpointed_auditor(
+            directory, factory, _make_dataset(), policy=policy,
+            fsync=False)
+        ckpt_ms = (time.perf_counter() - start) * 1e3
+        info = recovered.wal.last_recovery
+        assert len(recovered.trail) == events
+        recovered.close()
+
+        # Bounded replay is the contract, not a lucky timing: whatever the
+        # log length, the suffix never exceeds one checkpoint interval.
+        assert info.replayed_events <= CHECKPOINT_EVERY
+        if events > CHECKPOINT_EVERY:
+            assert info.snapshot_name is not None
+        series.append({
+            "events": events,
+            "full_replay_ms": round(flat_ms, 2),
+            "checkpointed_ms": round(ckpt_ms, 2),
+            "snapshot_events": info.snapshot_events,
+            "replayed_events": info.replayed_events,
+        })
+    return {
+        "benchmark": "fault_recovery",
+        "n": N,
+        "checkpoint_every": CHECKPOINT_EVERY,
+        "replay_bound": CHECKPOINT_EVERY,
+        "recovery": series,
+    }
+
+
 def test_wal_append_overhead(benchmark):
     rows = run_once(benchmark, _measure_append_overhead)
     print(format_table(
@@ -136,4 +218,19 @@ def test_recovery_replay_scales_with_journal_length(benchmark):
         rows,
         title="Crash-recovery time vs journal length (parse + heal + "
               "replay)",
+    ))
+
+
+def test_checkpoints_bound_recovery_replay(benchmark):
+    report = run_once(benchmark, _measure_checkpointed_recovery)
+    RESULT_PATH.write_text(json.dumps(report, indent=1) + "\n")
+    print(format_table(
+        ["journalled events", "full replay ms", "checkpointed ms",
+         "snapshot events", "suffix replayed"],
+        [(r["events"], f"{r['full_replay_ms']:.1f}",
+          f"{r['checkpointed_ms']:.1f}", r["snapshot_events"],
+          r["replayed_events"]) for r in report["recovery"]],
+        title="Recovery with checkpoints: replay bounded by the "
+              f"checkpoint interval ({CHECKPOINT_EVERY} events) "
+              f"(-> {RESULT_PATH.name})",
     ))

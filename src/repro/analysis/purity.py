@@ -91,12 +91,15 @@ class EffectConfig:
     append_functions: FrozenSet[str] = frozenset({
         "repro.persistence.AuditJournal.record_decision",
         "repro.persistence.AuditJournal.record_replay",
+        "repro.persistence.AuditJournal.record_refusal",
         "repro.persistence.AuditJournal.record_update",
         "repro.resilience.wal.WriteAheadLog.append",
+        "repro.resilience.checkpoint.CheckpointedWal.append",
     })
     #: method names that journal by convention, on any receiver
     append_method_names: FrozenSet[str] = frozenset({
-        "record_decision", "record_replay", "record_update",
+        "record_decision", "record_replay", "record_refusal",
+        "record_update",
     })
     #: ``x.append(...)`` receivers (lowercased dotted text suffix) that are
     #: write-ahead logs rather than plain lists

@@ -112,6 +112,16 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="crash-safe write-ahead audit log file; every "
                         "decision is fsynced before its answer is printed, "
                         "and an existing log is recovered and replayed")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="N",
+                   help="with --wal (then a directory): snapshot auditor "
+                        "state every N journal records, so recovery "
+                        "replays only the post-checkpoint suffix and old "
+                        "segments are compacted away")
+    p.add_argument("--checkpoint-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="with --wal: also checkpoint once the active log "
+                        "segment exceeds BYTES")
     p.add_argument("--deadline", type=float, default=None,
                    help="per-query wall-clock budget in seconds "
                         "(probabilistic auditors only); exhaustion yields "
@@ -438,10 +448,24 @@ def _cmd_serve(args, stdin=None) -> int:
         def factory(dataset):
             return JournaledAuditor(base_factory(dataset))
 
+    checkpoint = None
+    checkpoint_every = getattr(args, "checkpoint_every", None)
+    checkpoint_bytes = getattr(args, "checkpoint_bytes", None)
+    if checkpoint_every is not None or checkpoint_bytes is not None:
+        if not args.wal:
+            print("error: --checkpoint-every/--checkpoint-bytes require "
+                  "--wal (a WAL directory)")
+            return 2
+        from .resilience.checkpoint import CheckpointPolicy
+
+        checkpoint = CheckpointPolicy(every_records=checkpoint_every,
+                                      every_bytes=checkpoint_bytes)
+
     try:
         db = load_csv_database(args.csv, args.sensitive, factory,
                                wal_path=args.wal,
-                               verify_wal=args.auditor in classic)
+                               verify_wal=args.auditor in classic,
+                               checkpoint=checkpoint)
     except (OSError, ReproError) as exc:
         print(f"error: {exc}")
         return 2

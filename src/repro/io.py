@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from .exceptions import InvalidQueryError
 from .sdb.dataset import Dataset
@@ -48,10 +48,14 @@ def load_csv_database(path: str, sensitive_column: str,
                       low: Optional[float] = None,
                       high: Optional[float] = None,
                       wal_path: Optional[str] = None,
-                      verify_wal: bool = False) -> StatisticalDatabase:
+                      verify_wal: bool = False,
+                      checkpoint: Any = None) -> StatisticalDatabase:
     """Build an audited :class:`StatisticalDatabase` from a CSV file.
 
-    ``wal_path`` enables the crash-safe write-ahead audit log (see
+    ``wal_path`` enables the crash-safe write-ahead audit log and
+    ``checkpoint`` (a :class:`~repro.resilience.checkpoint.
+    CheckpointPolicy`) upgrades it to the segmented, checkpointed WAL
+    with bounded recovery replay (see
     :meth:`StatisticalDatabase.from_records`).
     """
     with open(path, newline="") as handle:
@@ -64,7 +68,7 @@ def load_csv_database(path: str, sensitive_column: str,
     return StatisticalDatabase.from_records(
         records, sensitive_column=sensitive_column,
         auditor_factory=auditor_factory, low=low, high=high,
-        wal_path=wal_path, verify_wal=verify_wal,
+        wal_path=wal_path, verify_wal=verify_wal, checkpoint=checkpoint,
     )
 
 

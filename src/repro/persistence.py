@@ -92,6 +92,26 @@ class AuditJournal:
         self.events.append(event)
         return event
 
+    def record_refusal(self, query: Query,
+                       decision: AuditDecision) -> Dict[str, Any]:
+        """Append a fail-closed refusal that never consulted the auditor.
+
+        Admission control and the sampler circuit breaker deny queries
+        *before* the audit decision procedure runs; the refusal still goes
+        into the disclosure log (denials are observable outputs too), but
+        :meth:`restore` re-logs it without re-auditing — even in verify
+        mode, because there is no auditor decision to re-check.
+        """
+        event: Dict[str, Any] = {
+            "type": "denial",
+            "kind": query.kind.value,
+            "members": sorted(query.query_set),
+        }
+        if decision.reason is not None:
+            event["reason"] = decision.reason.value
+        self.events.append(event)
+        return event
+
     def record_update(self, event) -> Dict[str, Any]:
         """Append an update event; returns the journalled dict."""
         record: Dict[str, Any]
@@ -161,61 +181,87 @@ class AuditJournal:
         dataset = Dataset(list(self.initial_values), low=self.low,
                           high=self.high)
         auditor = auditor_factory(dataset)
-        for event in self.events:
-            etype = event.get("type")
-            if etype == "query":
-                self._replay_query(auditor, event, verify)
-            elif etype == "query_replay":
-                # A cache-served re-release: no audit state to rebuild
-                # (the original "query" event already carried it).
-                continue
-            elif etype == "modify":
-                dataset.set_value(int(event["index"]), float(event["value"]))
-                auditor.apply_update(Modify(int(event["index"]),
-                                            float(event["value"])))
-            elif etype == "insert":
-                dataset.append(float(event["value"]))
-                auditor.apply_update(Insert(float(event["value"]),
-                                            event.get("public") or {}))
-            elif etype == "delete":
-                auditor.apply_update(Delete(int(event["index"])))
-            else:
-                raise JournalError(f"unknown journal event type {etype!r}")
+        replay_events(auditor, dataset, self.events, verify=verify)
         return auditor, dataset
 
-    def _replay_query(self, auditor, event: Dict[str, Any],
-                      verify: bool) -> None:
-        query = Query(AggregateKind(event["kind"]),
-                      frozenset(int(i) for i in event["members"]))
-        if verify:
-            decision = auditor.audit(query)
-            if decision.denied != bool(event["denied"]):
-                raise JournalError(
-                    f"replay divergence on {query!r}: journal says "
-                    f"denied={event['denied']}, auditor says "
-                    f"denied={decision.denied}"
-                )
-            if decision.answered and decision.value != event.get("value"):
-                raise JournalError(
-                    f"replay divergence on {query!r}: answer "
-                    f"{decision.value} != journalled {event.get('value')}"
-                )
-            return
-        if event["denied"]:
-            try:
-                reason = (DenialReason(event["reason"])
-                          if event.get("reason") else DenialReason.POLICY)
-            except ValueError as exc:
-                raise JournalError(
-                    f"unknown denial reason {event.get('reason')!r}"
-                ) from exc
-            auditor.trail.record(
-                query, AuditDecision.deny(reason, "journalled")
+
+def _journalled_reason(event: Dict[str, Any]) -> DenialReason:
+    try:
+        return (DenialReason(event["reason"])
+                if event.get("reason") else DenialReason.POLICY)
+    except ValueError as exc:
+        raise JournalError(
+            f"unknown denial reason {event.get('reason')!r}"
+        ) from exc
+
+
+def _replay_query(auditor, event: Dict[str, Any], verify: bool) -> None:
+    query = Query(AggregateKind(event["kind"]),
+                  frozenset(int(i) for i in event["members"]))
+    if verify:
+        decision = auditor.audit(query)
+        if decision.denied != bool(event["denied"]):
+            raise JournalError(
+                f"replay divergence on {query!r}: journal says "
+                f"denied={event['denied']}, auditor says "
+                f"denied={decision.denied}"
             )
+        if decision.answered and decision.value != event.get("value"):
+            raise JournalError(
+                f"replay divergence on {query!r}: answer "
+                f"{decision.value} != journalled {event.get('value')}"
+            )
+        return
+    if event["denied"]:
+        auditor.trail.record(
+            query, AuditDecision.deny(_journalled_reason(event), "journalled")
+        )
+    else:
+        value = float(event["value"])
+        auditor._record_answer(query, value)
+        auditor.trail.record(query, AuditDecision.answer(value))
+
+
+def replay_events(auditor, dataset: Dataset, events, verify: bool = False) -> int:
+    """Fold journal ``events`` into a live ``(auditor, dataset)`` pair.
+
+    The workhorse shared by :meth:`AuditJournal.restore` (full replay from
+    the initial dataset) and checkpointed recovery (suffix replay onto a
+    snapshot-restored auditor).  Returns the number of events applied.
+    """
+    applied = 0
+    for event in events:
+        etype = event.get("type")
+        if etype == "query":
+            _replay_query(auditor, event, verify)
+        elif etype == "query_replay":
+            # A cache-served re-release: no audit state to rebuild
+            # (the original "query" event already carried it).
+            pass
+        elif etype == "denial":
+            # A fail-closed refusal (admission control, circuit breaker):
+            # the auditor was never consulted, so there is nothing to
+            # verify — re-log it and move on.
+            query = Query(AggregateKind(event["kind"]),
+                          frozenset(int(i) for i in event["members"]))
+            auditor.trail.record(
+                query,
+                AuditDecision.deny(_journalled_reason(event), "journalled"),
+            )
+        elif etype == "modify":
+            dataset.set_value(int(event["index"]), float(event["value"]))
+            auditor.apply_update(Modify(int(event["index"]),
+                                        float(event["value"])))
+        elif etype == "insert":
+            dataset.append(float(event["value"]))
+            auditor.apply_update(Insert(float(event["value"]),
+                                        event.get("public") or {}))
+        elif etype == "delete":
+            auditor.apply_update(Delete(int(event["index"])))
         else:
-            value = float(event["value"])
-            auditor._record_answer(query, value)
-            auditor.trail.record(query, AuditDecision.answer(value))
+            raise JournalError(f"unknown journal event type {etype!r}")
+        applied += 1
+    return applied
 
 
 class JournaledAuditor:
@@ -245,6 +291,7 @@ class JournaledAuditor:
         event = self.journal.record_decision(query, decision)
         if self.wal is not None:
             self.wal.append(event)
+            self._maybe_checkpoint()
         fault_site("journal.post-record")
         return decision
 
@@ -261,6 +308,24 @@ class JournaledAuditor:
         event = self.journal.record_replay(query, decision)
         if self.wal is not None:
             self.wal.append(event)
+            self._maybe_checkpoint()
+        fault_site("journal.post-record")
+
+    def record_refusal(self, query: Query, decision: AuditDecision) -> None:
+        """Durably log a fail-closed refusal before it goes out.
+
+        Used by the overload layer (admission control, circuit breaker)
+        for denials that never consulted the wrapped auditor: the denial
+        is trail-recorded and journalled/WAL-appended like any other
+        decision, but carries a dedicated ``denial`` event type so replay
+        never tries to re-audit it.
+        """
+        self.trail.record(query, decision)
+        fault_site("journal.pre-record")
+        event = self.journal.record_refusal(query, decision)
+        if self.wal is not None:
+            self.wal.append(event)
+            self._maybe_checkpoint()
         fault_site("journal.post-record")
 
     def apply_update(self, event) -> None:
@@ -270,7 +335,23 @@ class JournaledAuditor:
         record = self.journal.record_update(event)
         if self.wal is not None:
             self.wal.append(record)
+            self._maybe_checkpoint()
         fault_site("journal.post-record")
+
+    def _maybe_checkpoint(self) -> None:
+        """Give a checkpoint-capable WAL a chance to snapshot and compact.
+
+        The single-file :class:`~repro.resilience.wal.WriteAheadLog` has no
+        such hook; the segmented
+        :class:`~repro.resilience.checkpoint.CheckpointedWal` snapshots the
+        wrapped auditor's state when its record/byte thresholds trip.
+        Runs *after* the decision's own record is durable, so a crash at
+        any point inside the checkpoint leaves a WAL that still replays to
+        exactly the same state.
+        """
+        trigger = getattr(self.wal, "maybe_checkpoint", None)
+        if trigger is not None:
+            trigger(self.auditor)
 
     def close(self) -> None:
         """Close the attached WAL, if any."""

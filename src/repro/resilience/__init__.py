@@ -34,12 +34,25 @@ from .faults import (
     fault_site,
     inject,
 )
+from .overload import (
+    AdmissionController,
+    AdmissionPolicy,
+    CircuitBreaker,
+    TokenBucket,
+)
 
-#: WAL names are exported lazily (PEP 562): ``repro.persistence`` imports
-#: this package for the fault sites, while ``.wal`` imports
-#: ``repro.persistence`` for the journal types — eager re-export here
-#: would close that cycle during interpreter start-up.
+#: WAL and checkpoint names are exported lazily (PEP 562):
+#: ``repro.persistence`` imports this package for the fault sites, while
+#: ``.wal``/``.checkpoint`` import ``repro.persistence`` for the journal
+#: types — eager re-export here would close that cycle during interpreter
+#: start-up.
 _WAL_EXPORTS = ("WriteAheadLog", "open_wal_auditor", "recover_journaled")
+_CHECKPOINT_EXPORTS = (
+    "CheckpointPolicy",
+    "CheckpointedWal",
+    "RecoveryInfo",
+    "open_checkpointed_auditor",
+)
 
 
 def __getattr__(name: str) -> Any:
@@ -47,21 +60,33 @@ def __getattr__(name: str) -> Any:
         from . import wal
 
         return getattr(wal, name)
+    if name in _CHECKPOINT_EXPORTS:
+        from . import checkpoint
+
+        return getattr(checkpoint, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
     "Budget",
     "BudgetScope",
+    "CheckpointPolicy",
+    "CheckpointedWal",
+    "CircuitBreaker",
     "Crash",
     "FaultClock",
     "FaultPlan",
     "InjectedCrash",
     "KNOWN_SITES",
     "Raise",
+    "RecoveryInfo",
     "Stall",
+    "TokenBucket",
     "WriteAheadLog",
     "fault_site",
     "inject",
+    "open_checkpointed_auditor",
     "open_wal_auditor",
     "recover_journaled",
     "run_fail_closed",

@@ -1,0 +1,679 @@
+"""Checkpointed, segmented write-ahead audit log with compaction.
+
+The single-file :class:`~repro.resilience.wal.WriteAheadLog` replays its
+entire history on every restart, so recovery time grows without bound —
+the opposite of an always-on online auditor.  This module bounds both
+recovery time and disk usage while keeping the fail-closed contract:
+
+* the log is split into **segments** (append-only files in the same
+  checksummed frame format as the single-file WAL);
+* a **checkpoint** atomically persists a snapshot of the auditor's full
+  decision state (temp-file + rename + parent-directory fsync), seals the
+  active segment, and starts a fresh one;
+* **recovery** loads the newest valid snapshot and replays only the
+  post-checkpoint suffix of the log; a torn or corrupt snapshot falls
+  back to the previous one (longer suffix), and to a full replay while
+  the pre-checkpoint segments still exist;
+* **compaction** deletes segments and snapshots that every retained
+  recovery path has stopped needing — never before the manifest that
+  stops referencing them is durably committed.
+
+A single ``MANIFEST`` file — one checksummed record, only ever replaced
+by atomic rename — is the recovery root: it names the live segments (with
+their event offsets), the retained snapshots, and the initial dataset.
+Files the manifest does not reference are orphans from a crash inside a
+checkpoint or compaction; recovery sweeps them.
+
+Snapshot contents are the pickled auditor object (its synopsis/row-space
+state, trail, dataset, and — for probabilistic auditors — RNG state), so
+restoring one replays **zero** pre-checkpoint events.  The pickle rides
+inside a CRC-checked frame, which catches torn or bit-rotted snapshots;
+it is *not* a defence against an adversary who can write the WAL
+directory — the directory carries the same trust as the audit log itself.
+
+Durability invariant (unchanged from the single-file WAL): an answer is
+released only after its record is fsynced into the active segment.  Every
+checkpoint/compaction step is crash-atomic: whatever instant the process
+dies, recovery reconstructs the exact decision state — the chaos sweep in
+``tests/resilience/test_chaos.py`` proves it at every instrumented point.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import pickle
+from dataclasses import dataclass
+from typing import IO, Any, Dict, List, Mapping, Optional, Tuple
+
+from ..persistence import (
+    AuditJournal,
+    JournaledAuditor,
+    JournalError,
+    replay_events,
+)
+from ..sdb.dataset import Dataset
+from .faults import fault_site, plan_active
+from .wal import (
+    WAL_VERSION,
+    AuditorFactory,
+    WriteAheadLog,
+    _decode_record,
+    _encode_record,
+    fsync_directory,
+)
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "MANIFEST"
+
+#: Files recovery/create may sweep when the manifest does not claim them.
+_OWNED_PREFIXES = ("segment-", "snapshot-")
+
+
+def _segment_name(seq: int) -> str:
+    return f"segment-{seq:06d}.log"
+
+
+def _snapshot_name(seq: int) -> str:
+    return f"snapshot-{seq:06d}.snap"
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When to checkpoint, and how much history to retain.
+
+    Parameters
+    ----------
+    every_records:
+        Checkpoint after this many journal events since the last snapshot
+        (``None`` disables the record trigger).
+    every_bytes:
+        Checkpoint once the active segment holds at least this many bytes
+        (``None`` disables the byte trigger).
+    keep_snapshots:
+        How many snapshots the manifest retains.  Two (the default) means
+        recovery survives one torn/corrupt snapshot without resorting to
+        a full replay.
+    compact:
+        Whether to delete segments every retained snapshot has covered.
+        Compaction bounds disk usage but retires the full-replay fallback
+        for the compacted prefix — recovery then needs at least one valid
+        retained snapshot.
+    """
+
+    every_records: Optional[int] = 256
+    every_bytes: Optional[int] = None
+    keep_snapshots: int = 2
+    compact: bool = True
+
+    def __post_init__(self) -> None:
+        if self.every_records is not None and self.every_records < 1:
+            raise JournalError("every_records must be positive or None")
+        if self.every_bytes is not None and self.every_bytes < 1:
+            raise JournalError("every_bytes must be positive or None")
+        if self.keep_snapshots < 1:
+            raise JournalError("keep_snapshots must be at least 1")
+
+
+@dataclass
+class RecoveryInfo:
+    """What one recovery actually did (asserted by the chaos sweep).
+
+    ``snapshot_events + replayed_events`` always equals the durable event
+    count; ``replayed_events`` is the suffix replay the snapshot bounded.
+    """
+
+    snapshot_name: Optional[str]  #: snapshot used (``None`` = full replay)
+    snapshot_events: int          #: events restored from the snapshot
+    replayed_events: int          #: events replayed from segments
+    snapshots_skipped: int        #: torn/corrupt snapshots passed over
+    torn_tail_healed: bool        #: active segment had a torn final record
+    orphans_removed: int          #: unreferenced files swept
+
+
+class CheckpointedWal:
+    """Segmented WAL directory with snapshots, a manifest, and compaction.
+
+    Construct via :meth:`create` (fresh directory) or :meth:`recover`
+    (after a crash or clean shutdown); serving code normally goes through
+    :func:`open_checkpointed_auditor` or
+    :func:`repro.resilience.wal.open_wal_auditor` with a directory path.
+
+    Drop-in for :class:`~repro.resilience.wal.WriteAheadLog` where
+    :class:`~repro.persistence.JournaledAuditor` is concerned: it exposes
+    the same ``append``/``close`` surface plus ``maybe_checkpoint``, which
+    the journalled auditor calls after every durable append.
+    """
+
+    def __init__(self, directory: str,
+                 policy: Optional[CheckpointPolicy] = None,
+                 fsync: bool = True) -> None:
+        self.directory = directory
+        self.policy = policy or CheckpointPolicy()
+        self._fsync = fsync
+        self._active: Optional[IO[bytes]] = None
+        self._active_bytes = 0
+        self._segments: List[Dict[str, Any]] = []
+        self._snapshots: List[Dict[str, Any]] = []
+        self._dataset_header: Dict[str, Any] = {}
+        self._next_seq = 1
+        self._total_events = 0
+        self._last_snapshot_events = 0
+        self.last_recovery: Optional[RecoveryInfo] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, directory: str, dataset: Dataset,
+               policy: Optional[CheckpointPolicy] = None,
+               fsync: bool = True) -> "CheckpointedWal":
+        """Start a fresh checkpointed WAL for ``dataset``.
+
+        Refuses a directory that already holds a manifest (use
+        :meth:`recover`) or any non-empty log files without one (that
+        history may matter; only a crashed *creation* — empty strays, no
+        manifest — is cleaned up and retried).
+        """
+        os.makedirs(directory, exist_ok=True)
+        if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+            raise JournalError(
+                f"checkpointed WAL {directory!r} already exists; use "
+                f"CheckpointedWal.recover() to resume it"
+            )
+        for name in sorted(os.listdir(directory)):
+            path = os.path.join(directory, name)
+            if name.endswith(".tmp"):
+                os.unlink(path)
+                continue
+            if not name.startswith(_OWNED_PREFIXES):
+                continue
+            if os.path.getsize(path) > 0:
+                raise JournalError(
+                    f"directory {directory!r} holds log files but no "
+                    f"manifest; refusing to overwrite possible audit "
+                    f"history — restore the MANIFEST from a replica or "
+                    f"point at an empty directory"
+                )
+            os.unlink(path)  # empty stray from a crashed create()
+        wal = cls(directory, policy=policy, fsync=fsync)
+        wal._dataset_header = {
+            "values": [float(v) for v in dataset.values],
+            "low": float(dataset.low),
+            "high": float(dataset.high),
+        }
+        wal._segments = [{"name": _segment_name(1), "base": 0,
+                          "count": None}]
+        wal._next_seq = 2
+        wal._open_active()
+        if fsync:
+            fsync_directory(directory)
+        wal._commit_manifest()
+        return wal
+
+    @classmethod
+    def recover(cls, directory: str, auditor_factory: AuditorFactory,
+                policy: Optional[CheckpointPolicy] = None,
+                fsync: bool = True, verify: bool = False,
+                ) -> Tuple[JournaledAuditor, Dataset, RecoveryInfo]:
+        """Reopen after a crash: snapshot + suffix replay, with fallback.
+
+        The recovery state machine, in order:
+
+        1. read the ``MANIFEST`` (atomically replaced, so damage here is
+           corruption or tampering — refused, never healed);
+        2. parse every live segment; heal a torn tail on the *active*
+           (final) segment only, refuse damage anywhere else;
+        3. load the newest retained snapshot; on a torn/corrupt one fall
+           back to the previous, then to a full replay — but only while
+           the manifest still references the pre-checkpoint segments
+           (compaction retires that path);
+        4. replay the post-snapshot suffix through the auditor's state
+           hooks (``verify=True`` re-runs the suffix's decisions — only
+           meaningful for deterministic auditors);
+        5. sweep orphan files no manifest references and reopen the
+           active segment for appending.
+        """
+        wal = cls(directory, policy=policy, fsync=fsync)
+        wal._load_manifest(_read_manifest(directory))
+        seg_records, torn_healed = wal._read_segments()
+        last = wal._segments[-1]
+        total = int(last["base"]) + len(seg_records[last["name"]])
+
+        auditor: Any = None
+        chosen: Optional[Dict[str, Any]] = None
+        skipped = 0
+        for snap in reversed(wal._snapshots):
+            try:
+                auditor = _load_snapshot(
+                    os.path.join(directory, str(snap["name"])),
+                    int(snap["events"]),
+                )
+            except Exception:
+                # Torn, bit-rotted, or unreadable snapshot: fall back to
+                # an older recovery root.  (InjectedCrash is a
+                # BaseException and deliberately not caught.)
+                skipped += 1
+                continue
+            chosen = snap
+            break
+
+        if chosen is not None:
+            dataset = auditor.dataset
+            suffix = []
+            base_events = int(chosen["events"])
+            for seg in wal._segments:
+                for i, record in enumerate(seg_records[seg["name"]]):
+                    if int(seg["base"]) + i >= base_events:
+                        suffix.append(record)
+            replayed = replay_events(auditor, dataset, suffix,
+                                     verify=verify)
+            journal_events = suffix
+            snapshot_name: Optional[str] = str(chosen["name"])
+        elif int(wal._segments[0]["base"]) == 0:
+            all_events = [record for seg in wal._segments
+                          for record in seg_records[seg["name"]]]
+            journal = AuditJournal(
+                initial_values=[float(v)
+                                for v in wal._dataset_header["values"]],
+                low=float(wal._dataset_header["low"]),
+                high=float(wal._dataset_header["high"]),
+                events=all_events,
+            )
+            auditor, dataset = journal.restore(auditor_factory,
+                                               verify=verify)
+            base_events = 0
+            replayed = len(all_events)
+            journal_events = all_events
+            snapshot_name = None
+        else:
+            raise JournalError(
+                f"checkpointed WAL {directory!r} has no readable snapshot "
+                f"and its pre-checkpoint segments were compacted away; "
+                f"refusing to serve from an incomplete audit history — "
+                f"restore from a replica or archive"
+            )
+
+        removed = wal._sweep_orphans()
+        wal._total_events = total
+        wal._last_snapshot_events = (int(wal._snapshots[-1]["events"])
+                                     if wal._snapshots else 0)
+        wal._open_active()
+        info = RecoveryInfo(
+            snapshot_name=snapshot_name,
+            snapshot_events=base_events,
+            replayed_events=replayed,
+            snapshots_skipped=skipped,
+            torn_tail_healed=torn_healed,
+            orphans_removed=removed,
+        )
+        wal.last_recovery = info
+        restored = AuditJournal(
+            initial_values=[float(v)
+                            for v in wal._dataset_header["values"]],
+            low=float(wal._dataset_header["low"]),
+            high=float(wal._dataset_header["high"]),
+            events=list(journal_events),
+        )
+        return JournaledAuditor(auditor, wal=wal, journal=restored), \
+            dataset, info
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def append(self, event: Mapping[str, Any]) -> None:
+        """Durably append one record to the active segment."""
+        if self._active is None:
+            raise JournalError(
+                f"checkpointed WAL {self.directory!r} is closed")
+        data = _encode_record(event)
+        half = len(data) // 2
+        self._active.write(data[:half])
+        if plan_active():
+            # Make the half-written state visible before a simulated kill,
+            # the way a real partial page write would be.
+            self._active.flush()
+        fault_site("wal.mid-append")
+        self._active.write(data[half:])
+        self._active.flush()
+        if self._fsync:
+            os.fsync(self._active.fileno())
+        self._active_bytes += len(data)
+        self._total_events += 1
+        fault_site("wal.post-fsync")
+
+    def close(self) -> None:
+        """Close the active segment handle."""
+        if self._active is not None:
+            self._active.close()
+            self._active = None
+
+    def __enter__(self) -> "CheckpointedWal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    @property
+    def total_events(self) -> int:
+        """Journal events durably appended over the log's lifetime."""
+        return self._total_events
+
+    @property
+    def events_since_checkpoint(self) -> int:
+        """Events appended after the newest snapshot."""
+        return self._total_events - self._last_snapshot_events
+
+    def should_checkpoint(self) -> bool:
+        """Whether the policy's record/byte thresholds have tripped."""
+        if self.events_since_checkpoint <= 0:
+            return False
+        policy = self.policy
+        if (policy.every_records is not None
+                and self.events_since_checkpoint >= policy.every_records):
+            return True
+        return (policy.every_bytes is not None
+                and self._active_bytes >= policy.every_bytes)
+
+    def maybe_checkpoint(self, auditor: Any) -> bool:
+        """Checkpoint ``auditor`` if the policy says it is time.
+
+        Called by :class:`~repro.persistence.JournaledAuditor` after each
+        durable append; returns whether a checkpoint was taken.
+        """
+        if not self.should_checkpoint():
+            return False
+        self.checkpoint(auditor)
+        return True
+
+    def checkpoint(self, auditor: Any) -> str:
+        """Snapshot ``auditor``, rotate the active segment, compact.
+
+        Crash-atomic: the manifest commit (atomic rename) is the single
+        point where the new snapshot becomes the recovery root; a crash
+        on either side leaves only orphan files, which recovery sweeps.
+        Returns the snapshot file name.
+        """
+        if self._active is None:
+            raise JournalError(
+                f"checkpointed WAL {self.directory!r} is closed")
+        events = self._total_events
+        seq = self._next_seq
+        snap_name = _snapshot_name(seq)
+        payload = {
+            "type": "snapshot",
+            "snapshot_version": 1,
+            "events": events,
+            "state": base64.b64encode(
+                pickle.dumps(auditor)).decode("ascii"),
+        }
+        self._write_snapshot(snap_name, payload)
+        fault_site("checkpoint.pre-commit")
+
+        # Seal the active segment and start a fresh one so the snapshot
+        # boundary coincides with a segment boundary.
+        self._active.close()
+        self._active = None
+        for seg in self._segments:
+            if seg["count"] is None:
+                seg["count"] = events - int(seg["base"])
+        self._segments.append({"name": _segment_name(seq), "base": events,
+                               "count": None})
+        self._next_seq = seq + 1
+        self._open_active()
+        if self._fsync:
+            fsync_directory(self.directory)
+        fault_site("segment.post-roll")
+
+        # Retention: the new manifest stops referencing superseded files;
+        # only then may compaction delete them.
+        self._snapshots.append({"name": snap_name, "events": events})
+        keep = self.policy.keep_snapshots
+        dropped = self._snapshots[:-keep]
+        self._snapshots = self._snapshots[-keep:]
+        if self.policy.compact:
+            horizon = int(self._snapshots[0]["events"])
+            live = []
+            for seg in self._segments:
+                count = seg["count"]
+                if count is not None and int(seg["base"]) + count <= horizon:
+                    dropped.append(seg)
+                else:
+                    live.append(seg)
+            self._segments = live
+        self._last_snapshot_events = events
+        self._commit_manifest()
+        fault_site("checkpoint.post-commit")
+
+        for stale in dropped:
+            fault_site("compact.mid-delete")
+            try:
+                os.unlink(os.path.join(self.directory, str(stale["name"])))
+            except OSError:  # already gone: compaction is idempotent
+                pass
+        if dropped and self._fsync:
+            fsync_directory(self.directory)
+        return snap_name
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _open_active(self) -> None:
+        path = os.path.join(self.directory, str(self._segments[-1]["name"]))
+        self._active = open(path, "ab")
+        self._active_bytes = os.path.getsize(path)
+
+    def _load_manifest(self, payload: Dict[str, Any]) -> None:
+        try:
+            self._dataset_header = {
+                "values": [float(v) for v in payload["dataset"]["values"]],
+                "low": float(payload["dataset"]["low"]),
+                "high": float(payload["dataset"]["high"]),
+            }
+            self._segments = [dict(seg) for seg in payload["segments"]]
+            self._snapshots = [dict(snap) for snap in payload["snapshots"]]
+            self._next_seq = int(payload["next_seq"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalError(
+                f"checkpointed WAL manifest in {self.directory!r} is "
+                f"malformed: {exc}"
+            ) from exc
+        if not self._segments:
+            raise JournalError(
+                f"checkpointed WAL manifest in {self.directory!r} names "
+                f"no segments"
+            )
+
+    def _read_segments(self) -> Tuple[Dict[str, List[Dict[str, Any]]], bool]:
+        """Parse every live segment; heal the active segment's torn tail."""
+        seg_records: Dict[str, List[Dict[str, Any]]] = {}
+        torn_healed = False
+        for pos, seg in enumerate(self._segments):
+            name = str(seg["name"])
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path, "rb") as handle:
+                    raw = handle.read()
+            except OSError as exc:
+                raise JournalError(
+                    f"checkpointed WAL {self.directory!r} is missing "
+                    f"segment {name} ({exc}); restore from a replica or "
+                    f"archive"
+                ) from exc
+            records, good_bytes = WriteAheadLog._parse(raw, path)
+            if good_bytes < len(raw):
+                if pos != len(self._segments) - 1:
+                    raise JournalError(
+                        f"sealed segment {name} of {self.directory!r} is "
+                        f"damaged; only the active segment may carry a "
+                        f"torn tail — restore from a replica or archive"
+                    )
+                with open(path, "r+b") as handle:
+                    handle.truncate(good_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                torn_healed = True
+            expected = seg["count"]
+            if expected is not None and len(records) != int(expected):
+                raise JournalError(
+                    f"sealed segment {name} of {self.directory!r} holds "
+                    f"{len(records)} records where the manifest sealed "
+                    f"{expected}; refusing to serve from a damaged audit "
+                    f"history — restore from a replica or archive"
+                )
+            seg_records[name] = records
+        return seg_records, torn_healed
+
+    def _write_snapshot(self, name: str, payload: Dict[str, Any]) -> None:
+        path = os.path.join(self.directory, name)
+        tmp = path + ".tmp"
+        data = _encode_record(payload)
+        with open(tmp, "wb") as handle:
+            half = len(data) // 2
+            handle.write(data[:half])
+            if plan_active():
+                handle.flush()
+            fault_site("checkpoint.mid-snapshot")
+            handle.write(data[half:])
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if self._fsync:
+            fsync_directory(self.directory)
+
+    def _commit_manifest(self) -> None:
+        payload = {
+            "type": "manifest",
+            "manifest_version": MANIFEST_VERSION,
+            "wal_version": WAL_VERSION,
+            "dataset": self._dataset_header,
+            "segments": self._segments,
+            "snapshots": self._snapshots,
+            "next_seq": self._next_seq,
+        }
+        path = os.path.join(self.directory, MANIFEST_NAME)
+        tmp = path + ".tmp"
+        data = _encode_record(payload)
+        with open(tmp, "wb") as handle:
+            half = len(data) // 2
+            handle.write(data[:half])
+            if plan_active():
+                handle.flush()
+            fault_site("manifest.mid-write")
+            handle.write(data[half:])
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if self._fsync:
+            fsync_directory(self.directory)
+
+    def _sweep_orphans(self) -> int:
+        referenced = {MANIFEST_NAME}
+        referenced.update(str(seg["name"]) for seg in self._segments)
+        referenced.update(str(snap["name"]) for snap in self._snapshots)
+        removed = 0
+        for name in sorted(os.listdir(self.directory)):
+            if name in referenced:
+                continue
+            if (name.startswith(_OWNED_PREFIXES)
+                    or name.endswith(".tmp")):
+                os.unlink(os.path.join(self.directory, name))
+                removed += 1
+        return removed
+
+
+def _read_manifest(directory: str) -> Dict[str, Any]:
+    path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise JournalError(
+            f"{directory!r} holds no checkpointed-WAL manifest ({exc}); "
+            f"start a fresh WAL or point at the right directory"
+        ) from exc
+    try:
+        payload = _decode_record(raw.rstrip(b"\n"), 0)
+    except ValueError as exc:
+        raise JournalError(
+            f"checkpointed WAL manifest {path!r} is corrupt ({exc}); the "
+            f"manifest is only ever replaced atomically, so this is "
+            f"damage or tampering — restore from a replica or archive"
+        ) from exc
+    if payload.get("type") != "manifest":
+        raise JournalError(
+            f"{path!r} is not a checkpointed WAL manifest "
+            f"(got type {payload.get('type')!r})"
+        )
+    version = payload.get("manifest_version")
+    if version != MANIFEST_VERSION:
+        raise JournalError(
+            f"checkpointed WAL manifest {path!r} has unsupported version "
+            f"{version!r} (this build reads version {MANIFEST_VERSION}); "
+            f"upgrade or migrate before serving"
+        )
+    return payload
+
+
+def _load_snapshot(path: str, expected_events: int) -> Any:
+    """Validate and unpickle one snapshot; raises on any damage."""
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    payload = _decode_record(raw.rstrip(b"\n"), 0)
+    if payload.get("type") != "snapshot":
+        raise ValueError(f"{path!r} is not a snapshot record")
+    if payload.get("snapshot_version") != 1:
+        raise ValueError(
+            f"unsupported snapshot version {payload.get('snapshot_version')!r}"
+        )
+    if int(payload.get("events", -1)) != expected_events:
+        raise ValueError(
+            f"snapshot covers {payload.get('events')!r} events, manifest "
+            f"says {expected_events}"
+        )
+    return pickle.loads(base64.b64decode(payload["state"]))
+
+
+def open_checkpointed_auditor(
+        directory: str, auditor_factory: AuditorFactory, dataset: Dataset,
+        fsync: bool = True, verify: bool = False,
+        policy: Optional[CheckpointPolicy] = None,
+) -> Tuple[JournaledAuditor, Dataset]:
+    """Open-or-recover a checkpointed WAL directory (serving entry point).
+
+    Mirrors :func:`repro.resilience.wal.open_wal_auditor`: an existing
+    manifest is recovered (``dataset`` must match the manifest's initial
+    dataset) and serving resumes with bounded replay; otherwise a fresh
+    checkpointed WAL is created over ``dataset``.
+    """
+    directory = directory.rstrip("/").rstrip(os.sep) or directory
+    if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+        wrapped, live, _info = CheckpointedWal.recover(
+            directory, auditor_factory, policy=policy, fsync=fsync,
+            verify=verify,
+        )
+        journal = wrapped.journal
+        same = (
+            journal.initial_values == [float(v) for v in dataset.values]
+            and journal.low == float(dataset.low)
+            and journal.high == float(dataset.high)
+        )
+        if not same:
+            raise JournalError(
+                f"checkpointed WAL {directory!r} was recorded over a "
+                f"different dataset; refusing to resume (pass a fresh "
+                f"WAL directory or the original data)"
+            )
+        return wrapped, live
+    wal = CheckpointedWal.create(directory, dataset, policy=policy,
+                                 fsync=fsync)
+    return JournaledAuditor(auditor_factory(dataset), wal=wal), dataset

@@ -52,6 +52,26 @@ KNOWN_SITES = frozenset({
     # Start of each bounded sampling attempt in a budgeted probabilistic
     # decision (raising SamplingError here exercises retry-and-reseed).
     "auditor.attempt",
+    # Inside CheckpointedWal.checkpoint, after half the snapshot tmp-file
+    # bytes (a crash here leaves a torn *.tmp orphan; the manifest never
+    # saw the snapshot, so recovery ignores and removes it).
+    "checkpoint.mid-snapshot",
+    # Snapshot file renamed and durable, manifest not yet committed (the
+    # snapshot is an orphan until the manifest references it).
+    "checkpoint.pre-commit",
+    # Fresh active segment created during the checkpoint's rotation,
+    # manifest not yet committed (the segment is an unreferenced orphan).
+    "segment.post-roll",
+    # Half-way through writing the manifest *tmp* file (the manifest
+    # proper is only ever replaced by atomic rename, so a crash here can
+    # never tear it).
+    "manifest.mid-write",
+    # Manifest committed: the checkpoint is now the recovery root, but
+    # compaction has not yet removed the superseded files.
+    "checkpoint.post-commit",
+    # Between file deletions inside compaction (a crash here leaves
+    # unreferenced segment/snapshot files for recovery to sweep).
+    "compact.mid-delete",
     # One hit-and-run chain transition (clock stalls here exercise the
     # deadline checkpoints).
     "hit_and_run.step",

@@ -43,6 +43,27 @@ WAL_VERSION = 1
 AuditorFactory = Callable[[Dataset], Any]
 
 
+def fsync_directory(path: str) -> None:
+    """``fsync`` a directory so a freshly created/renamed entry survives.
+
+    POSIX durability is two-level: ``fsync`` on the file makes its *bytes*
+    durable, but the directory entry pointing at the file is metadata of
+    the parent directory and needs its own ``fsync``.  Platforms that
+    cannot open directories (Windows) are silently skipped — they have no
+    equivalent call.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
 def _encode_record(payload: Mapping[str, Any]) -> bytes:
     body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     data = body.encode("utf-8")
@@ -96,6 +117,11 @@ class WriteAheadLog:
                 f"to resume it or remove the file to start over"
             )
         wal = cls(path, fsync=fsync)
+        if fsync:
+            # The log file itself must survive a crash immediately after
+            # creation: its directory entry is parent-dir metadata, which
+            # the per-record fsync never covers.
+            fsync_directory(os.path.dirname(os.path.abspath(path)))
         wal.append({
             "type": "header",
             "wal_version": WAL_VERSION,
@@ -240,14 +266,30 @@ class WriteAheadLog:
 
 def open_wal_auditor(path: str, auditor_factory: AuditorFactory,
                      dataset: Dataset, fsync: bool = True,
-                     verify: bool = False) -> Tuple[JournaledAuditor, Dataset]:
+                     verify: bool = False,
+                     checkpoint: Any = None) -> Tuple[JournaledAuditor, Dataset]:
     """Open-or-recover: the single entry point serving code should use.
 
     If ``path`` holds a WAL, recover from it (``dataset`` must match the
     WAL's initial dataset — serving a log recorded over different data is
     refused); otherwise start a fresh WAL over ``dataset``.  Returns the
     WAL-backed auditor and its live dataset.
+
+    ``checkpoint`` (a :class:`~repro.resilience.checkpoint.
+    CheckpointPolicy`), or a ``path`` that is a directory (or ends with a
+    path separator), selects the *checkpointed* segmented WAL instead of
+    the single-file log: snapshots bound recovery replay to the
+    post-checkpoint suffix and compaction bounds disk usage.  See
+    :mod:`repro.resilience.checkpoint`.
     """
+    if checkpoint is not None or os.path.isdir(path) \
+            or path.endswith(("/", os.sep)):
+        from .checkpoint import open_checkpointed_auditor
+
+        return open_checkpointed_auditor(
+            path, auditor_factory, dataset, fsync=fsync, verify=verify,
+            policy=checkpoint,
+        )
     if os.path.exists(path) and os.path.getsize(path) > 0:
         wrapped, replayed = recover_journaled(path, auditor_factory,
                                               fsync=fsync, verify=verify)

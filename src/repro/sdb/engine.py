@@ -75,7 +75,8 @@ class StatisticalDatabase:
                      low: Optional[float] = None,
                      high: Optional[float] = None,
                      wal_path: Optional[str] = None,
-                     verify_wal: bool = False) -> "StatisticalDatabase":
+                     verify_wal: bool = False,
+                     checkpoint: Any = None) -> "StatisticalDatabase":
         """Build an SDB from row dicts, splitting off the sensitive column.
 
         ``auditor_factory`` is called with the resulting
@@ -88,6 +89,12 @@ class StatisticalDatabase:
         meaningful for deterministic auditors), otherwise a fresh log is
         started.  Every decision is then durably persisted before its
         answer is released.
+
+        ``checkpoint`` (a :class:`~repro.resilience.checkpoint.
+        CheckpointPolicy`) selects the segmented, checkpointed WAL —
+        ``wal_path`` then names a directory; snapshots bound recovery
+        replay to the post-checkpoint suffix and compaction bounds disk
+        usage.
         """
         if not records:
             raise InvalidQueryError("need at least one record")
@@ -126,7 +133,8 @@ class StatisticalDatabase:
             from ..resilience.wal import open_wal_auditor
 
             wrapped, live = open_wal_auditor(wal_path, auditor_factory,
-                                             dataset, verify=verify_wal)
+                                             dataset, verify=verify_wal,
+                                             checkpoint=checkpoint)
             return StatisticalDatabase(table, live, wrapped)
         return StatisticalDatabase(table, dataset, auditor_factory(dataset))
 

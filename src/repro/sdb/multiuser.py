@@ -19,9 +19,10 @@ completing query.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..exceptions import InvalidQueryError
+from ..resilience.overload import AdmissionController
 from ..types import AuditDecision, Query
 from .dataset import Dataset
 
@@ -53,6 +54,17 @@ class MultiUserFrontend:
         auditor's decision stream, and in independent mode there is one
         auditor per user.  If the file already holds a WAL over this
         dataset it is recovered and replayed.
+    admission:
+        Optional :class:`~repro.resilience.overload.AdmissionController`.
+        Every :meth:`ask` is gated *before* the auditor runs: over-limit
+        queries (per-user rate, global in-flight bound) are denied with a
+        journalled ``RESOURCE_EXHAUSTED`` — shed, never queued, never an
+        unaudited answer.
+    checkpoint:
+        Optional :class:`~repro.resilience.checkpoint.CheckpointPolicy`
+        selecting the segmented, checkpointed WAL (``wal_path`` then
+        names a directory): snapshots bound recovery to the
+        post-checkpoint suffix and compaction bounds disk usage.
     """
 
     MODES = ("pooled", "independent")
@@ -61,7 +73,9 @@ class MultiUserFrontend:
                  mode: str = "pooled",
                  history_limit: Optional[int] = None,
                  wal_path: Optional[str] = None,
-                 verify_wal: bool = False):
+                 verify_wal: bool = False,
+                 admission: Optional[AdmissionController] = None,
+                 checkpoint: Any = None):
         if mode not in self.MODES:
             raise InvalidQueryError(f"mode must be one of {self.MODES}")
         if history_limit is not None and history_limit < 1:
@@ -71,15 +85,21 @@ class MultiUserFrontend:
                 "wal_path requires pooled mode: a write-ahead log records "
                 "a single auditor's decision stream"
             )
+        if checkpoint is not None and wal_path is None:
+            raise InvalidQueryError(
+                "checkpoint policy requires wal_path (a WAL directory)"
+            )
         self.dataset = dataset
         self.mode = mode
         self._factory = auditor_factory
+        self.admission = admission
         if mode == "pooled":
             if wal_path is not None:
                 from ..resilience.wal import open_wal_auditor
 
                 self._pooled, self.dataset = open_wal_auditor(
-                    wal_path, auditor_factory, dataset, verify=verify_wal
+                    wal_path, auditor_factory, dataset, verify=verify_wal,
+                    checkpoint=checkpoint,
                 )
             else:
                 self._pooled = auditor_factory(dataset)
@@ -106,8 +126,47 @@ class MultiUserFrontend:
         return self._per_user[user]
 
     def ask(self, user: str, query: Query) -> AuditDecision:
-        """Audit ``query`` on behalf of ``user``."""
-        decision = self._auditor_for(user).audit(query)
+        """Audit ``query`` on behalf of ``user``.
+
+        With an admission controller attached, over-limit queries are
+        denied *before* the auditor runs.  The refusal is still a
+        first-class output: it is journalled (durably, when the pooled
+        auditor carries a WAL) and counted in the per-user bookkeeping,
+        so load shedding never silently drops a query — and never, under
+        any failure, releases an unaudited answer.
+        """
+        if self.admission is not None:
+            refusal = self.admission.try_admit(user)
+            if refusal is not None:
+                self._record_refusal(user, query, refusal)
+                return self._bookkeep(user, query, refusal)
+            try:
+                decision = self._auditor_for(user).audit(query)
+            finally:
+                self.admission.release()
+        else:
+            decision = self._auditor_for(user).audit(query)
+        return self._bookkeep(user, query, decision)
+
+    def _record_refusal(self, user: str, query: Query,
+                        decision: AuditDecision) -> None:
+        """Log a shed query through the auditor's disclosure trail.
+
+        A :class:`~repro.persistence.JournaledAuditor` persists it as a
+        dedicated ``denial`` event (replayed without re-auditing); a bare
+        auditor at least records it on its trail.
+        """
+        auditor = self._auditor_for(user)
+        recorder = getattr(auditor, "record_refusal", None)
+        if recorder is not None:
+            recorder(query, decision)
+            return
+        trail = getattr(auditor, "trail", None)
+        if trail is not None:
+            trail.record(query, decision)
+
+    def _bookkeep(self, user: str, query: Query,
+                  decision: AuditDecision) -> AuditDecision:
         self.history.append((user, query, decision))
         if user not in self._denials:
             self._denials[user] = 0

@@ -1,0 +1,298 @@
+"""Overload protection: admission control, in-flight gate, circuit breaker.
+
+The property under test is the serving-layer half of fail-closed: under
+any burst, flood, or sampler meltdown the frontend sheds load with
+journalled ``RESOURCE_EXHAUSTED`` denials — never an unhandled exception,
+never an unbounded queue, and never an answer that skipped the auditor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.auditors.sum_prob import SumProbabilisticAuditor
+from repro.exceptions import PrivacyParameterError, ResourceExhaustedError
+from repro.persistence import JournaledAuditor
+from repro.resilience.budget import Budget, run_fail_closed
+from repro.resilience.faults import FaultClock
+from repro.resilience.overload import (
+    AdmissionController,
+    AdmissionPolicy,
+    CircuitBreaker,
+    TokenBucket,
+)
+from repro.resilience.wal import recover_journaled
+from repro.sdb.dataset import Dataset
+from repro.sdb.multiuser import MultiUserFrontend
+from repro.types import DenialReason, sum_query
+
+pytestmark = pytest.mark.faults
+
+
+def make_dataset():
+    return Dataset([10.0, 20.0, 30.0, 40.0], low=0.0, high=100.0)
+
+
+def factory(ds):
+    return SumClassicAuditor(ds)
+
+
+# ----------------------------------------------------------------------
+# Token bucket
+# ----------------------------------------------------------------------
+
+def test_token_bucket_burst_then_sustained_rate():
+    clock = FaultClock()
+    bucket = TokenBucket(rate=1.0, burst=3, clock=clock.now)
+    assert [bucket.try_take() for _ in range(4)] == [True, True, True,
+                                                    False]
+    clock.advance(1.0)   # one token refilled
+    assert bucket.try_take()
+    assert not bucket.try_take()
+    clock.advance(100.0)  # refill clamps at burst, not 100 tokens
+    assert [bucket.try_take() for _ in range(4)] == [True, True, True,
+                                                    False]
+
+
+def test_token_bucket_validates_parameters():
+    with pytest.raises(PrivacyParameterError):
+        TokenBucket(rate=0.0, burst=1)
+    with pytest.raises(PrivacyParameterError):
+        TokenBucket(rate=1.0, burst=0)
+    with pytest.raises(PrivacyParameterError):
+        AdmissionPolicy(user_rate=-1.0)
+    with pytest.raises(PrivacyParameterError):
+        AdmissionPolicy(max_in_flight=0)
+
+
+# ----------------------------------------------------------------------
+# Admission controller
+# ----------------------------------------------------------------------
+
+def test_per_user_rate_limit_sheds_with_resource_exhausted():
+    clock = FaultClock()
+    controller = AdmissionController(AdmissionPolicy(
+        user_rate=1.0, user_burst=2, clock=clock.now))
+    assert controller.try_admit("mallory") is None
+    controller.release()
+    assert controller.try_admit("mallory") is None
+    controller.release()
+    denial = controller.try_admit("mallory")
+    assert denial is not None and denial.denied
+    assert denial.reason == DenialReason.RESOURCE_EXHAUSTED
+    # Another user has their own bucket: the flood is not contagious.
+    assert controller.try_admit("alice") is None
+    controller.release()
+    assert controller.shed_counts() == {"rate": 1, "in_flight": 0}
+
+
+def test_in_flight_gate_denies_instead_of_queueing():
+    controller = AdmissionController(AdmissionPolicy(max_in_flight=2))
+    assert controller.try_admit("a") is None
+    assert controller.try_admit("b") is None
+    assert controller.in_flight() == 2
+    denial = controller.try_admit("c")
+    assert denial is not None
+    assert denial.reason == DenialReason.RESOURCE_EXHAUSTED
+    assert "not queueing" in denial.detail
+    controller.release()
+    assert controller.try_admit("c") is None
+    assert controller.shed_counts()["in_flight"] == 1
+
+
+# ----------------------------------------------------------------------
+# Frontend integration: the synthetic burst acceptance criterion
+# ----------------------------------------------------------------------
+
+def test_burst_yields_journalled_denials_never_exceptions(tmp_path):
+    clock = FaultClock()
+    frontend = MultiUserFrontend(
+        make_dataset(), factory, mode="pooled",
+        wal_path=str(tmp_path / "audit.wal"),
+        admission=AdmissionController(AdmissionPolicy(
+            user_rate=0.001, user_burst=3, clock=clock.now)),
+    )
+    query = sum_query([0, 1, 2, 3])
+    decisions = [frontend.ask("mallory", query) for _ in range(10)]
+    # Never an unhandled exception, never an unaudited answer: the first
+    # burst is audited, everything past it is a shed denial.
+    assert [d.denied for d in decisions[:3]] == [False, False, False]
+    for decision in decisions[3:]:
+        assert decision.denied
+        assert decision.reason == DenialReason.RESOURCE_EXHAUSTED
+    assert frontend.denial_counts() == {"mallory": 7}
+    # The shed queries are first-class journal events...
+    events = frontend._pooled.journal.events
+    assert [e["type"] for e in events].count("denial") == 7
+    frontend._pooled.close()
+    # ...durably WAL-journalled, and replay re-logs them without
+    # re-auditing (verify mode would diverge otherwise: there is no
+    # auditor decision behind a shed query to re-check).
+    recovered, _ = recover_journaled(str(tmp_path / "audit.wal"), factory,
+                                     verify=True)
+    assert len(recovered.trail) == 10
+    assert recovered.trail.denial_count() == 7
+    recovered.close()
+
+
+def test_burst_against_checkpointed_wal(tmp_path):
+    """Denial events survive the snapshot/suffix recovery path too."""
+    from repro.resilience.checkpoint import CheckpointPolicy
+
+    clock = FaultClock()
+    wal_dir = str(tmp_path / "waldir")
+
+    def build():
+        return MultiUserFrontend(
+            make_dataset(), factory, mode="pooled", wal_path=wal_dir,
+            checkpoint=CheckpointPolicy(every_records=4),
+            admission=AdmissionController(AdmissionPolicy(
+                user_rate=0.001, user_burst=2, clock=clock.now)),
+        )
+
+    frontend = build()
+    query = sum_query([0, 1, 2, 3])
+    for _ in range(6):
+        frontend.ask("mallory", query)
+    frontend._pooled.close()
+    revived = build()
+    assert len(revived._pooled.trail) == 6
+    assert revived._pooled.trail.denial_count() == 4
+    revived._pooled.close()
+
+
+def test_in_flight_exhaustion_on_the_frontend(tmp_path):
+    controller = AdmissionController(AdmissionPolicy(max_in_flight=1))
+    frontend = MultiUserFrontend(make_dataset(), factory,
+                                 admission=controller)
+    # A stuck query holds the only slot...
+    assert controller.try_admit("slow-user") is None
+    decision = frontend.ask("alice", sum_query([0, 1, 2, 3]))
+    assert decision.denied
+    assert decision.reason == DenialReason.RESOURCE_EXHAUSTED
+    controller.release()
+    assert frontend.ask("alice", sum_query([0, 1, 2, 3])).answered
+
+
+def test_independent_mode_records_refusals_on_the_user_trail():
+    clock = FaultClock()
+    frontend = MultiUserFrontend(
+        make_dataset(), factory, mode="independent",
+        admission=AdmissionController(AdmissionPolicy(
+            user_rate=0.001, user_burst=1, clock=clock.now)),
+    )
+    query = sum_query([0, 1, 2, 3])
+    assert frontend.ask("u", query).answered
+    assert frontend.ask("u", query).denied
+    trail = frontend._per_user["u"].trail
+    assert len(trail) == 2 and trail.denial_count() == 1
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+def exhausted():
+    from repro.types import AuditDecision
+
+    return AuditDecision.deny(DenialReason.RESOURCE_EXHAUSTED, "boom")
+
+
+def test_breaker_trips_after_threshold_and_cools_down():
+    clock = FaultClock()
+    breaker = CircuitBreaker(failure_threshold=2, cooldown=10.0,
+                             clock=clock.now)
+    assert breaker.preflight() is None
+    breaker.observe(exhausted())
+    assert breaker.state == "closed"    # one failure: not yet
+    breaker.observe(exhausted())
+    assert breaker.state == "open"
+    assert breaker.trips == 1
+    denial = breaker.preflight()
+    assert denial is not None
+    assert denial.reason == DenialReason.RESOURCE_EXHAUSTED
+    assert "circuit breaker open" in denial.detail
+    clock.advance(10.0)
+    assert breaker.preflight() is None  # half-open: one probe admitted
+    assert breaker.state == "half-open"
+    breaker.observe(None)               # probe computed an answer
+    assert breaker.state == "closed"
+
+
+def test_breaker_reopens_on_failed_probe():
+    clock = FaultClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0,
+                             clock=clock.now)
+    breaker.observe(exhausted())
+    clock.advance(5.0)
+    assert breaker.preflight() is None
+    breaker.observe(exhausted())        # probe failed: straight back open
+    assert breaker.state == "open"
+    assert breaker.trips == 2
+    assert breaker.preflight() is not None
+
+
+def test_breaker_success_resets_the_failure_count():
+    breaker = CircuitBreaker(failure_threshold=2)
+    breaker.observe(exhausted())
+    breaker.observe(None)               # success: streak broken
+    breaker.observe(exhausted())
+    assert breaker.state == "closed"
+
+
+def test_run_fail_closed_short_circuits_while_open():
+    clock = FaultClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=60.0,
+                             clock=clock.now)
+    budget = Budget(max_sampler_attempts=1)
+    rng = np.random.default_rng(0)
+    calls = []
+
+    def melt_down(scope, gen):
+        calls.append(1)
+        raise ResourceExhaustedError("sampler out of budget")
+
+    first = run_fail_closed(budget, rng, melt_down, breaker=breaker)
+    assert first.reason == DenialReason.RESOURCE_EXHAUSTED
+    assert breaker.state == "open"
+    second = run_fail_closed(budget, rng, melt_down, breaker=breaker)
+    assert second.reason == DenialReason.RESOURCE_EXHAUSTED
+    assert "circuit breaker open" in second.detail
+    # The degraded path never touched the samplers — that is the point.
+    assert len(calls) == 1
+
+
+def test_probabilistic_auditor_degrades_through_the_breaker():
+    """End to end: a sampler that cannot finish under its budget trips the
+    breaker, and subsequent queries fail fast on the conservative path."""
+    clock = FaultClock()
+    breaker = CircuitBreaker(failure_threshold=2, cooldown=60.0,
+                             clock=clock.now)
+    auditor = SumProbabilisticAuditor(
+        make_dataset(), rng=0,
+        budget=Budget(max_chain_steps=1), breaker=breaker,
+    )
+    query = sum_query([0, 1, 2])
+    decisions = [auditor.audit(query) for _ in range(4)]
+    for decision in decisions:
+        assert decision.denied
+        assert decision.reason == DenialReason.RESOURCE_EXHAUSTED
+    assert breaker.state == "open"
+    assert any("circuit breaker open" in (d.detail or "")
+               for d in decisions[2:])
+
+
+def test_journaled_auditor_passes_refusals_through(tmp_path):
+    """record_refusal reaches the WAL even without a frontend."""
+    from repro.resilience.wal import open_wal_auditor
+    from repro.types import AuditDecision
+
+    path = str(tmp_path / "audit.wal")
+    wrapped, _ = open_wal_auditor(path, factory, make_dataset())
+    assert isinstance(wrapped, JournaledAuditor)
+    wrapped.record_refusal(sum_query([0]), exhausted())
+    wrapped.close()
+    recovered, _ = recover_journaled(path, factory, verify=True)
+    assert len(recovered.trail) == 1
+    assert recovered.trail.denial_count() == 1
+    recovered.close()
