@@ -1,6 +1,6 @@
 """Static analysis tooling enforcing the paper's safety contracts.
 
-Four rule families prove the serving invariants at lint time:
+Seven rule families prove the serving invariants at lint time:
 
 * **SIM** (:mod:`~repro.analysis.simulatability`) — auditor decision paths
   never touch the sensitive data (paper §2.2);
@@ -10,37 +10,57 @@ Four rule families prove the serving invariants at lint time:
 * **WAL** (:mod:`~repro.analysis.ordering`) — every released answer is
   dominated by an audit-journal append (fail-closed ordering);
 * **BUD** (:mod:`~repro.analysis.ordering`) — sampler/chain loops
-  checkpoint their budget so exhaustion can cancel them cooperatively.
+  checkpoint their budget so exhaustion can cancel them cooperatively;
+* **CONC** (:mod:`~repro.analysis.concurrency`) — shared serving state is
+  mutated only under its lock, locks are released on every exception
+  path, and nothing blocks while holding one;
+* **FORK** (:mod:`~repro.analysis.forksafety`) — worker payloads carry
+  seeds/paths (never live handles or generators), worker functions are
+  effect-free, and multiprocessing always uses the ``spawn`` context;
+* **ATOM** (:mod:`~repro.analysis.atomics`) — every durability-artifact
+  rename follows the fsync → replace → dir-fsync protocol.
 
 Run the SIM-only legacy entry point or the full analysis as a library::
 
     from repro.analysis import analyze_package, check_package
     assert check_package().ok                      # SIM only
-    assert analyze_package().ok                    # SIM+DET+WAL+BUD
+    assert analyze_package().ok                    # all seven families
 
 or from the shell (non-zero exit on undocumented violations)::
 
-    repro-audit lint --select DET,WAL --format sarif
+    repro-audit lint --select CONC,FORK,ATOM --format sarif
 
 See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and pragma syntax.
 """
 
+from .atomics import AtomicityConfig, check_atomics
 from .baseline import apply_baseline, load_baseline, write_baseline
+from .concurrency import ConcurrencyConfig, check_concurrency
 from .determinism import DeterminismConfig, check_determinism
 from .driver import active_rules, analyze_package
+from .escape import EscapeConfig, EscapeEngine
 from .findings import (
     ALL_RULES,
+    RULE_ACQUIRE_WITHOUT_RELEASE,
+    RULE_BLOCKING_UNDER_LOCK,
+    RULE_EFFECTFUL_WORKER_FN,
     RULE_FAMILIES,
+    RULE_FSYNC_WITHOUT_FLUSH,
+    RULE_HANDLE_IN_WORKER_PAYLOAD,
+    RULE_NONSPAWN_CONTEXT,
     RULE_RELEASE_BEFORE_APPEND,
+    RULE_RENAME_WITHOUT_FSYNC,
     RULE_SENSITIVE_ESCAPE,
     RULE_SENSITIVE_READ,
     RULE_SUMMARIES,
     RULE_SWALLOWED_APPEND_FAILURE,
     RULE_TRUE_ANSWER,
     RULE_UNCHECKPOINTED_LOOP,
+    RULE_UNGUARDED_GUARDED_STATE,
     RULE_UNORDERED_ACCUMULATION,
     RULE_UNORDERED_ITERATION,
     RULE_UNSEEDED_RNG,
+    RULE_UNSYNCHRONIZED_SHARED_MUTATION,
     RULE_WALLCLOCK_READ,
     SCHEMA_VERSION,
     Finding,
@@ -48,6 +68,7 @@ from .findings import (
     Report,
     expand_rule_selection,
 )
+from .forksafety import ForkSafetyConfig, check_forksafety
 from .ordering import OrderingConfig, check_ordering
 from .purity import EffectConfig, EffectEngine, EffectSummary
 from .sarif import report_to_sarif, report_to_sarif_json
@@ -63,33 +84,50 @@ from .simulatability import (
 __all__ = [
     "ALL_RULES",
     "AnalysisConfig",
+    "AtomicityConfig",
+    "ConcurrencyConfig",
     "DEFAULT_CONFIG",
     "DeterminismConfig",
     "EffectConfig",
     "EffectEngine",
     "EffectSummary",
+    "EscapeConfig",
+    "EscapeEngine",
     "Finding",
+    "ForkSafetyConfig",
     "Frame",
     "OrderingConfig",
     "Report",
+    "RULE_ACQUIRE_WITHOUT_RELEASE",
+    "RULE_BLOCKING_UNDER_LOCK",
+    "RULE_EFFECTFUL_WORKER_FN",
     "RULE_FAMILIES",
+    "RULE_FSYNC_WITHOUT_FLUSH",
+    "RULE_HANDLE_IN_WORKER_PAYLOAD",
+    "RULE_NONSPAWN_CONTEXT",
     "RULE_RELEASE_BEFORE_APPEND",
+    "RULE_RENAME_WITHOUT_FSYNC",
     "RULE_SENSITIVE_ESCAPE",
     "RULE_SENSITIVE_READ",
     "RULE_SUMMARIES",
     "RULE_SWALLOWED_APPEND_FAILURE",
     "RULE_TRUE_ANSWER",
     "RULE_UNCHECKPOINTED_LOOP",
+    "RULE_UNGUARDED_GUARDED_STATE",
     "RULE_UNORDERED_ACCUMULATION",
     "RULE_UNORDERED_ITERATION",
     "RULE_UNSEEDED_RNG",
+    "RULE_UNSYNCHRONIZED_SHARED_MUTATION",
     "RULE_WALLCLOCK_READ",
     "SCHEMA_VERSION",
     "SensitiveClass",
     "active_rules",
     "analyze_package",
     "apply_baseline",
+    "check_atomics",
+    "check_concurrency",
     "check_determinism",
+    "check_forksafety",
     "check_ordering",
     "check_package",
     "default_package_dir",

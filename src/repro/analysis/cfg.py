@@ -310,6 +310,41 @@ def must_pass_before(cfg: CFG, effects: Set[int], target: int) -> bool:
     return IN[target]
 
 
+def must_pass_after(cfg: CFG, effects: Set[int], target: int) -> bool:
+    """True when every ``target``→exit path runs an ``effects`` statement
+    strictly after leaving ``target``.
+
+    The reverse of :func:`must_pass_before`: a backward must-analysis over
+    the same graph.  ``B[n]`` means "every path from *n* to the exit hits
+    an effect at *n* or later"; the answer is the conjunction over the
+    target's successors.  ATOM001 uses this to prove a directory fsync
+    post-dominates an ``os.replace``.  A target with no successors (a
+    dead-end node) has no path to the exit, so nothing can escape along
+    it and it is reported as covered.
+    """
+    B: Dict[int, bool] = {sid: True for sid in cfg.nodes}
+    B[cfg.exit] = cfg.exit in effects
+    changed = True
+    while changed:
+        changed = False
+        for sid, node in cfg.nodes.items():
+            if sid == cfg.exit:
+                continue
+            if sid in effects:
+                new = True
+            elif node.succs:
+                new = all(B[s] for s in node.succs)
+            else:
+                new = True  # dead end: no path reaches the exit
+            if new != B[sid]:
+                B[sid] = new
+                changed = True
+    succs = cfg.nodes[target].succs
+    if not succs:
+        return True
+    return all(B[s] for s in succs)
+
+
 State = Dict[str, object]
 Transfer = Callable[[StmtNode, State], State]
 

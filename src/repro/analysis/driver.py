@@ -1,4 +1,4 @@
-"""Full-analysis orchestration: SIM + DET + WAL + BUD in one pass.
+"""Full-analysis orchestration: SIM/DET/WAL/BUD/CONC/FORK/ATOM in one pass.
 
 Builds the package index, the call-graph resolver, and the effect-summary
 engine exactly once, runs every selected rule family over them, and merges
@@ -12,11 +12,18 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
+from .atomics import DEFAULT_ATOMICITY_CONFIG, AtomicityConfig, \
+    check_atomics
 from .baseline import apply_baseline, load_baseline
 from .callgraph import Resolver
+from .concurrency import DEFAULT_CONCURRENCY_CONFIG, ConcurrencyConfig, \
+    check_concurrency
 from .determinism import DEFAULT_DET_CONFIG, DeterminismConfig, \
     check_determinism
+from .escape import DEFAULT_ESCAPE_CONFIG, EscapeConfig, EscapeEngine
 from .findings import ALL_RULES, Finding, Report, expand_rule_selection
+from .forksafety import DEFAULT_FORKSAFETY_CONFIG, ForkSafetyConfig, \
+    check_forksafety
 from .modindex import build_index
 from .ordering import DEFAULT_ORDERING_CONFIG, OrderingConfig, \
     check_ordering
@@ -45,6 +52,10 @@ def analyze_package(package_dir: Union[str, Path, None] = None,
                     config: Optional[AnalysisConfig] = None,
                     det_config: Optional[DeterminismConfig] = None,
                     ordering_config: Optional[OrderingConfig] = None,
+                    escape_config: Optional[EscapeConfig] = None,
+                    conc_config: Optional[ConcurrencyConfig] = None,
+                    fork_config: Optional[ForkSafetyConfig] = None,
+                    atom_config: Optional[AtomicityConfig] = None,
                     select: Optional[Iterable[str]] = None,
                     ignore: Optional[Iterable[str]] = None,
                     baseline: Union[str, Path, None] = None,
@@ -65,6 +76,10 @@ def analyze_package(package_dir: Union[str, Path, None] = None,
     config = config or DEFAULT_CONFIG
     det_config = det_config or DEFAULT_DET_CONFIG
     ordering_config = ordering_config or DEFAULT_ORDERING_CONFIG
+    escape_config = escape_config or DEFAULT_ESCAPE_CONFIG
+    conc_config = conc_config or DEFAULT_CONCURRENCY_CONFIG
+    fork_config = fork_config or DEFAULT_FORKSAFETY_CONFIG
+    atom_config = atom_config or DEFAULT_ATOMICITY_CONFIG
     rules = active_rules(select, ignore)
 
     package_dir = Path(package_dir) if package_dir is not None \
@@ -87,7 +102,8 @@ def analyze_package(package_dir: Union[str, Path, None] = None,
         classes_checked = len(classes)
         findings.extend(f for f in walker.findings if f.rule in rules)
 
-    needs_effects = any(rule.startswith(("DET", "WAL", "BUD"))
+    needs_effects = any(rule.startswith(("DET", "WAL", "BUD",
+                                         "CONC", "FORK", "ATOM"))
                         for rule in rules)
     if needs_effects:
         engine = EffectEngine(index, resolver)
@@ -103,6 +119,25 @@ def analyze_package(package_dir: Union[str, Path, None] = None,
                 index, resolver, engine, config=ordering_config,
                 rules={r for r in rules if r.startswith(("WAL", "BUD"))})
             findings.extend(ord_findings)
+        if any(rule.startswith(("CONC", "FORK", "ATOM")) for rule in rules):
+            escape = EscapeEngine(index, resolver, engine,
+                                  config=escape_config)
+            if any(rule.startswith("CONC") for rule in rules):
+                conc_findings, conc_roots = check_concurrency(
+                    index, resolver, engine, escape, config=conc_config,
+                    rules={r for r in rules if r.startswith("CONC")})
+                entry_points += conc_roots
+                findings.extend(conc_findings)
+            if any(rule.startswith("FORK") for rule in rules):
+                fork_findings, _ = check_forksafety(
+                    index, resolver, engine, escape, config=fork_config,
+                    rules={r for r in rules if r.startswith("FORK")})
+                findings.extend(fork_findings)
+            if any(rule.startswith("ATOM") for rule in rules):
+                atom_findings, _ = check_atomics(
+                    index, resolver, engine, escape, config=atom_config,
+                    rules={r for r in rules if r.startswith("ATOM")})
+                findings.extend(atom_findings)
 
     report = Report(package=config.package, root=str(index.root),
                     findings=findings,

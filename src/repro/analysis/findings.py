@@ -30,6 +30,15 @@ RULE_UNORDERED_ACCUMULATION = "DET004"
 RULE_RELEASE_BEFORE_APPEND = "WAL001"
 RULE_SWALLOWED_APPEND_FAILURE = "WAL002"
 RULE_UNCHECKPOINTED_LOOP = "BUD001"
+RULE_UNGUARDED_GUARDED_STATE = "CONC001"
+RULE_ACQUIRE_WITHOUT_RELEASE = "CONC002"
+RULE_BLOCKING_UNDER_LOCK = "CONC003"
+RULE_UNSYNCHRONIZED_SHARED_MUTATION = "CONC004"
+RULE_HANDLE_IN_WORKER_PAYLOAD = "FORK001"
+RULE_EFFECTFUL_WORKER_FN = "FORK002"
+RULE_NONSPAWN_CONTEXT = "FORK003"
+RULE_RENAME_WITHOUT_FSYNC = "ATOM001"
+RULE_FSYNC_WITHOUT_FLUSH = "ATOM002"
 
 #: Every rule the full analyzer can run, grouped by family.
 RULE_FAMILIES: Dict[str, tuple] = {
@@ -38,6 +47,12 @@ RULE_FAMILIES: Dict[str, tuple] = {
             RULE_UNORDERED_ITERATION, RULE_UNORDERED_ACCUMULATION),
     "WAL": (RULE_RELEASE_BEFORE_APPEND, RULE_SWALLOWED_APPEND_FAILURE),
     "BUD": (RULE_UNCHECKPOINTED_LOOP,),
+    "CONC": (RULE_UNGUARDED_GUARDED_STATE, RULE_ACQUIRE_WITHOUT_RELEASE,
+             RULE_BLOCKING_UNDER_LOCK,
+             RULE_UNSYNCHRONIZED_SHARED_MUTATION),
+    "FORK": (RULE_HANDLE_IN_WORKER_PAYLOAD, RULE_EFFECTFUL_WORKER_FN,
+             RULE_NONSPAWN_CONTEXT),
+    "ATOM": (RULE_RENAME_WITHOUT_FSYNC, RULE_FSYNC_WITHOUT_FLUSH),
 }
 
 ALL_RULES: tuple = tuple(rule for rules in RULE_FAMILIES.values()
@@ -74,6 +89,33 @@ RULE_SUMMARIES = {
     RULE_UNCHECKPOINTED_LOOP:
         "a sampler/chain loop does work with no Budget checkpoint call "
         "in its body",
+    RULE_UNGUARDED_GUARDED_STATE:
+        "a lock-owning class mutates instance state outside a "
+        "'with self._lock' region",
+    RULE_ACQUIRE_WITHOUT_RELEASE:
+        "an explicit lock.acquire() has no release() guaranteed on "
+        "exception paths (use 'with lock:' or try/finally)",
+    RULE_BLOCKING_UNDER_LOCK:
+        "a blocking call (fsync, pool fan-out, sampler draw, sleep) runs "
+        "while a lock is held",
+    RULE_UNSYNCHRONIZED_SHARED_MUTATION:
+        "thread-shared state (escape analysis) is mutated with no lock "
+        "held: a shared-class attribute or a worker-context module global",
+    RULE_HANDLE_IN_WORKER_PAYLOAD:
+        "a live WAL/journal/file handle or np.random.Generator flows into "
+        "a worker payload (Pool.map/submit/initargs/Thread args)",
+    RULE_EFFECTFUL_WORKER_FN:
+        "a worker function's effect summary appends to the journal or "
+        "draws unseeded randomness (duplicated state across processes)",
+    RULE_NONSPAWN_CONTEXT:
+        "multiprocessing used without an explicit spawn context (fork "
+        "duplicates locks, RNG state, and open handles)",
+    RULE_RENAME_WITHOUT_FSYNC:
+        "os.rename/os.replace of a durability artifact without a "
+        "dominating file fsync and a post-dominating parent-dir fsync",
+    RULE_FSYNC_WITHOUT_FLUSH:
+        "os.fsync of a buffered handle not dominated by flush(): the "
+        "kernel syncs a partial write",
 }
 
 
@@ -273,7 +315,8 @@ class Report:
             f"{self.modules_scanned} module(s) scanned"
         )
         if self.rules:
-            families = sorted({rule[:3] for rule in self.rules})
+            families = sorted({rule.rstrip("0123456789")
+                               for rule in self.rules})
             lines.append(
                 f"analysis: {len(self.rules)} rule(s) active "
                 f"({'/'.join(families)}), "

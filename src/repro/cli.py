@@ -133,8 +133,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="statically verify the serving invariants: simulatability "
-             "(SIM), determinism (DET), fail-closed ordering (WAL) and "
-             "budget checkpointing (BUD)",
+             "(SIM), determinism (DET), fail-closed ordering (WAL), "
+             "budget checkpointing (BUD), lock discipline (CONC), "
+             "fork/spawn safety (FORK) and durable renames (ATOM)",
     )
     p.add_argument("--format", choices=["text", "json", "sarif"],
                    default="text",

@@ -51,6 +51,11 @@ class TokenBucket:
     Starts full (a fresh user gets their burst immediately).  The clock is
     injectable so admission behaviour is deterministic under test — pass a
     :class:`~repro.resilience.faults.FaultClock`'s ``now``.
+
+    Thread-safe on its own: refill + take is one read-modify-write, so it
+    carries an internal lock rather than relying on every caller to
+    serialize (the :class:`AdmissionController` does, but a bucket handed
+    to other gating code must not silently lose tokens).
     """
 
     def __init__(self, rate: float, burst: int,
@@ -62,29 +67,32 @@ class TokenBucket:
         self.rate = float(rate)
         self.burst = float(burst)
         self._clock: Clock = clock or time.monotonic
+        self._lock = threading.Lock()
         self._tokens = float(burst)
         self._stamp = self._clock()
+
+    def _refill_locked(self, now: float) -> None:
+        self._tokens = min(self.burst,
+                           self._tokens + max(0.0, now - self._stamp)
+                           * self.rate)
+        self._stamp = now
 
     def try_take(self) -> bool:
         """Take one token if available; never blocks."""
         now = self._clock()
-        self._tokens = min(self.burst,
-                           self._tokens + max(0.0, now - self._stamp)
-                           * self.rate)
-        self._stamp = now
-        if self._tokens >= 1.0:
-            self._tokens -= 1.0
-            return True
-        return False
+        with self._lock:
+            self._refill_locked(now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
 
     def tokens(self) -> float:
         """Current token count (after refill), for introspection."""
         now = self._clock()
-        self._tokens = min(self.burst,
-                           self._tokens + max(0.0, now - self._stamp)
-                           * self.rate)
-        self._stamp = now
-        return self._tokens
+        with self._lock:
+            self._refill_locked(now)
+            return self._tokens
 
 
 @dataclass(frozen=True)

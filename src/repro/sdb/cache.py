@@ -5,10 +5,17 @@ decision replay — see :mod:`repro.sdb.engine`).  Deliberately minimal:
 an :class:`collections.OrderedDict` with move-to-end on hit and
 evict-oldest on overflow, plus counters the benchmark and the
 cache-invalidation tests read.
+
+Thread-safe: every read-modify-write (including ``get``, which refreshes
+recency and bumps a counter) happens under one internal lock, so the
+cache can sit inside a frontend serving concurrent admission threads
+(see ``docs/ROBUSTNESS.md``).  The CONC004 rule in
+:mod:`repro.analysis.concurrency` enforces exactly this.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
@@ -20,6 +27,7 @@ class LruCache:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        self._lock = threading.Lock()
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -33,27 +41,30 @@ class LruCache:
 
     def get(self, key: Hashable, default: Any = None) -> Optional[Any]:
         """Look up ``key``, refreshing its recency on a hit."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``, evicting the oldest entry on overflow."""
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are kept — they span invalidations)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def stats(self) -> dict:
         """Counters snapshot: hits, misses, evictions, current size."""

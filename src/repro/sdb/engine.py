@@ -28,6 +28,7 @@ cache survives — public attributes are unchanged).
 
 from __future__ import annotations
 
+import threading
 import warnings
 from typing import Any, Mapping, Optional, Sequence
 
@@ -57,6 +58,11 @@ class StatisticalDatabase:
         self.table = table
         self.dataset = dataset
         self.auditor = auditor
+        # Serializes the serving path (query → audit) against updates:
+        # auditors mutate posterior state per decision, and apply() must
+        # not reshape table/dataset mid-audit.  Reentrant so locked entry
+        # points can share helpers.
+        self._lock = threading.RLock()
         self._query_set_cache: Optional[LruCache] = (
             LruCache(query_cache_size) if query_cache_size > 0 else None
         )
@@ -144,14 +150,16 @@ class StatisticalDatabase:
 
     def query(self, predicate: Predicate, kind: AggregateKind) -> AuditDecision:
         """Pose an aggregate query through the auditor."""
-        query_set = self._resolve_query_set(predicate)
-        if not query_set:
-            raise InvalidQueryError("predicate selects no records")
-        return self._audit(Query(kind, query_set))
+        with self._lock:
+            query_set = self._resolve_query_set(predicate)
+            if not query_set:
+                raise InvalidQueryError("predicate selects no records")
+            return self._audit(Query(kind, query_set))
 
     def query_indices(self, indices, kind: AggregateKind) -> AuditDecision:
         """Pose a query over explicit record indices (for experiments)."""
-        return self._audit(Query(kind, frozenset(indices)))
+        with self._lock:
+            return self._audit(Query(kind, frozenset(indices)))
 
     def cache_stats(self) -> Mapping[str, Any]:
         """Counters for both memoization layers (empty dicts = disabled)."""
@@ -214,17 +222,18 @@ class StatisticalDatabase:
         changes only sensitive values (decisions drop, query sets
         survive).
         """
-        if isinstance(event, Insert):
-            self.table.insert(dict(event.public or {}))
-            self.dataset.append(event.value)
-        elif isinstance(event, Delete):
-            self.table.delete(event.index)
-        elif isinstance(event, Modify):
-            self.dataset.set_value(event.index, event.value)
-        else:  # pragma: no cover - defensive
-            raise InvalidQueryError(f"unknown update event {event!r}")
-        self.auditor.apply_update(event)
-        if self._decision_cache is not None:
-            self._decision_cache.clear()
-        if not isinstance(event, Modify) and self._query_set_cache is not None:
-            self._query_set_cache.clear()
+        with self._lock:
+            if isinstance(event, Insert):
+                self.table.insert(dict(event.public or {}))
+                self.dataset.append(event.value)
+            elif isinstance(event, Delete):
+                self.table.delete(event.index)
+            elif isinstance(event, Modify):
+                self.dataset.set_value(event.index, event.value)
+            else:  # pragma: no cover - defensive
+                raise InvalidQueryError(f"unknown update event {event!r}")
+            self.auditor.apply_update(event)
+            if self._decision_cache is not None:
+                self._decision_cache.clear()
+            if not isinstance(event, Modify) and self._query_set_cache is not None:
+                self._query_set_cache.clear()

@@ -18,6 +18,7 @@ completing query.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
@@ -106,6 +107,12 @@ class MultiUserFrontend:
         else:
             self._pooled = None
         self._per_user: Dict[str, object] = {}
+        # Serializes auditor runs and bookkeeping: auditors mutate
+        # posterior state per decision, and the disclosure history must
+        # interleave in the order answers were released.  Admission
+        # gating stays *outside* this lock — shedding is the admission
+        # controller's own (internally locked) job.
+        self._lock = threading.RLock()
         self.history: Deque[Tuple[str, Query, AuditDecision]] = deque(
             maxlen=history_limit
         )
@@ -121,9 +128,10 @@ class MultiUserFrontend:
     def _auditor_for(self, user: str):
         if self.mode == "pooled":
             return self._pooled
-        if user not in self._per_user:
-            self._per_user[user] = self._factory(self.dataset)
-        return self._per_user[user]
+        with self._lock:
+            if user not in self._per_user:
+                self._per_user[user] = self._factory(self.dataset)
+            return self._per_user[user]
 
     def ask(self, user: str, query: Query) -> AuditDecision:
         """Audit ``query`` on behalf of ``user``.
@@ -138,15 +146,18 @@ class MultiUserFrontend:
         if self.admission is not None:
             refusal = self.admission.try_admit(user)
             if refusal is not None:
-                self._record_refusal(user, query, refusal)
-                return self._bookkeep(user, query, refusal)
+                with self._lock:
+                    self._record_refusal(user, query, refusal)
+                    return self._bookkeep(user, query, refusal)
             try:
-                decision = self._auditor_for(user).audit(query)
+                with self._lock:
+                    decision = self._auditor_for(user).audit(query)
+                    return self._bookkeep(user, query, decision)
             finally:
                 self.admission.release()
-        else:
+        with self._lock:
             decision = self._auditor_for(user).audit(query)
-        return self._bookkeep(user, query, decision)
+            return self._bookkeep(user, query, decision)
 
     def _record_refusal(self, user: str, query: Query,
                         decision: AuditDecision) -> None:
@@ -167,12 +178,13 @@ class MultiUserFrontend:
 
     def _bookkeep(self, user: str, query: Query,
                   decision: AuditDecision) -> AuditDecision:
-        self.history.append((user, query, decision))
-        if user not in self._denials:
-            self._denials[user] = 0
-            self._users.append(user)
-        self._denials[user] += int(decision.denied)
-        return decision
+        with self._lock:
+            self.history.append((user, query, decision))
+            if user not in self._denials:
+                self._denials[user] = 0
+                self._users.append(user)
+            self._denials[user] += int(decision.denied)
+            return decision
 
     # ------------------------------------------------------------------
     # Reporting

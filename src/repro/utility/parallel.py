@@ -6,36 +6,66 @@ embarrassingly parallel.  :func:`run_trials` fans trials out over worker
 processes with *deterministic per-trial seeds* (the same seeds the serial
 driver :func:`repro.utility.experiments.estimate_denial_curve` would spawn),
 so serial and parallel runs produce identical curves.
+
+Worker functions travel through a token-keyed registry rather than a single
+module global: each pool registers its function under a fresh token, ships
+the token through ``initializer``/``initargs``, and unregisters on teardown.
+Nested or back-to-back sweeps therefore can never observe a stale or
+clobbered worker function, and workers fail loudly (``KeyError``) rather
+than silently running the wrong trial if a payload outlives its pool.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
+import threading
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..rng import RngLike, as_generator
 
-# A module-level registry keyed by name keeps the worker payload picklable
-# even for closures defined in __main__ (the worker re-imports this module).
-_WORKER_FN: Optional[Callable] = None
+# Token-keyed registry: keeps worker payloads picklable (workers re-import
+# this module and look the function up by integer token) while letting
+# concurrent/nested pools coexist.  In the parent the registry holds one
+# entry per live pool; in a spawned worker it holds exactly the entry its
+# pool's initializer installed.
+_WORKER_REGISTRY: Dict[int, Callable] = {}
+_REGISTRY_LOCK = threading.Lock()
+_TOKEN_COUNTER = itertools.count(1)
 
 
-def _init_worker(fn):
-    global _WORKER_FN
-    _WORKER_FN = fn
+def _register_worker_fn(fn: Callable) -> int:
+    """Bind ``fn`` under a fresh token (parent side)."""
+    token = next(_TOKEN_COUNTER)
+    with _REGISTRY_LOCK:
+        _WORKER_REGISTRY[token] = fn
+    return token
 
 
-def _run_one(seed: int):
-    assert _WORKER_FN is not None
-    return _WORKER_FN(np.random.default_rng(seed))
+def _unregister_worker_fn(token: int) -> None:
+    """Drop a token on pool teardown (parent side)."""
+    with _REGISTRY_LOCK:
+        _WORKER_REGISTRY.pop(token, None)
 
 
-def _run_one_config(payload: Tuple[object, int]):
-    assert _WORKER_FN is not None
-    config, seed = payload
-    return _WORKER_FN(config, np.random.default_rng(seed))
+def _init_worker(token: int, fn: Callable) -> None:
+    """Pool initializer: install ``fn`` under ``token`` in this worker."""
+    with _REGISTRY_LOCK:
+        _WORKER_REGISTRY[token] = fn
+
+
+def _run_one(payload: Tuple[int, int]):
+    token, seed = payload
+    fn = _WORKER_REGISTRY[token]
+    return fn(np.random.default_rng(seed))
+
+
+def _run_one_config(payload: Tuple[int, object, int]):
+    token, config, seed = payload
+    fn = _WORKER_REGISTRY[token]
+    return fn(config, np.random.default_rng(seed))
 
 
 def trial_seeds(rng: RngLike, trials: int) -> List[int]:
@@ -51,16 +81,23 @@ def run_trials(trial_fn: Callable[[np.random.Generator], object],
 
     ``processes=None`` or ``1`` runs serially; otherwise a process pool is
     used.  ``trial_fn`` must be picklable (a module-level function or
-    functools.partial of one) when ``processes > 1``.
+    functools.partial of one) when ``processes > 1``.  Safe to call
+    re-entrantly (a trial function may itself run a serial sweep) and
+    back-to-back with different functions: each pool's worker binding is
+    private to its registry token.
     """
     seeds = trial_seeds(rng, trials)
     if not processes or processes <= 1 or trials == 1:
         return [trial_fn(np.random.default_rng(seed)) for seed in seeds]
     processes = min(processes, trials)
     ctx = multiprocessing.get_context("spawn")
-    with ctx.Pool(processes, initializer=_init_worker,
-                  initargs=(trial_fn,)) as pool:
-        return pool.map(_run_one, seeds)
+    token = _register_worker_fn(trial_fn)
+    try:
+        with ctx.Pool(processes, initializer=_init_worker,
+                      initargs=(token, trial_fn)) as pool:
+            return pool.map(_run_one, [(token, seed) for seed in seeds])
+    finally:
+        _unregister_worker_fn(token)
 
 
 def run_sweep(sweep_fn: Callable[[object, np.random.Generator], object],
@@ -79,18 +116,24 @@ def run_sweep(sweep_fn: Callable[[object, np.random.Generator], object],
     if trials < 1:
         raise ValueError("trials must be positive")
     seeds = trial_seeds(rng, len(configs) * trials)
-    payloads = [(config, seeds[i * trials + t])
-                for i, config in enumerate(configs)
-                for t in range(trials)]
-    if not processes or processes <= 1 or len(payloads) == 1:
+    cells = [(config, seeds[i * trials + t])
+             for i, config in enumerate(configs)
+             for t in range(trials)]
+    if not processes or processes <= 1 or len(cells) == 1:
         flat = [sweep_fn(config, np.random.default_rng(seed))
-                for config, seed in payloads]
+                for config, seed in cells]
     else:
-        processes = min(processes, len(payloads))
+        processes = min(processes, len(cells))
         ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(processes, initializer=_init_worker,
-                      initargs=(sweep_fn,)) as pool:
-            flat = pool.map(_run_one_config, payloads)
+        token = _register_worker_fn(sweep_fn)
+        try:
+            with ctx.Pool(processes, initializer=_init_worker,
+                          initargs=(token, sweep_fn)) as pool:
+                flat = pool.map(_run_one_config,
+                                [(token, config, seed)
+                                 for config, seed in cells])
+        finally:
+            _unregister_worker_fn(token)
     return {i: flat[i * trials:(i + 1) * trials]
             for i in range(len(configs))}
 
