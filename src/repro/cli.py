@@ -122,6 +122,17 @@ def _build_parser() -> argparse.ArgumentParser:
                    metavar="BYTES",
                    help="with --wal: also checkpoint once the active log "
                         "segment exceeds BYTES")
+    p.add_argument("--replicate-to", action="append", default=None,
+                   metavar="DIR",
+                   help="with --wal: ship every decision to a follower "
+                        "replica process keeping a bitwise copy of the "
+                        "audit log under DIR; answers are released only "
+                        "after every follower acknowledges (repeatable)")
+    p.add_argument("--follow", default=None, metavar="DIR",
+                   help="serve as a read-only follower replica over the "
+                        "replicated audit log in DIR: replicated "
+                        "decisions are re-released, everything else is "
+                        "denied (incompatible with --wal/--replicate-to)")
     p.add_argument("--deadline", type=float, default=None,
                    help="per-query wall-clock budget in seconds "
                         "(probabilistic auditors only); exhaustion yields "
@@ -462,17 +473,65 @@ def _cmd_serve(args, stdin=None) -> int:
         checkpoint = CheckpointPolicy(every_records=checkpoint_every,
                                       every_bytes=checkpoint_bytes)
 
+    replicate_to = getattr(args, "replicate_to", None)
+    follow = getattr(args, "follow", None)
+    if follow and (args.wal or replicate_to):
+        print("error: --follow serves an existing replica read-only and "
+              "is incompatible with --wal/--replicate-to (a follower "
+              "never appends to the audit log)")
+        return 2
+    if replicate_to and not args.wal:
+        print("error: --replicate-to requires --wal (the primary's "
+              "checkpointed WAL directory)")
+        return 2
+    if follow and args.journal:
+        print("error: --journal requires a journalling auditor; a "
+              "read-only follower only re-releases replicated decisions")
+        return 2
+
+    follower = None
+    links = []
     try:
+        if follow:
+            from .resilience.replication import (
+                Follower,
+                FollowerReadOnlyAuditor,
+            )
+
+            follower = Follower.open(follow, auditor_factory=base_factory)
+
+            def factory(dataset):  # noqa: F811 - follower overrides WAL
+                return FollowerReadOnlyAuditor(follower, dataset)
+        elif replicate_to:
+            from .resilience.replication import ProcessLink
+
+            # One spawned follower process per target directory; each
+            # keeps a bitwise replica and must acknowledge every record
+            # before the answer is printed.
+            links = [ProcessLink(target, policy=checkpoint)
+                     for target in replicate_to]
         db = load_csv_database(args.csv, args.sensitive, factory,
                                wal_path=args.wal,
                                verify_wal=args.auditor in classic,
-                               checkpoint=checkpoint)
+                               checkpoint=checkpoint,
+                               replicate_to=links or None)
     except (OSError, ReproError) as exc:
+        for link in links:
+            link.close()
+        if follower is not None:
+            follower.close()
         print(f"error: {exc}")
         return 2
 
     print(f"serving {db.dataset.n} records from {args.csv}; sensitive "
           f"column {args.sensitive!r}; auditor {args.auditor!r}")
+    if follow:
+        print(f"read-only follower over {follow}: "
+              f"{follower.total_events} replicated events at epoch "
+              f"{follower.epoch}")
+    elif links:
+        print(f"replicating to {len(links)} follower(s): "
+              + ", ".join(replicate_to))
     print("enter SQL statistical queries, one per line "
           "(e.g. SELECT sum(x) WHERE a = 1); EOF or 'quit' ends")
 
@@ -499,7 +558,13 @@ def _cmd_serve(args, stdin=None) -> int:
         print(f"journal written to {args.journal}")
     if args.wal:
         db.auditor.close()
-        print(f"write-ahead log synced to {args.wal}")
+        if links:
+            print(f"write-ahead log synced to {args.wal} and "
+                  f"{len(links)} follower replica(s)")
+        else:
+            print(f"write-ahead log synced to {args.wal}")
+    elif follower is not None:
+        follower.close()
     trail = db.auditor.trail
     print(f"session: {len(trail)} queries, {trail.denial_count()} denied")
     return 0

@@ -49,14 +49,16 @@ def load_csv_database(path: str, sensitive_column: str,
                       high: Optional[float] = None,
                       wal_path: Optional[str] = None,
                       verify_wal: bool = False,
-                      checkpoint: Any = None) -> StatisticalDatabase:
+                      checkpoint: Any = None,
+                      replicate_to: Any = None) -> StatisticalDatabase:
     """Build an audited :class:`StatisticalDatabase` from a CSV file.
 
-    ``wal_path`` enables the crash-safe write-ahead audit log and
+    ``wal_path`` enables the crash-safe write-ahead audit log,
     ``checkpoint`` (a :class:`~repro.resilience.checkpoint.
     CheckpointPolicy`) upgrades it to the segmented, checkpointed WAL
-    with bounded recovery replay (see
-    :meth:`StatisticalDatabase.from_records`).
+    with bounded recovery replay, and ``replicate_to`` (replica
+    directories or replication links) ships the decision stream to
+    follower replicas (see :meth:`StatisticalDatabase.from_records`).
     """
     with open(path, newline="") as handle:
         records = read_records(handle)
@@ -69,6 +71,7 @@ def load_csv_database(path: str, sensitive_column: str,
         records, sensitive_column=sensitive_column,
         auditor_factory=auditor_factory, low=low, high=high,
         wal_path=wal_path, verify_wal=verify_wal, checkpoint=checkpoint,
+        replicate_to=replicate_to,
     )
 
 

@@ -53,6 +53,19 @@ _CHECKPOINT_EXPORTS = (
     "RecoveryInfo",
     "open_checkpointed_auditor",
 )
+_REPLICATION_EXPORTS = (
+    "FencedError",
+    "Follower",
+    "FollowerReadOnlyAuditor",
+    "FrameDecoder",
+    "LocalLink",
+    "ProcessLink",
+    "ReplicatingWal",
+    "ReplicationError",
+    "open_replicated_auditor",
+    "promote_replica",
+    "replica_events",
+)
 
 
 def __getattr__(name: str) -> Any:
@@ -64,6 +77,10 @@ def __getattr__(name: str) -> Any:
         from . import checkpoint
 
         return getattr(checkpoint, name)
+    if name in _REPLICATION_EXPORTS:
+        from . import replication
+
+        return getattr(replication, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -77,17 +94,28 @@ __all__ = [
     "Crash",
     "FaultClock",
     "FaultPlan",
+    "FencedError",
+    "Follower",
+    "FollowerReadOnlyAuditor",
+    "FrameDecoder",
     "InjectedCrash",
     "KNOWN_SITES",
+    "LocalLink",
+    "ProcessLink",
     "Raise",
     "RecoveryInfo",
+    "ReplicatingWal",
+    "ReplicationError",
     "Stall",
     "TokenBucket",
     "WriteAheadLog",
     "fault_site",
     "inject",
     "open_checkpointed_auditor",
+    "open_replicated_auditor",
     "open_wal_auditor",
+    "promote_replica",
     "recover_journaled",
+    "replica_events",
     "run_fail_closed",
 ]

@@ -159,6 +159,7 @@ class CheckpointedWal:
         self._next_seq = 1
         self._total_events = 0
         self._last_snapshot_events = 0
+        self._epoch = 0
         self.last_recovery: Optional[RecoveryInfo] = None
 
     # ------------------------------------------------------------------
@@ -244,6 +245,10 @@ class CheckpointedWal:
         auditor: Any = None
         chosen: Optional[Dict[str, Any]] = None
         skipped = 0
+        # Fast path: a young log (no snapshot taken yet) has no recovery
+        # root to resolve — the "suffix" is the whole log, and recovery
+        # drops straight to the full replay below without probing any
+        # snapshot files.
         for snap in reversed(wal._snapshots):
             try:
                 auditor = _load_snapshot(
@@ -264,9 +269,13 @@ class CheckpointedWal:
             suffix = []
             base_events = int(chosen["events"])
             for seg in wal._segments:
-                for i, record in enumerate(seg_records[seg["name"]]):
-                    if int(seg["base"]) + i >= base_events:
-                        suffix.append(record)
+                records = seg_records[str(seg["name"])]
+                base = int(seg["base"])
+                if base + len(records) <= base_events:
+                    # Wholly pre-checkpoint segment: retained only as a
+                    # fallback recovery root — nothing here to replay.
+                    continue
+                suffix.extend(records[max(0, base_events - base):])
             replayed = replay_events(auditor, dataset, suffix,
                                      verify=verify)
             journal_events = suffix
@@ -344,6 +353,30 @@ class CheckpointedWal:
         self._total_events += 1
         fault_site("wal.post-fsync")
 
+    def raw_append(self, data: bytes) -> None:
+        """Durably append one *pre-encoded* record (replication ship path).
+
+        The follower applies exactly the bytes the primary framed — the
+        caller has already CRC-validated them — so the replica segment is
+        a bitwise copy of the primary's record stream.
+        """
+        if self._active is None:
+            raise JournalError(
+                f"checkpointed WAL {self.directory!r} is closed")
+        half = len(data) // 2
+        self._active.write(data[:half])
+        if plan_active():
+            # Make the half-written state visible before a simulated kill,
+            # the way a real torn transfer would be.
+            self._active.flush()
+        fault_site("ship.mid-segment")
+        self._active.write(data[half:])
+        self._active.flush()
+        if self._fsync:
+            os.fsync(self._active.fileno())
+        self._active_bytes += len(data)
+        self._total_events += 1
+
     def close(self) -> None:
         """Close the active segment handle."""
         if self._active is not None:
@@ -369,6 +402,23 @@ class CheckpointedWal:
     def events_since_checkpoint(self) -> int:
         """Events appended after the newest snapshot."""
         return self._total_events - self._last_snapshot_events
+
+    @property
+    def epoch(self) -> int:
+        """The manifest's fencing epoch (bumped by failover promotion)."""
+        return self._epoch
+
+    def fence(self) -> int:
+        """Durably bump the fencing epoch (the promotion commit point).
+
+        Replication rejects frames from any sender whose epoch is older
+        than the receiver's, so once a promoted follower's bump is
+        committed a resurrected old primary can no longer ship appends to
+        it — split-brain writes are refused, not merged.
+        """
+        self._epoch += 1
+        self._commit_manifest()
+        return self._epoch
 
     def should_checkpoint(self) -> bool:
         """Whether the policy's record/byte thresholds have tripped."""
@@ -415,9 +465,49 @@ class CheckpointedWal:
         }
         self._write_snapshot(snap_name, payload)
         fault_site("checkpoint.pre-commit")
+        self._seal_and_commit(seq, snap_name, events)
+        return snap_name
 
+    def install_checkpoint(self, seq: int, snap_name: str, events: int,
+                           snapshot_data: bytes) -> None:
+        """Install a *shipped* snapshot (replication's checkpoint frame).
+
+        The follower-side twin of :meth:`checkpoint`: instead of pickling
+        a local auditor it installs the primary's already-encoded snapshot
+        record, then runs the same crash-atomic seal/rotate/commit/compact
+        sequence so the follower directory stays a valid checkpointed WAL
+        whose file names track the primary's.
+        """
+        if self._active is None:
+            raise JournalError(
+                f"checkpointed WAL {self.directory!r} is closed")
+        if events != self._total_events:
+            raise JournalError(
+                f"shipped snapshot covers {events} events but this "
+                f"replica holds {self._total_events}; refusing to "
+                f"install a checkpoint that skips or rewinds history"
+            )
+        if seq < self._next_seq:
+            raise JournalError(
+                f"shipped checkpoint sequence {seq} is stale (replica is "
+                f"at {self._next_seq}); refusing to rewind the manifest"
+            )
+        self._write_file_atomic(snap_name, snapshot_data,
+                                mid_site="install.mid-snapshot")
+        fault_site("checkpoint.pre-commit")
+        self._seal_and_commit(seq, snap_name, events)
+
+    def _seal_and_commit(self, seq: int, snap_name: str,
+                         events: int) -> None:
+        """Rotate the active segment and commit the new recovery root.
+
+        Crash-atomic tail shared by :meth:`checkpoint` and
+        :meth:`install_checkpoint`; the snapshot file ``snap_name`` is
+        already durable when this runs.
+        """
         # Seal the active segment and start a fresh one so the snapshot
         # boundary coincides with a segment boundary.
+        assert self._active is not None
         self._active.close()
         self._active = None
         for seg in self._segments:
@@ -459,7 +549,6 @@ class CheckpointedWal:
                 pass
         if dropped and self._fsync:
             fsync_directory(self.directory)
-        return snap_name
 
     # ------------------------------------------------------------------
     # Internals
@@ -480,6 +569,9 @@ class CheckpointedWal:
             self._segments = [dict(seg) for seg in payload["segments"]]
             self._snapshots = [dict(snap) for snap in payload["snapshots"]]
             self._next_seq = int(payload["next_seq"])
+            # Fencing epoch (replication): absent in pre-replication
+            # manifests, which are all epoch 0.
+            self._epoch = int(payload.get("epoch", 0))
         except (KeyError, TypeError, ValueError) as exc:
             raise JournalError(
                 f"checkpointed WAL manifest in {self.directory!r} is "
@@ -531,16 +623,25 @@ class CheckpointedWal:
             seg_records[name] = records
         return seg_records, torn_healed
 
-    def _write_snapshot(self, name: str, payload: Dict[str, Any]) -> None:
+    def _write_file_atomic(self, name: str, data: bytes,
+                           mid_site: Optional[str] = None) -> None:
+        """Write ``data`` to ``name`` via tmp-file + fsync + atomic rename.
+
+        The single durable-artifact protocol shared by snapshots, the
+        manifest, and replication's snapshot installs.  ``mid_site``
+        names the fault site fired half-way through the tmp write.
+        """
         path = os.path.join(self.directory, name)
         tmp = path + ".tmp"
-        data = _encode_record(payload)
         with open(tmp, "wb") as handle:
             half = len(data) // 2
             handle.write(data[:half])
             if plan_active():
+                # Make the half-written state visible before a simulated
+                # kill, the way a real partial page write would be.
                 handle.flush()
-            fault_site("checkpoint.mid-snapshot")
+            if mid_site is not None:
+                fault_site(mid_site)
             handle.write(data[half:])
             handle.flush()
             if self._fsync:
@@ -548,6 +649,10 @@ class CheckpointedWal:
         os.replace(tmp, path)
         if self._fsync:
             fsync_directory(self.directory)
+
+    def _write_snapshot(self, name: str, payload: Dict[str, Any]) -> None:
+        self._write_file_atomic(name, _encode_record(payload),
+                                mid_site="checkpoint.mid-snapshot")
 
     def _commit_manifest(self) -> None:
         payload = {
@@ -558,23 +663,10 @@ class CheckpointedWal:
             "segments": self._segments,
             "snapshots": self._snapshots,
             "next_seq": self._next_seq,
+            "epoch": self._epoch,
         }
-        path = os.path.join(self.directory, MANIFEST_NAME)
-        tmp = path + ".tmp"
-        data = _encode_record(payload)
-        with open(tmp, "wb") as handle:
-            half = len(data) // 2
-            handle.write(data[:half])
-            if plan_active():
-                handle.flush()
-            fault_site("manifest.mid-write")
-            handle.write(data[half:])
-            handle.flush()
-            if self._fsync:
-                os.fsync(handle.fileno())
-        os.replace(tmp, path)
-        if self._fsync:
-            fsync_directory(self.directory)
+        self._write_file_atomic(MANIFEST_NAME, _encode_record(payload),
+                                mid_site="manifest.mid-write")
 
     def _sweep_orphans(self) -> int:
         referenced = {MANIFEST_NAME}
@@ -647,6 +739,7 @@ def open_checkpointed_auditor(
         directory: str, auditor_factory: AuditorFactory, dataset: Dataset,
         fsync: bool = True, verify: bool = False,
         policy: Optional[CheckpointPolicy] = None,
+        wal_cls: Optional[type] = None,
 ) -> Tuple[JournaledAuditor, Dataset]:
     """Open-or-recover a checkpointed WAL directory (serving entry point).
 
@@ -654,10 +747,14 @@ def open_checkpointed_auditor(
     manifest is recovered (``dataset`` must match the manifest's initial
     dataset) and serving resumes with bounded replay; otherwise a fresh
     checkpointed WAL is created over ``dataset``.
+
+    ``wal_cls`` substitutes a :class:`CheckpointedWal` subclass (the
+    replication layer passes its shipping primary here).
     """
+    cls = wal_cls or CheckpointedWal
     directory = directory.rstrip("/").rstrip(os.sep) or directory
     if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
-        wrapped, live, _info = CheckpointedWal.recover(
+        wrapped, live, _info = cls.recover(
             directory, auditor_factory, policy=policy, fsync=fsync,
             verify=verify,
         )
@@ -674,6 +771,5 @@ def open_checkpointed_auditor(
                 f"WAL directory or the original data)"
             )
         return wrapped, live
-    wal = CheckpointedWal.create(directory, dataset, policy=policy,
-                                 fsync=fsync)
+    wal = cls.create(directory, dataset, policy=policy, fsync=fsync)
     return JournaledAuditor(auditor_factory(dataset), wal=wal), dataset

@@ -77,6 +77,28 @@ KNOWN_SITES = frozenset({
     "hit_and_run.step",
     # One colouring-chain transition.
     "coloring.step",
+    # Follower side: half-way through writing a shipped record into the
+    # follower's active segment (a torn transfer; the primary never saw
+    # an ack, so the answer was not released on the strength of this
+    # follower).
+    "ship.mid-segment",
+    # Follower side: frame fully applied and durable, acknowledgement not
+    # yet sent (the primary times out / crashes without the ack — the
+    # follower is *ahead* of what the primary released, which is the safe
+    # direction).
+    "ship.pre-ack",
+    # Follower side: half-way through writing a shipped snapshot's tmp
+    # file during a snapshot install (sync or checkpoint frame); the
+    # follower manifest never referenced it, so recovery sweeps it.
+    "install.mid-snapshot",
+    # Promotion: follower state recovered, fencing epoch not yet
+    # committed to the manifest (a crash here makes promotion retryable;
+    # the old primary is not fenced until the bump is durable).
+    "promote.pre-fence",
+    # Primary side: checkpoint committed locally, snapshot frame not yet
+    # shipped to followers (a crash here leaves followers on the
+    # pre-checkpoint segment layout until the next sync).
+    "primary.post-seal",
 })
 
 

@@ -267,7 +267,9 @@ class WriteAheadLog:
 def open_wal_auditor(path: str, auditor_factory: AuditorFactory,
                      dataset: Dataset, fsync: bool = True,
                      verify: bool = False,
-                     checkpoint: Any = None) -> Tuple[JournaledAuditor, Dataset]:
+                     checkpoint: Any = None,
+                     replicate_to: Any = None,
+                     ) -> Tuple[JournaledAuditor, Dataset]:
     """Open-or-recover: the single entry point serving code should use.
 
     If ``path`` holds a WAL, recover from it (``dataset`` must match the
@@ -281,7 +283,20 @@ def open_wal_auditor(path: str, auditor_factory: AuditorFactory,
     the single-file log: snapshots bound recovery replay to the
     post-checkpoint suffix and compaction bounds disk usage.  See
     :mod:`repro.resilience.checkpoint`.
+
+    ``replicate_to`` (a sequence of replica directory paths or link
+    objects) upgrades further to the *replicating* primary — ``path``
+    must then be a checkpointed WAL directory, and every answer is
+    released only after all replicas acknowledge its record.  See
+    :mod:`repro.resilience.replication`.
     """
+    if replicate_to:
+        from .replication import open_replicated_auditor
+
+        return open_replicated_auditor(
+            path, auditor_factory, dataset, replicate_to=replicate_to,
+            policy=checkpoint, fsync=fsync, verify=verify,
+        )
     if checkpoint is not None or os.path.isdir(path) \
             or path.endswith(("/", os.sep)):
         from .checkpoint import open_checkpointed_auditor

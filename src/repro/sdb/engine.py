@@ -82,7 +82,8 @@ class StatisticalDatabase:
                      high: Optional[float] = None,
                      wal_path: Optional[str] = None,
                      verify_wal: bool = False,
-                     checkpoint: Any = None) -> "StatisticalDatabase":
+                     checkpoint: Any = None,
+                     replicate_to: Any = None) -> "StatisticalDatabase":
         """Build an SDB from row dicts, splitting off the sensitive column.
 
         ``auditor_factory`` is called with the resulting
@@ -101,7 +102,17 @@ class StatisticalDatabase:
         ``wal_path`` then names a directory; snapshots bound recovery
         replay to the post-checkpoint suffix and compaction bounds disk
         usage.
+
+        ``replicate_to`` (replica directory paths or replication link
+        objects; implies the checkpointed WAL) ships every record to
+        follower replicas and releases answers only after they all
+        acknowledge — see :mod:`repro.resilience.replication`.
         """
+        if replicate_to and wal_path is None:
+            raise InvalidQueryError(
+                "replicate_to requires wal_path (the primary's "
+                "checkpointed WAL directory)"
+            )
         if not records:
             raise InvalidQueryError("need at least one record")
         values = []
@@ -140,7 +151,8 @@ class StatisticalDatabase:
 
             wrapped, live = open_wal_auditor(wal_path, auditor_factory,
                                              dataset, verify=verify_wal,
-                                             checkpoint=checkpoint)
+                                             checkpoint=checkpoint,
+                                             replicate_to=replicate_to)
             return StatisticalDatabase(table, live, wrapped)
         return StatisticalDatabase(table, dataset, auditor_factory(dataset))
 

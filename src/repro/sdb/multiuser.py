@@ -66,6 +66,12 @@ class MultiUserFrontend:
         selecting the segmented, checkpointed WAL (``wal_path`` then
         names a directory): snapshots bound recovery to the
         post-checkpoint suffix and compaction bounds disk usage.
+    replicate_to:
+        Optional replica directories / replication links (pooled mode
+        with a WAL only; implies the checkpointed WAL).  The pooled
+        auditor becomes a replicating primary: every decision is shipped
+        to the followers and an answer is released only after they all
+        acknowledge it — see :mod:`repro.resilience.replication`.
     """
 
     MODES = ("pooled", "independent")
@@ -76,7 +82,8 @@ class MultiUserFrontend:
                  wal_path: Optional[str] = None,
                  verify_wal: bool = False,
                  admission: Optional[AdmissionController] = None,
-                 checkpoint: Any = None):
+                 checkpoint: Any = None,
+                 replicate_to: Any = None):
         if mode not in self.MODES:
             raise InvalidQueryError(f"mode must be one of {self.MODES}")
         if history_limit is not None and history_limit < 1:
@@ -90,6 +97,11 @@ class MultiUserFrontend:
             raise InvalidQueryError(
                 "checkpoint policy requires wal_path (a WAL directory)"
             )
+        if replicate_to and wal_path is None:
+            raise InvalidQueryError(
+                "replicate_to requires wal_path (the primary's "
+                "checkpointed WAL directory)"
+            )
         self.dataset = dataset
         self.mode = mode
         self._factory = auditor_factory
@@ -100,7 +112,7 @@ class MultiUserFrontend:
 
                 self._pooled, self.dataset = open_wal_auditor(
                     wal_path, auditor_factory, dataset, verify=verify_wal,
-                    checkpoint=checkpoint,
+                    checkpoint=checkpoint, replicate_to=replicate_to,
                 )
             else:
                 self._pooled = auditor_factory(dataset)
