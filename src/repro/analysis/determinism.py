@@ -76,7 +76,13 @@ class DeterminismConfig:
     #: class-name patterns whose methods are sampler hot paths
     sampler_class_patterns: Tuple[str, ...] = (r".*(Sampler|Chain)$",)
     #: modules whose top-level functions are walked as roots
-    root_modules: Tuple[str, ...] = ("repro.cli", "repro.utility.parallel")
+    root_modules: Tuple[str, ...] = (
+        "repro.cli",
+        "repro.utility.parallel",
+        "repro.audit_empirical.cli",
+        "repro.audit_empirical.estimator",
+        "repro.audit_empirical.harness",
+    )
     max_depth: int = 25
 
 

@@ -7,11 +7,21 @@
   simulatability (paper, Section 2.2 example);
 * :mod:`~repro.attack.interval_attack` — a partial-disclosure attacker that
   drives posterior/prior ratios with shrinking max queries;
+* :mod:`~repro.attack.greedy_overlap` — greedy overlap-maximizing attackers
+  (sum differencing, max-bound squeezing) for the empirical audit;
+* :mod:`~repro.attack.evolutionary` — evolutionary search over scripted
+  workloads hunting auditor-specific weak spots;
 * :mod:`~repro.attack.dos_attack` — the §7 auditing denial-of-service
   attack and its pre-seeding mitigation.
 """
 
 from .dos_attack import DosOutcome, important_panel, run_dos_experiment
+from .evolutionary import (
+    EvolutionResult,
+    ScriptedAttacker,
+    evolve_workload,
+)
+from .greedy_overlap import GreedyOverlapAttacker
 from .interval_attack import IntervalAttacker
 from .naive_max_attack import DenialDecodingAttack, run_denial_decoding_attack
 from .random_attacker import RandomQueryAttacker
@@ -19,9 +29,13 @@ from .random_attacker import RandomQueryAttacker
 __all__ = [
     "DenialDecodingAttack",
     "DosOutcome",
+    "EvolutionResult",
+    "GreedyOverlapAttacker",
     "important_panel",
     "run_dos_experiment",
     "IntervalAttacker",
     "RandomQueryAttacker",
+    "ScriptedAttacker",
+    "evolve_workload",
     "run_denial_decoding_attack",
 ]

@@ -1,0 +1,177 @@
+"""Evolutionary adversarial-workload search for auditor weak spots.
+
+Random-query attackers measure an auditor's *average* exposure; this module
+hunts for its *worst case* inside a query-budget: a small genetic search
+over scripted workloads (fixed query sequences) whose fitness is the
+empirical win rate over seeded privacy games, tie-broken by how far the
+answered history pushed the posterior/prior ratios toward the edge of the
+``lambda`` band (:func:`repro.privacy.compromise.band_margin`).  Scripts
+that *almost* breach therefore survive and mutate toward escape even while
+the win rate is still zero — the "grey-box audit" move of measuring
+realized disclosure instead of trusting the claimed ``delta``.
+
+Everything is deterministic under a fixed seed: the population, every
+mutation, and every fitness game draw from generators spawned off one root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..privacy.compromise import band_margin
+from ..privacy.game import PrivacyGame
+from ..privacy.posterior import uniform_prior
+from ..rng import RngLike, as_generator, random_subset, spawn
+from ..types import AggregateKind, Query
+
+#: Cap on the (possibly infinite) band margin so fitness stays totally
+#: ordered and JSON-serialisable.
+MARGIN_CAP = 50.0
+
+
+class ScriptedAttacker:
+    """Replays a fixed query script through the privacy game.
+
+    After the script is exhausted the attacker returns ``None``, which the
+    game treats as resignation — a script shorter than the horizon simply
+    concedes its remaining rounds.
+    """
+
+    def __init__(self, script: List[Query]):
+        self.script = list(script)
+
+    def __call__(self, round_no: int, history) -> Optional[Query]:
+        if round_no - 1 < len(self.script):
+            return self.script[round_no - 1]
+        return None
+
+
+@dataclass
+class EvolutionResult:
+    """Outcome of one adversarial workload search."""
+
+    best_script: List[Query]
+    best_win_rate: float
+    best_margin: float
+    generations: int
+    evaluations: int
+    #: best (win_rate, margin) after each generation, for convergence plots
+    progress: List[Tuple[float, float]] = field(default_factory=list)
+
+
+def _mutate(script: List[Query], n: int, min_size: int, max_size: int,
+            gen: np.random.Generator) -> List[Query]:
+    """One point mutation: edit a single query's member set."""
+    out = list(script)
+    idx = int(gen.integers(len(out)))
+    query = out[idx]
+    members = set(query.query_set)
+    outside = sorted(set(range(n)) - members)
+    ordered = sorted(members)
+    op = int(gen.integers(4))
+    if op == 0 and outside and len(members) < max_size:       # grow
+        members.add(outside[int(gen.integers(len(outside)))])
+    elif op == 1 and len(members) > min_size:                 # shrink
+        members.discard(ordered[int(gen.integers(len(ordered)))])
+    elif op == 2 and outside:                                 # swap
+        members.discard(ordered[int(gen.integers(len(ordered)))])
+        members.add(outside[int(gen.integers(len(outside)))])
+    else:                                                     # resample
+        members = set(random_subset(gen, n, min_size=min_size,
+                                    max_size=max_size))
+    if not members:
+        members = set(random_subset(gen, n, min_size=min_size,
+                                    max_size=max_size))
+    out[idx] = Query(query.kind, frozenset(members))
+    return out
+
+
+def _random_script(n: int, kind: AggregateKind, length: int,
+                   min_size: int, max_size: int,
+                   gen: np.random.Generator) -> List[Query]:
+    return [Query(kind, random_subset(gen, n, min_size=min_size,
+                                      max_size=max_size))
+            for _ in range(length)]
+
+
+def _evaluate(game: PrivacyGame, script: List[Query],
+              make_auditor: Callable, make_dataset: Callable,
+              eval_games: int, gen: np.random.Generator
+              ) -> Tuple[float, float]:
+    """(win rate, mean capped band margin) of a script over seeded games."""
+    wins = 0
+    margins: List[float] = []
+    prior = uniform_prior(game.grid)
+    for child in spawn(gen, eval_games):
+        dataset = make_dataset(child)
+        auditor = make_auditor(dataset, child)
+        result = game.play(auditor, ScriptedAttacker(script))
+        wins += int(result.attacker_won)
+        answered = [(q, d.value) for q, d in result.history
+                    if d.answered and d.value is not None]
+        if result.attacker_won:
+            margins.append(MARGIN_CAP)
+        elif answered:
+            posterior = game.posterior_oracle(answered)
+            margins.append(min(band_margin(posterior, prior), MARGIN_CAP))
+        else:
+            margins.append(0.0)
+    mean_margin = sum(margins) / len(margins) if margins else 0.0
+    return wins / eval_games, mean_margin
+
+
+def evolve_workload(game: PrivacyGame, make_auditor: Callable,
+                    make_dataset: Callable, n: int,
+                    kind: AggregateKind = AggregateKind.MAX,
+                    population: int = 8, generations: int = 4,
+                    eval_games: int = 3, min_size: int = 1,
+                    max_size: Optional[int] = None,
+                    rng: RngLike = None) -> EvolutionResult:
+    """Search for a scripted workload maximising attacker win probability.
+
+    ``make_auditor(dataset, rng)`` and ``make_dataset(rng)`` are factories
+    (note the auditor factory takes a per-game generator, unlike
+    :func:`repro.privacy.game.estimate_privacy`, so fitness games never
+    share auditor randomness).  Returns the fittest script found plus its
+    stats; ``evaluations`` counts fitness games played, the search's cost
+    unit.
+    """
+    if population < 2:
+        raise ValueError("population must be at least 2")
+    if max_size is None:
+        max_size = n
+    gen = as_generator(rng)
+    scripts = [_random_script(n, kind, game.rounds, min_size, max_size, gen)
+               for _ in range(population)]
+    evaluations = 0
+    progress: List[Tuple[float, float]] = []
+    scored: List[Tuple[float, float, int]] = []
+    for generation in range(generations):
+        scored = []
+        for i, script in enumerate(scripts):
+            fitness = _evaluate(game, script, make_auditor, make_dataset,
+                                eval_games, gen)
+            evaluations += eval_games
+            scored.append((fitness[0], fitness[1], i))
+        scored.sort(key=lambda t: (-t[0], -t[1], t[2]))
+        progress.append((scored[0][0], scored[0][1]))
+        if generation == generations - 1:
+            break
+        elite = [scripts[i] for _, _, i in scored[:max(2, population // 2)]]
+        children = list(elite)
+        while len(children) < population:
+            parent = elite[int(gen.integers(len(elite)))]
+            children.append(_mutate(parent, n, min_size, max_size, gen))
+        scripts = children
+    best_win, best_margin, best_idx = scored[0]
+    return EvolutionResult(
+        best_script=scripts[best_idx],
+        best_win_rate=best_win,
+        best_margin=best_margin,
+        generations=generations,
+        evaluations=evaluations,
+        progress=progress,
+    )

@@ -1,0 +1,144 @@
+"""Greedy overlap-maximizing attackers for the privacy game.
+
+The paper's utility model poses *random* queries; a real adversary does
+better by making every new query overlap the answered history as much as
+possible, so each answer conditions the posterior of a few already-squeezed
+elements instead of spreading information thin.  Two grey-box strategies,
+both simulatable from the attacker's side (they read only public data —
+answered queries and values):
+
+* **sum differencing** — re-pose the last answered set with exactly one
+  element added or removed.  Two answered sums differing in one element pin
+  that element's value: the oldest compromise in the statistical-database
+  literature, and the attack a stateless minimum-frequency rule cannot see.
+* **max squeezing** — maintain the per-element upper bounds implied by
+  answered max queries and greedily query the lowest-bounded elements; a
+  small answered max over already-bounded elements drives their
+  posterior/prior ratios out of the ``lambda`` band fastest.
+
+Both rotate deterministically through fallback candidates after denials, so
+a hardened auditor faces sustained, targeted pressure rather than one probe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..rng import RngLike, as_generator, random_subset
+from ..types import AggregateKind, AuditDecision, Query
+
+History = List[Tuple[Query, AuditDecision]]
+
+
+class GreedyOverlapAttacker:
+    """Poses queries maximally overlapping the answered history.
+
+    Callable with the privacy-game signature ``(round, history) -> Query``.
+
+    Parameters
+    ----------
+    n:
+        Number of records (public).
+    kind:
+        ``SUM`` runs the differencing strategy; ``MAX`` (or ``MIN``) runs
+        bound squeezing.
+    base_size:
+        Size of the opening query (and of fresh bases after repeated
+        denials).  For ``SUM`` this should clear any frequency threshold
+        the attacker suspects; overlap then shrinks the *effective* set
+        to one element without ever posing a small query.
+    squeeze_size:
+        Target size of the squeezing queries in ``MAX``/``MIN`` mode.
+    """
+
+    def __init__(self, n: int, kind: AggregateKind = AggregateKind.SUM,
+                 rng: RngLike = None, base_size: Optional[int] = None,
+                 squeeze_size: int = 2):
+        if n <= 1:
+            raise ValueError("n must be at least 2")
+        self.n = n
+        self.kind = kind
+        self._rng = as_generator(rng)
+        self.base_size = base_size if base_size is not None \
+            else max(2, n // 3)
+        self.base_size = min(self.base_size, n - 1)
+        self.squeeze_size = max(1, min(squeeze_size, n))
+        self._denial_streak = 0
+
+    # -- public helpers (grey-box state reconstruction) -----------------
+
+    @staticmethod
+    def answered_sets(history: History) -> List[Query]:
+        """The answered queries, oldest first (public information)."""
+        return [q for q, d in history if d.answered]
+
+    @staticmethod
+    def upper_bounds(history: History, n: int, high: float) -> Dict[int, float]:
+        """Per-element upper bounds implied by answered max queries."""
+        bounds = {i: high for i in range(n)}
+        for query, decision in history:
+            if decision.denied or query.kind is not AggregateKind.MAX:
+                continue
+            assert decision.value is not None
+            for i in sorted(query.query_set):
+                bounds[i] = min(bounds[i], decision.value)
+        return bounds
+
+    # -- strategies ------------------------------------------------------
+
+    def _fresh_base(self) -> Query:
+        subset = random_subset(self._rng, self.n,
+                               min_size=self.base_size,
+                               max_size=self.base_size)
+        return Query(self.kind, subset)
+
+    def _next_sum(self, history: History) -> Query:
+        answered = [q for q, d in history if d.answered
+                    and q.kind is self.kind]
+        if not answered or self._denial_streak >= 3:
+            self._denial_streak = 0
+            return self._fresh_base()
+        last = answered[-1].query_set
+        members = sorted(last)
+        outside = sorted(set(range(self.n)) - last)
+        # Rotate through one-element edits: add each outsider, then drop
+        # each member (never below 2 so repeats stay informative).
+        edits: List[frozenset] = []
+        for i in outside:
+            edits.append(last | {i})
+        if len(members) > 2:
+            for i in members:
+                edits.append(last - {i})
+        posed = {q.query_set for q, _ in history}
+        for edit in edits:
+            if edit not in posed:
+                return Query(self.kind, edit)
+        return self._fresh_base()
+
+    def _next_extreme(self, history: History) -> Query:
+        bounds = self.upper_bounds(history, self.n, high=float("inf"))
+        # Lowest-bounded elements first (ties broken by index: determinism);
+        # unbounded elements only pad the set when everything else is taken.
+        order = sorted(range(self.n), key=lambda i: (bounds[i], i))
+        size = self.squeeze_size + (self._denial_streak % 3)
+        size = max(1, min(size, self.n))
+        offset = self._denial_streak // 3 % self.n
+        chosen = [order[(offset + j) % self.n] for j in range(size)]
+        members = frozenset(chosen)
+        posed = {q.query_set for q, _ in history if q.kind is self.kind}
+        if members in posed:
+            return Query(self.kind, frozenset(
+                random_subset(self._rng, self.n, min_size=size,
+                              max_size=size)))
+        return Query(self.kind, members)
+
+    # -- game protocol ---------------------------------------------------
+
+    def __call__(self, round_no: int, history: History) -> Query:
+        if history and history[-1][1].denied:
+            self._denial_streak += 1
+        else:
+            self._denial_streak = 0
+        if self.kind is AggregateKind.SUM:
+            return self._next_sum(history)
+        return self._next_extreme(history)

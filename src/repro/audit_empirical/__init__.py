@@ -1,0 +1,47 @@
+"""Grey-box empirical privacy audit of the auditors themselves.
+
+The paper *proves* each probabilistic auditor ``(lambda, delta, gamma,
+T)``-private; this package *measures* it, in the spirit of "Privacy in
+Theory, Bugs in Practice": proofs constrain the design, but the shipped
+code — samplers, posterior oracles, thresholds — is what attackers face.
+
+Three layers:
+
+* :mod:`~repro.audit_empirical.estimator` — Monte-Carlo compromise-rate
+  estimation: seeded privacy-game ensembles fanned across cores via
+  :func:`repro.utility.parallel.run_sweep`, per-auditor empirical win
+  rates with Clopper-Pearson upper confidence bounds held against the
+  claimed ``delta``;
+* :mod:`~repro.attack.evolutionary` (+ :mod:`~repro.attack.greedy_overlap`)
+  — adversarial workload search beyond the paper's random-query attacker;
+* :mod:`~repro.audit_empirical.harness` — the full audit matrix (prob
+  auditors × attacks × scenarios, against the DPSQL+-style
+  minimum-frequency baseline) producing the committed
+  ``BENCH_privacy_audit.json`` artifact, with anti-vacuity controls (an
+  unprotected auditor must be breached; deny-all must never be) and a
+  worker-count bitwise-determinism check.
+
+Run it via ``repro-audit-empirical`` or ``python -m repro empirical``.
+"""
+
+from .estimator import (
+    AuditEstimate,
+    GameOutcome,
+    GameSpec,
+    clopper_pearson_upper,
+    estimate_compromise,
+    play_game,
+)
+from .harness import AuditSettings, default_specs, run_empirical_audit
+
+__all__ = [
+    "AuditEstimate",
+    "AuditSettings",
+    "GameOutcome",
+    "GameSpec",
+    "clopper_pearson_upper",
+    "default_specs",
+    "estimate_compromise",
+    "play_game",
+    "run_empirical_audit",
+]

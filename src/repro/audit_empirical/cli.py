@@ -1,0 +1,125 @@
+"""``repro-audit-empirical``: run the grey-box audit from a shell.
+
+Also mounted as ``python -m repro empirical``.  Prints the per-auditor
+table (worst attack, empirical win rate, Clopper-Pearson upper bound vs
+the claimed ``delta``) and optionally writes the full JSON report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .harness import AuditSettings, run_empirical_audit
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the audit's options to ``parser`` (shared with ``repro``)."""
+    parser.add_argument("--seed", type=int, default=90125)
+    parser.add_argument("--games", type=int, default=None, metavar="N",
+                        help="games per exact-oracle cell (the MC-oracle "
+                             "cells play half as many; default 30/15)")
+    parser.add_argument("--processes", type=int, default=None,
+                        help="run_sweep worker count (default: serial)")
+    parser.add_argument("--confidence", type=float, default=0.95,
+                        help="Clopper-Pearson confidence level")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny smoke-test run of every stage")
+    parser.add_argument("--no-search", action="store_true",
+                        help="skip the evolutionary workload search")
+    parser.add_argument("--no-determinism-check", action="store_true",
+                        help="skip the 1-vs-2-worker bitwise replay")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the full JSON report to FILE")
+
+
+def settings_from_args(args: argparse.Namespace) -> AuditSettings:
+    settings = AuditSettings(
+        seed=args.seed,
+        processes=args.processes,
+        confidence=args.confidence,
+        search=not args.no_search,
+        determinism_check=not args.no_determinism_check,
+        quick=args.quick,
+    )
+    if args.games is not None:
+        settings.games_cheap = args.games
+        settings.games_expensive = max(1, args.games // 2)
+    return settings
+
+
+def print_report(report: dict) -> None:
+    from ..reporting.tables import format_table
+
+    rows = []
+    for est in report["estimates"]:
+        claimed = est["claimed_delta"]
+        if claimed is None:
+            verdict = "-"
+        elif est["within_claimed"]:
+            verdict = "within"
+        else:
+            verdict = "EXCEEDED"
+        rows.append((
+            est["name"], est["games"], est["wins"],
+            f"{est['win_rate']:.3f}", f"{est['cp_upper']:.3f}",
+            "-" if claimed is None else f"{claimed:.2f}", verdict,
+        ))
+    print(format_table(
+        ["auditor/attack", "games", "wins", "win rate",
+         f"CP upper ({report['confidence']:.0%})", "claimed delta",
+         "verdict"],
+        rows, title="Empirical privacy audit",
+    ))
+    vacuity = report["anti_vacuity"]
+    print(f"\nanti-vacuity: naive breached={vacuity['naive_breached']}, "
+          f"oracle breached={vacuity['oracle_breached']}, deny-all wins="
+          f"{vacuity['deny_all_wins']} -> "
+          f"{'ok' if vacuity['passed'] else 'FAILED'}")
+    if "adversarial_search" in report:
+        search = report["adversarial_search"]
+        for name in sorted(search["targets"]):
+            target = search["targets"][name]
+            print(f"adversarial search vs {name}: best win rate "
+                  f"{target['best_win_rate']:.3f}, band margin "
+                  f"{target['best_band_margin']:.3f} "
+                  f"({target['evaluations']} fitness games)")
+    if "determinism" in report:
+        det = report["determinism"]
+        state = "bitwise identical" if det["identical"] else "DIVERGED"
+        print(f"determinism: {det['worker_counts']} workers over "
+              f"{len(det['specs'])} specs -> {state}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-audit-empirical",
+        description="Grey-box empirical privacy audit: Monte-Carlo "
+                    "compromise estimation with exact confidence bounds",
+    )
+    add_arguments(parser)
+    args = parser.parse_args(argv)
+    return run(args)
+
+
+def run(args: argparse.Namespace) -> int:
+    report = run_empirical_audit(settings_from_args(args))
+    print_report(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}")
+    ok = bool(report["anti_vacuity"]["passed"])
+    if "determinism" in report:
+        ok = ok and bool(report["determinism"]["identical"])
+    for est in report["estimates"]:
+        if est["within_claimed"] is False:
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,383 @@
+"""Monte-Carlo compromise-rate estimation over seeded game ensembles.
+
+One :class:`GameSpec` describes an (auditor, attacker, scenario) cell of
+the audit matrix; :func:`play_game` — the module-level
+:func:`repro.utility.parallel.run_sweep` worker — builds everything from
+the spec and one per-trial generator and plays a single privacy game.
+Because every stochastic component (dataset draw, auditor sampling,
+attacker choices, posterior oracle) is seeded from generators spawned off
+that one per-trial generator, the ensemble's outcome is a pure function of
+``(spec, seed)``: serial and multiprocess sweeps are bitwise-identical,
+which the bench gate asserts.
+
+Win counts become :class:`AuditEstimate` rows carrying the exact binomial
+(Clopper-Pearson) upper confidence bound on the true compromise
+probability, the quantity the paper's ``delta`` claims to dominate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..rng import RngLike, as_generator, spawn
+from ..types import AggregateKind
+from ..utility.parallel import run_sweep
+
+#: Auditor registry keys accepted by :attr:`GameSpec.auditor`.
+AUDITOR_NAMES = ("max_prob", "maxmin_prob", "sum_prob", "min_freq",
+                 "oracle", "naive", "deny_all")
+#: Attack registry keys accepted by :attr:`GameSpec.attack`.
+ATTACK_NAMES = ("interval", "greedy_max", "greedy_sum", "random",
+                "employer")
+#: Posterior oracle registry keys accepted by :attr:`GameSpec.oracle`.
+ORACLE_NAMES = ("max", "maxmin", "sum")
+
+
+def clopper_pearson_upper(wins: int, games: int,
+                          confidence: float = 0.95) -> float:
+    """One-sided Clopper-Pearson upper bound on a binomial proportion.
+
+    The smallest ``p`` such that observing at most ``wins`` successes in
+    ``games`` trials has probability at most ``1 - confidence`` — the
+    exact (conservative) bound, so "cp_upper <= delta" is a sound
+    empirical-privacy verdict at the stated confidence.  Pure stdlib
+    (log-space binomial CDF + bisection), deterministic.
+    """
+    if games < 1:
+        raise ValueError("games must be positive")
+    if not 0 <= wins <= games:
+        raise ValueError("wins must lie in [0, games]")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    if wins == games:
+        return 1.0
+    alpha = 1.0 - confidence
+    log_comb = [
+        math.lgamma(games + 1) - math.lgamma(k + 1)
+        - math.lgamma(games - k + 1)
+        for k in range(wins + 1)
+    ]
+
+    def cdf(p: float) -> float:
+        total = 0.0
+        for k in range(wins + 1):
+            total += math.exp(log_comb[k] + k * math.log(p)
+                              + (games - k) * math.log1p(-p))
+        return total
+
+    lo = wins / games
+    hi = 1.0
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        if cdf(mid) > alpha:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+@dataclass(frozen=True)
+class GameSpec:
+    """One picklable cell of the audit matrix.
+
+    Every field is a plain value, so specs travel to spawned ``run_sweep``
+    workers unchanged and the worker rebuilds grid, game, dataset, auditor
+    and attacker locally from spawned child generators.
+    """
+
+    name: str
+    auditor: str                       #: one of :data:`AUDITOR_NAMES`
+    attack: str                        #: one of :data:`ATTACK_NAMES`
+    n: int = 40
+    lam: float = 0.2
+    gamma: int = 5
+    delta: float = 0.2
+    rounds: int = 6
+    oracle: str = "max"                #: one of :data:`ORACLE_NAMES`
+    oracle_samples: int = 150
+    #: breach-check band slack for Monte Carlo oracles (0 for exact)
+    game_tol: float = 0.0
+    #: per-decision sampling effort of the probabilistic auditors
+    num_samples: int = 40
+    num_outer: int = 3
+    num_inner: int = 30
+    mc_tolerance: float = 0.15
+    #: the minimum-frequency baseline's threshold ``k``
+    min_size: int = 5
+    #: attacker size knobs (interval / greedy strategies)
+    attack_min_size: int = 1
+    attack_max_size: int = 3
+    #: employer-scenario shape
+    departments: int = 6
+    sites: int = 3
+    grades: int = 4
+    skew: float = 1.2
+
+    def claimed_delta(self) -> Optional[float]:
+        """The ``delta`` this auditor claims, if it claims one."""
+        if self.auditor in ("max_prob", "maxmin_prob", "sum_prob"):
+            return self.delta
+        return None
+
+
+@dataclass(frozen=True)
+class GameOutcome:
+    """Result of one game, reduced to its picklable facts."""
+
+    won: bool
+    breach_round: Optional[int]
+    rounds_played: int
+    denials: int
+
+
+@dataclass
+class AuditEstimate:
+    """Empirical compromise rate for one spec, with its exact CI bound."""
+
+    spec: GameSpec
+    wins: int
+    games: int
+    win_rate: float
+    cp_upper: float
+    confidence: float
+    mean_rounds: float
+    mean_denials: float
+    breach_rounds: List[int] = field(default_factory=list)
+
+    @property
+    def within_claimed(self) -> Optional[bool]:
+        """Whether the CP upper bound stays under the claimed ``delta``."""
+        claimed = self.spec.claimed_delta()
+        if claimed is None:
+            return None
+        return self.cp_upper <= claimed
+
+    def to_json_dict(self) -> Dict[str, object]:
+        claimed = self.spec.claimed_delta()
+        return {
+            "name": self.spec.name,
+            "auditor": self.spec.auditor,
+            "attack": self.spec.attack,
+            "n": self.spec.n,
+            "games": self.games,
+            "wins": self.wins,
+            "win_rate": round(self.win_rate, 6),
+            "cp_upper": round(self.cp_upper, 6),
+            "confidence": self.confidence,
+            "claimed_delta": claimed,
+            "within_claimed": self.within_claimed,
+            "mean_rounds": round(self.mean_rounds, 4),
+            "mean_denials": round(self.mean_denials, 4),
+            "breach_rounds": list(self.breach_rounds),
+        }
+
+
+# ----------------------------------------------------------------------
+# Spec -> components (all built inside the worker, from spawned children)
+# ----------------------------------------------------------------------
+
+def _build_grid_and_game(spec: GameSpec, oracle_rng) :
+    from ..privacy.game import (
+        PrivacyGame,
+        make_max_posterior_oracle,
+        make_maxmin_posterior_oracle,
+        make_sum_posterior_oracle,
+    )
+    from ..privacy.intervals import IntervalGrid
+
+    grid = IntervalGrid(spec.gamma)
+    if spec.oracle == "max":
+        oracle = make_max_posterior_oracle(grid, spec.n)
+    elif spec.oracle == "maxmin":
+        oracle = make_maxmin_posterior_oracle(
+            grid, spec.n, num_samples=spec.oracle_samples, rng=oracle_rng)
+    elif spec.oracle == "sum":
+        oracle = make_sum_posterior_oracle(
+            grid, spec.n, num_samples=spec.oracle_samples, rng=oracle_rng)
+    else:
+        raise ValueError(f"unknown oracle {spec.oracle!r}")
+    return grid, PrivacyGame(grid, spec.lam, spec.rounds, oracle,
+                             tol=spec.game_tol)
+
+
+def build_auditor(spec: GameSpec, dataset, rng: RngLike):
+    """The auditor under audit, seeded from ``rng`` (grey-box: the audit
+    drives the real decision procedures, not models of them)."""
+    from ..auditors.deny_all import DenyAllAuditor
+    from ..auditors.max_prob import MaxProbabilisticAuditor
+    from ..auditors.maxmin_prob import MaxMinProbabilisticAuditor
+    from ..auditors.min_frequency import MinimumFrequencyAuditor
+    from ..auditors.naive import NaiveMaxAuditor, OracleMaxAuditor
+    from ..auditors.sum_prob import SumProbabilisticAuditor
+
+    if spec.auditor == "max_prob":
+        return MaxProbabilisticAuditor(
+            dataset, lam=spec.lam, gamma=spec.gamma, delta=spec.delta,
+            rounds=spec.rounds, num_samples=spec.num_samples, rng=rng)
+    if spec.auditor == "maxmin_prob":
+        return MaxMinProbabilisticAuditor(
+            dataset, lam=spec.lam, gamma=spec.gamma, delta=spec.delta,
+            rounds=spec.rounds, num_outer=spec.num_outer,
+            num_inner=spec.num_inner, mc_tolerance=spec.mc_tolerance,
+            rng=rng)
+    if spec.auditor == "sum_prob":
+        return SumProbabilisticAuditor(
+            dataset, lam=spec.lam, gamma=spec.gamma, delta=spec.delta,
+            rounds=spec.rounds, num_outer=spec.num_outer,
+            num_inner=spec.num_inner, mc_tolerance=spec.mc_tolerance,
+            rng=rng)
+    if spec.auditor == "min_freq":
+        return MinimumFrequencyAuditor(dataset, min_size=spec.min_size)
+    if spec.auditor == "oracle":
+        return OracleMaxAuditor(dataset)
+    if spec.auditor == "naive":
+        return NaiveMaxAuditor(dataset)
+    if spec.auditor == "deny_all":
+        return DenyAllAuditor(dataset)
+    raise ValueError(f"unknown auditor {spec.auditor!r}")
+
+
+def _build_attacker(spec: GameSpec, population, rng):
+    from ..attack.greedy_overlap import GreedyOverlapAttacker
+    from ..attack.interval_attack import IntervalAttacker
+    from ..attack.random_attacker import RandomQueryAttacker
+    from ..workloads.employer import EmployerGroupAttacker
+
+    if spec.attack == "interval":
+        return IntervalAttacker(spec.n, rng=rng,
+                                min_size=spec.attack_min_size,
+                                max_size=spec.attack_max_size)
+    if spec.attack == "greedy_max":
+        return GreedyOverlapAttacker(spec.n, kind=AggregateKind.MAX,
+                                     rng=rng,
+                                     squeeze_size=spec.attack_min_size)
+    if spec.attack == "greedy_sum":
+        return GreedyOverlapAttacker(spec.n, kind=AggregateKind.SUM,
+                                     rng=rng)
+    if spec.attack == "random":
+        kind = (AggregateKind.SUM if spec.oracle == "sum"
+                else AggregateKind.MAX)
+        return RandomQueryAttacker(spec.n, kind=kind, rng=rng,
+                                   min_size=spec.attack_min_size,
+                                   max_size=spec.attack_max_size)
+    if spec.attack == "employer":
+        if population is None:
+            raise ValueError("employer attack needs a population")
+        kind = (AggregateKind.SUM if spec.oracle == "sum"
+                else AggregateKind.MAX)
+        return EmployerGroupAttacker(population, kind=kind)
+    raise ValueError(f"unknown attack {spec.attack!r}")
+
+
+def play_game_full(spec: GameSpec, rng: np.random.Generator):
+    """Play one seeded game and return the full :class:`GameResult`.
+
+    Spawns four independent child generators — dataset/scenario, posterior
+    oracle, auditor, attacker — so the outcome depends only on
+    ``(spec, rng state)`` and never on scheduling or worker count.  The
+    golden transcript tests serialise the returned history bitwise.
+    """
+    from ..sdb.dataset import Dataset
+    from ..workloads.employer import EmployerPopulation
+
+    data_rng, oracle_rng, auditor_rng, attacker_rng = spawn(rng, 4)
+    population = None
+    if spec.attack == "employer":
+        population = EmployerPopulation.generate(
+            spec.n, rng=data_rng, departments=spec.departments,
+            sites=spec.sites, grades=spec.grades, skew=spec.skew)
+        dataset = population.dataset
+    else:
+        dataset = Dataset.uniform(spec.n, rng=data_rng)
+    _, game = _build_grid_and_game(spec, oracle_rng)
+    auditor = build_auditor(spec, dataset, auditor_rng)
+    attacker = _build_attacker(spec, population, attacker_rng)
+    return game.play(auditor, attacker)
+
+
+def play_game(spec: GameSpec, rng: np.random.Generator) -> GameOutcome:
+    """Play one seeded privacy game for ``spec`` (the ``run_sweep`` worker).
+
+    The history is dropped so outcomes stay small on the trip back from
+    worker processes; :func:`play_game_full` keeps it.
+    """
+    result = play_game_full(spec, rng)
+    return GameOutcome(
+        won=result.attacker_won,
+        breach_round=result.breach_round,
+        rounds_played=result.rounds_played,
+        denials=result.denials,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ensembles
+# ----------------------------------------------------------------------
+
+def estimate_compromise(specs: Sequence[GameSpec], games: int,
+                        rng: RngLike = None,
+                        processes: Optional[int] = None,
+                        confidence: float = 0.95
+                        ) -> List[AuditEstimate]:
+    """Empirical compromise rates for every spec, ``games`` games each.
+
+    Seeds are derived once in spec-major order (see ``run_sweep``), so the
+    result is bitwise-identical across ``processes`` values — the property
+    the bench gate replays with 1 and 2 workers.
+    """
+    if games < 1:
+        raise ValueError("games must be positive")
+    gen = as_generator(rng)
+    sweep: Dict[int, List[GameOutcome]] = run_sweep(
+        play_game, specs, trials=games, rng=gen, processes=processes)
+    estimates: List[AuditEstimate] = []
+    for i, spec in enumerate(specs):
+        outcomes = sweep[i]
+        wins = sum(1 for o in outcomes if o.won)
+        breach_rounds = [o.breach_round for o in outcomes
+                         if o.breach_round is not None]
+        estimates.append(AuditEstimate(
+            spec=spec,
+            wins=wins,
+            games=games,
+            win_rate=wins / games,
+            cp_upper=clopper_pearson_upper(wins, games,
+                                           confidence=confidence),
+            confidence=confidence,
+            mean_rounds=sum(o.rounds_played for o in outcomes) / games,
+            mean_denials=sum(o.denials for o in outcomes) / games,
+            breach_rounds=breach_rounds,
+        ))
+    return estimates
+
+
+def summarize(estimates: Sequence[AuditEstimate]
+              ) -> Dict[str, Dict[str, object]]:
+    """Group estimates by auditor and pick each auditor's worst attack."""
+    by_auditor: Dict[str, Dict[str, object]] = {}
+    for est in estimates:
+        entry = by_auditor.setdefault(est.spec.auditor, {
+            "claimed_delta": est.spec.claimed_delta(),
+            "attacks": {},
+        })
+        entry["attacks"][est.spec.attack] = est.to_json_dict()  # type: ignore[index]
+    for auditor in sorted(by_auditor):
+        entry = by_auditor[auditor]
+        attacks: Dict[str, Dict[str, object]] = entry["attacks"]  # type: ignore[assignment]
+        worst_name = max(
+            sorted(attacks),
+            key=lambda name: (attacks[name]["win_rate"],
+                              attacks[name]["cp_upper"]),
+        )
+        worst = attacks[worst_name]
+        entry["worst"] = {
+            "attack": worst_name,
+            "win_rate": worst["win_rate"],
+            "cp_upper": worst["cp_upper"],
+            "games": worst["games"],
+        }
+    return by_auditor

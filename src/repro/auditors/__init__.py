@@ -20,6 +20,7 @@ Auditor                            Section    Compromise notion
 :class:`SumProbabilisticAuditor`   [21]       partial disclosure (baseline)
 :class:`NaiveMaxAuditor`           §2.2 ex.   value-based denial (leaks!)
 :class:`OverlapRestrictionAuditor` §2.1       size/overlap restriction [11]
+:class:`MinimumFrequencyAuditor`   baseline   DPSQL+ small-set refusal
 :class:`DenyAllAuditor`            §1         utility floor
 ================================  =========  ============================
 """
@@ -31,6 +32,7 @@ from .max_classic import MaxClassicAuditor
 from .max_prob import MaxProbabilisticAuditor
 from .maxmin_classic import MaxMinClassicAuditor
 from .maxmin_prob import MaxMinProbabilisticAuditor
+from .min_frequency import MinimumFrequencyAuditor
 from .naive import NaiveMaxAuditor, OracleMaxAuditor
 from .overlap_restriction import OverlapRestrictionAuditor
 from .sum_classic import SumClassicAuditor
@@ -45,6 +47,7 @@ __all__ = [
     "MaxMinClassicAuditor",
     "MaxProbabilisticAuditor",
     "MaxMinProbabilisticAuditor",
+    "MinimumFrequencyAuditor",
     "NaiveMaxAuditor",
     "OracleMaxAuditor",
     "OverlapRestrictionAuditor",

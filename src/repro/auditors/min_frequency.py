@@ -1,0 +1,86 @@
+"""DPSQL+-style minimum-frequency rule — the classic simple defense.
+
+Deny any query whose query set (or its complement) touches fewer than
+``min_size`` records; answer everything else.  This is the minimum
+query-set-size restriction statistical databases shipped long before
+auditing (DPSQL+'s small-query-set refusal), and the natural baseline the
+empirical privacy audit compares each prob auditor against: it is
+trivially simulatable (the rule reads only ``|Q|``), costs nothing per
+decision, and protects against *naive* small-set probes — but it keeps no
+history, so overlapping queries that difference down to a single record
+walk straight through it (the Section 2.1 lesson, re-measured by
+``repro.audit_empirical``).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from ..sdb.dataset import Dataset
+from ..types import AggregateKind, AuditDecision, DenialReason, Query
+from .base import Auditor
+
+
+class MinimumFrequencyAuditor(Auditor):
+    """Answers iff ``min_size <= |Q| <= n - min_size`` (complement rule).
+
+    Parameters
+    ----------
+    dataset:
+        The protected dataset.
+    min_size:
+        The frequency threshold ``k``; queries over fewer than ``k``
+        records are refused.  The classic rule also refuses near-total
+        queries (complement smaller than ``k``), since ``sum(all) -
+        sum(all but one)`` is the oldest differencing attack; disable
+        with ``check_complement=False``.
+    inner:
+        Optional wrapped auditor: the frequency rule screens first, and
+        surviving queries fall through to ``inner``'s decision procedure
+        (its audit state is kept in sync through
+        :meth:`Auditor._record_answer`).  Without an ``inner`` the rule
+        alone decides — the DPSQL+ baseline configuration.
+    """
+
+    def __init__(self, dataset: Dataset, min_size: int = 5,
+                 inner: Optional[Auditor] = None,
+                 check_complement: bool = True):
+        super().__init__(dataset)
+        if min_size < 1:
+            raise ValueError("min_size must be a positive integer")
+        self.min_size = min_size
+        self.inner = inner
+        self.check_complement = check_complement
+
+    @property
+    def supported_kinds(self) -> FrozenSet[AggregateKind]:  # type: ignore[override]
+        if self.inner is not None:
+            return self.inner.supported_kinds
+        return frozenset(AggregateKind)
+
+    def _deny_reason(self, query: Query) -> Optional[AuditDecision]:
+        if query.size < self.min_size:
+            return AuditDecision.deny(
+                DenialReason.POLICY,
+                f"query set of size {query.size} below the minimum "
+                f"frequency {self.min_size}",
+            )
+        if self.check_complement and \
+                self.dataset.n - query.size < self.min_size:
+            return AuditDecision.deny(
+                DenialReason.POLICY,
+                f"query complement of size {self.dataset.n - query.size} "
+                f"below the minimum frequency {self.min_size}",
+            )
+        if self.inner is not None:
+            return self.inner._deny_reason(query)
+        return None
+
+    def _record_answer(self, query: Query, value: float) -> None:
+        if self.inner is not None:
+            self.inner._record_answer(query, value)
+
+    def apply_update(self, event) -> None:
+        """Frequency thresholds are stateless; delegate or accept."""
+        if self.inner is not None:
+            self.inner.apply_update(event)

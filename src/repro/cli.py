@@ -9,6 +9,8 @@
 * ``attack`` — the denial-decoding attack vs naive and simulatable auditors;
 * ``game``   — empirical ``(lambda, delta, gamma, T)``-privacy of the
   Section 3.1 auditor;
+* ``empirical`` — the full grey-box audit matrix with Clopper-Pearson
+  bounds and adversarial workload search (also ``repro-audit-empirical``);
 * ``price``  — the §7 price of simulatability for max auditing;
 * ``serve``  — an audited SQL statistics endpoint over a CSV file;
 * ``lint``   — the simulatability taint analyzer (static gate over the
@@ -87,6 +89,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(handler=_cmd_game)
+
+    p = sub.add_parser(
+        "empirical",
+        help="grey-box empirical privacy audit: Monte-Carlo compromise "
+             "rates with Clopper-Pearson bounds vs the claimed delta",
+    )
+    from .audit_empirical.cli import add_arguments as _empirical_arguments
+
+    _empirical_arguments(p)
+    p.set_defaults(handler=_cmd_empirical)
 
     p = sub.add_parser("price", help="price of simulatability (max queries)")
     p.add_argument("--n", type=int, default=100)
@@ -336,6 +348,12 @@ def _cmd_game(args) -> int:
     print(f"attacker win rate: {win_rate:.3f} over {args.trials} games "
           f"(delta = {args.delta}) -> {verdict}")
     return 0 if win_rate <= args.delta else 1
+
+
+def _cmd_empirical(args) -> int:
+    from .audit_empirical.cli import run
+
+    return run(args)
 
 
 def _cmd_price(args) -> int:

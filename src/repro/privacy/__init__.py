@@ -11,8 +11,14 @@
   T)``-private against a given attacker.
 """
 
-from .compromise import ratio_band, ratios_within_band, s_lambda
-from .game import GameResult, PrivacyGame
+from .compromise import band_margin, ratio_band, ratios_within_band, s_lambda
+from .game import (
+    GameResult,
+    PrivacyGame,
+    make_max_posterior_oracle,
+    make_maxmin_posterior_oracle,
+    make_sum_posterior_oracle,
+)
 from .intervals import IntervalGrid
 from .posterior import max_predicate_bucket_probabilities, uniform_prior
 
@@ -20,6 +26,10 @@ __all__ = [
     "IntervalGrid",
     "GameResult",
     "PrivacyGame",
+    "band_margin",
+    "make_max_posterior_oracle",
+    "make_maxmin_posterior_oracle",
+    "make_sum_posterior_oracle",
     "max_predicate_bucket_probabilities",
     "uniform_prior",
     "ratio_band",

@@ -54,3 +54,18 @@ def offending_cells(posterior: np.ndarray, prior: np.ndarray,
     lo, hi = ratio_band(lam)
     ratios = np.asarray(posterior, dtype=float) / np.asarray(prior, dtype=float)
     return (ratios < lo - tol) | (ratios > hi + tol)
+
+
+def band_margin(posterior: np.ndarray, prior: np.ndarray) -> float:
+    """How far the worst posterior/prior ratio strays from 1, in log space.
+
+    ``max |log(posterior / prior)|`` over all cells, with a zeroed
+    posterior bucket counting as infinitely disclosive (``inf``).  The
+    adversarial workload search uses this as its fitness signal: a larger
+    margin means the answered history pushed some ratio closer to (or
+    past) the edge of the ``lambda`` band, even when no breach occurred.
+    """
+    ratios = np.asarray(posterior, dtype=float) / np.asarray(prior, dtype=float)
+    if np.any(ratios <= 0.0):
+        return float("inf")
+    return float(np.max(np.abs(np.log(ratios))))

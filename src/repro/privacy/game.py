@@ -45,16 +45,23 @@ class GameResult:
 
 
 class PrivacyGame:
-    """Plays one ``(lambda, gamma, T)``-privacy game."""
+    """Plays one ``(lambda, gamma, T)``-privacy game.
+
+    ``tol`` widens the breach check's ratio band; Monte Carlo posterior
+    oracles (max-and-min colouring, sum hit-and-run) need a slack matching
+    their sampling noise, exactly as the probabilistic auditors' own
+    ``mc_tolerance`` does.  The exact max oracle keeps the default.
+    """
 
     def __init__(self, grid: IntervalGrid, lam: float, rounds: int,
-                 posterior_oracle: PosteriorOracle):
+                 posterior_oracle: PosteriorOracle, tol: float = 1e-12):
         if rounds < 1:
             raise ValueError("rounds must be positive")
         self.grid = grid
         self.lam = lam
         self.rounds = rounds
         self.posterior_oracle = posterior_oracle
+        self.tol = tol
 
     def play(self, auditor, attacker) -> GameResult:
         """Run the game: ``attacker(round, history) -> Query``.
@@ -78,7 +85,8 @@ class PrivacyGame:
             answered.append((query, decision.value))
             posterior = self.posterior_oracle(answered)
             prior = uniform_prior(self.grid)
-            if not ratios_within_band(posterior, prior, self.lam):
+            if not ratios_within_band(posterior, prior, self.lam,
+                                      tol=self.tol):
                 return GameResult(True, t, t, denials, history)
         return GameResult(False, None, self.rounds, denials, history)
 
@@ -119,6 +127,58 @@ def make_maxmin_posterior_oracle(grid: IntervalGrid, n: int,
         sampler = PosteriorSampler(synopsis, rng=gen)
         return sampler.estimate_interval_probabilities(num_samples,
                                                        grid.edges)
+
+    return oracle
+
+
+def make_sum_posterior_oracle(grid: IntervalGrid, n: int,
+                              num_samples: int = 200,
+                              steps_per_sample: Optional[int] = None,
+                              rng=None) -> PosteriorOracle:
+    """Monte Carlo posterior oracle for pure sum-query histories ([21]).
+
+    Conditioning uniform cube data on answered sums leaves a uniform
+    distribution over an affine slice of the cube; bucket probabilities
+    are estimated from a hit-and-run ensemble.  The chain is seeded at the
+    projection of the cube centre onto the answered affine subspace — a
+    feasible point whenever the answers came from a real dataset and the
+    slice is well-conditioned (always, for the short honest histories the
+    privacy game produces).
+    """
+    from ..polytope.halfspace import AffineSlice
+    from ..polytope.hit_and_run import HitAndRunSampler
+    from ..rng import as_generator
+
+    gen = as_generator(rng)
+
+    def oracle(answered: List[Tuple[Query, float]]) -> np.ndarray:
+        slice_ = AffineSlice(n, grid.low, grid.high)
+        for query, value in answered:
+            vec = np.zeros(n)
+            vec[sorted(query.query_set)] = 1.0
+            slice_.add_equality(vec, value)
+        a_mat, b_vec = slice_.matrix()
+        seed = np.full(n, 0.5 * (grid.low + grid.high))
+        # Alternating projection (affine subspace <-> box): converges to a
+        # feasible point because the answered history came from one.
+        for _ in range(64):
+            seed = seed + np.linalg.lstsq(
+                a_mat, b_vec - a_mat @ seed, rcond=None
+            )[0]
+            if slice_.contains(seed):
+                break
+            seed = np.clip(seed, grid.low, grid.high)
+        sampler = HitAndRunSampler(slice_, seed, rng=gen,
+                                   steps_per_sample=steps_per_sample)
+        samples = sampler.samples_ensemble(num_samples)
+        gamma = grid.gamma
+        buckets = np.clip(
+            np.searchsorted(grid.edges, samples, side="right") - 1,
+            0, gamma - 1,
+        )
+        flat = (buckets + np.arange(n) * gamma).ravel()
+        counts = np.bincount(flat, minlength=n * gamma).reshape(n, gamma)
+        return counts / float(num_samples)
 
     return oracle
 

@@ -7,17 +7,28 @@
 * :mod:`~repro.workloads.update_stream` — query streams interleaved with
   modifications (Figure 2, Plot 2);
 * :mod:`~repro.workloads.subcube` — Kam-Ullman [20] subcube sum queries
-  (patterns over 0/1/*; paper §2.1).
+  (patterns over 0/1/*; paper §2.1);
+* :mod:`~repro.workloads.employer` — employer-record scenarios: public
+  attribute cells with Zipf-skewed group sizes over sensitive salaries
+  (the empirical privacy audit's realistic workload).
 """
 
+from .employer import (
+    EmployerGroupAttacker,
+    EmployerPopulation,
+    group_query_stream,
+)
 from .random_subsets import random_query_stream
 from .range_queries import RangeQueryWorkload, range_query_stream
 from .subcube import SubcubeAddressing, random_subcube_patterns
 from .update_stream import interleave_updates
 
 __all__ = [
+    "EmployerGroupAttacker",
+    "EmployerPopulation",
     "RangeQueryWorkload",
     "SubcubeAddressing",
+    "group_query_stream",
     "random_subcube_patterns",
     "interleave_updates",
     "random_query_stream",

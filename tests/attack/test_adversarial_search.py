@@ -1,0 +1,173 @@
+"""Greedy-overlap attackers and evolutionary workload search."""
+
+import numpy as np
+
+from repro.attack.evolutionary import (
+    MARGIN_CAP,
+    ScriptedAttacker,
+    evolve_workload,
+)
+from repro.attack.greedy_overlap import GreedyOverlapAttacker
+from repro.auditors.min_frequency import MinimumFrequencyAuditor
+from repro.auditors.naive import OracleMaxAuditor
+from repro.privacy.game import PrivacyGame, make_max_posterior_oracle
+from repro.privacy.intervals import IntervalGrid
+from repro.sdb.dataset import Dataset
+from repro.types import AggregateKind, AuditDecision, Query
+
+N = 20
+
+
+def answered(query, value):
+    return query, AuditDecision.answer(value)
+
+
+def denied_policy(query):
+    from repro.types import DenialReason
+
+    return query, AuditDecision.deny(DenialReason.POLICY, "test")
+
+
+class TestGreedyOverlapSum:
+    def test_opens_with_large_base(self):
+        attacker = GreedyOverlapAttacker(N, kind=AggregateKind.SUM, rng=0)
+        query = attacker(1, [])
+        assert query.kind is AggregateKind.SUM
+        assert query.size == max(2, N // 3)
+
+    def test_differences_one_element_off_answered_set(self):
+        attacker = GreedyOverlapAttacker(N, kind=AggregateKind.SUM, rng=0)
+        base = attacker(1, [])
+        history = [answered(base, 4.2)]
+        follow = attacker(2, history)
+        # exactly one element added or removed
+        assert len(follow.query_set ^ base.query_set) == 1
+
+    def test_rotates_edits_instead_of_repeating(self):
+        attacker = GreedyOverlapAttacker(N, kind=AggregateKind.SUM, rng=0)
+        base = attacker(1, [])
+        history = [answered(base, 4.2)]
+        posed = {base.query_set}
+        for t in range(2, 8):
+            query = attacker(t, history)
+            assert query.query_set not in posed
+            posed.add(query.query_set)
+            history.append(denied_policy(query))
+            # keep the last *answered* set as the differencing anchor
+            history[-1] = answered(query, 4.0)
+
+    def test_fresh_base_after_denial_streak(self):
+        attacker = GreedyOverlapAttacker(N, kind=AggregateKind.SUM, rng=0)
+        base = attacker(1, [])
+        history = [answered(base, 4.2)]
+        queries = []
+        for t in range(2, 8):
+            query = attacker(t, history)
+            queries.append(query)
+            history.append(denied_policy(query))
+        # one-element edits have size base_size +- 1; once the denial
+        # streak hits 3 a full-width fresh base appears instead
+        assert any(q.size == attacker.base_size and
+                   q.query_set != base.query_set for q in queries)
+
+    def test_breaches_min_frequency_via_differencing(self):
+        grid = IntervalGrid(5)
+        from repro.privacy.game import make_sum_posterior_oracle
+
+        game = PrivacyGame(
+            grid, 0.2, 4,
+            make_sum_posterior_oracle(grid, 12, num_samples=150, rng=5),
+            tol=0.1)
+        wins = 0
+        for seed in range(3):
+            dataset = Dataset.uniform(12, rng=seed)
+            auditor = MinimumFrequencyAuditor(dataset, min_size=3)
+            attacker = GreedyOverlapAttacker(
+                12, kind=AggregateKind.SUM, rng=seed + 50)
+            result = game.play(auditor, attacker)
+            wins += int(result.attacker_won)
+        assert wins == 3   # the frequency rule cannot see differencing
+
+
+class TestGreedyOverlapMax:
+    def test_squeezes_lowest_bounded_elements(self):
+        attacker = GreedyOverlapAttacker(N, kind=AggregateKind.MAX,
+                                         rng=0, squeeze_size=2)
+        bounded = Query(AggregateKind.MAX, frozenset({0, 1, 2, 3}))
+        history = [answered(bounded, 0.4)]
+        follow = attacker(2, history)
+        # the squeeze targets the (only) already-bounded elements
+        assert follow.size == 2
+        assert follow.query_set <= bounded.query_set
+
+    def test_upper_bounds_reconstruction(self):
+        history = [
+            answered(Query(AggregateKind.MAX, frozenset({0, 1})), 0.5),
+            answered(Query(AggregateKind.MAX, frozenset({1, 2})), 0.3),
+        ]
+        bounds = GreedyOverlapAttacker.upper_bounds(history, 4, high=1.0)
+        assert bounds == {0: 0.5, 1: 0.3, 2: 0.3, 3: 1.0}
+
+    def test_denials_vary_the_probe(self):
+        attacker = GreedyOverlapAttacker(N, kind=AggregateKind.MAX,
+                                         rng=0, squeeze_size=2)
+        history = []
+        seen = set()
+        for t in range(1, 7):
+            query = attacker(t, history)
+            seen.add(query.query_set)
+            history.append(denied_policy(query))
+        assert len(seen) > 1
+
+
+class TestEvolutionarySearch:
+    def _game(self, n):
+        grid = IntervalGrid(5)
+        return PrivacyGame(grid, 0.2, 3,
+                           make_max_posterior_oracle(grid, n))
+
+    def test_finds_breach_of_unprotected_auditor(self):
+        n = 10
+        result = evolve_workload(
+            self._game(n),
+            make_auditor=lambda ds, rng: OracleMaxAuditor(ds),
+            make_dataset=lambda rng: Dataset.uniform(n, rng=rng),
+            n=n, kind=AggregateKind.MAX, population=4, generations=2,
+            eval_games=2, max_size=3, rng=0)
+        assert result.best_win_rate == 1.0
+        assert result.best_margin == MARGIN_CAP
+        assert result.evaluations == 4 * 2 * 2
+        assert len(result.progress) == 2
+
+    def test_deterministic_under_fixed_seed(self):
+        n = 8
+
+        def run():
+            return evolve_workload(
+                self._game(n),
+                make_auditor=lambda ds, rng: OracleMaxAuditor(ds),
+                make_dataset=lambda rng: Dataset.uniform(n, rng=rng),
+                n=n, population=4, generations=2, eval_games=2,
+                max_size=4, rng=42)
+
+        a, b = run(), run()
+        assert a.best_script == b.best_script
+        assert a.progress == b.progress
+
+    def test_scripts_respect_size_bounds_and_horizon(self):
+        n = 8
+        result = evolve_workload(
+            self._game(n),
+            make_auditor=lambda ds, rng: OracleMaxAuditor(ds),
+            make_dataset=lambda rng: Dataset.uniform(n, rng=rng),
+            n=n, population=4, generations=3, eval_games=2,
+            min_size=2, max_size=4, rng=1)
+        assert len(result.best_script) == self._game(n).rounds
+        for query in result.best_script:
+            assert 2 <= query.size <= 4
+
+    def test_scripted_attacker_resigns_past_script(self):
+        script = [Query(AggregateKind.MAX, frozenset({0}))]
+        attacker = ScriptedAttacker(script)
+        assert attacker(1, []) == script[0]
+        assert attacker(2, []) is None

@@ -1,0 +1,59 @@
+"""The partial-disclosure interval attacker (small max queries)."""
+
+import numpy as np
+
+from repro.attack.interval_attack import IntervalAttacker
+from repro.auditors.naive import OracleMaxAuditor
+from repro.privacy.game import PrivacyGame, make_max_posterior_oracle
+from repro.privacy.intervals import IntervalGrid
+from repro.sdb.dataset import Dataset
+from repro.types import AggregateKind
+
+N = 30
+
+
+def test_poses_small_max_queries_within_bounds():
+    attacker = IntervalAttacker(N, rng=0, min_size=1, max_size=3)
+    for round_no in range(1, 21):
+        query = attacker(round_no, [])
+        assert query.kind is AggregateKind.MAX
+        assert 1 <= query.size <= 3
+        assert all(0 <= i < N for i in query.query_set)
+
+
+def test_respects_custom_size_band():
+    attacker = IntervalAttacker(N, rng=1, min_size=5, max_size=8)
+    sizes = {attacker(t, []).size for t in range(1, 31)}
+    assert sizes <= set(range(5, 9))
+    assert len(sizes) > 1   # actually varies within the band
+
+
+def test_deterministic_under_fixed_seed():
+    first = [IntervalAttacker(N, rng=7)(t, []) for t in range(1, 11)]
+    second = [IntervalAttacker(N, rng=7)(t, []) for t in range(1, 11)]
+    assert first == second
+
+
+def test_distinct_seeds_give_distinct_streams():
+    a = [IntervalAttacker(N, rng=1)(t, []) for t in range(1, 11)]
+    b = [IntervalAttacker(N, rng=2)(t, []) for t in range(1, 11)]
+    assert a != b
+
+
+def test_breaches_permissive_auditor_immediately():
+    grid = IntervalGrid(5)
+    game = PrivacyGame(grid, 0.2, 6, make_max_posterior_oracle(grid, N))
+    wins = 0
+    for seed in range(5):
+        dataset = Dataset.uniform(N, rng=seed)
+        result = game.play(OracleMaxAuditor(dataset),
+                           IntervalAttacker(N, rng=seed + 100))
+        wins += int(result.attacker_won)
+        assert result.breach_round == 1   # first small max answer breaches
+    assert wins == 5
+
+
+def test_accepts_generator_rng():
+    gen = np.random.default_rng(3)
+    attacker = IntervalAttacker(N, rng=gen)
+    assert attacker(1, []).size in (1, 2, 3)

@@ -1,0 +1,153 @@
+"""Monte-Carlo compromise estimator: CP bounds, workers, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.audit_empirical.estimator import (
+    GameSpec,
+    clopper_pearson_upper,
+    estimate_compromise,
+    play_game,
+    play_game_full,
+    summarize,
+)
+
+CHEAP = dict(n=12, lam=0.2, gamma=5, delta=0.2, rounds=4, oracle="max")
+
+
+class TestClopperPearson:
+    def test_zero_wins_matches_closed_form(self):
+        for games in (5, 15, 30, 100):
+            exact = 1.0 - 0.05 ** (1.0 / games)
+            assert clopper_pearson_upper(0, games) == \
+                pytest.approx(exact, abs=1e-9)
+
+    def test_all_wins_is_one(self):
+        assert clopper_pearson_upper(7, 7) == 1.0
+
+    def test_monotone_in_wins(self):
+        bounds = [clopper_pearson_upper(w, 20) for w in range(21)]
+        assert bounds == sorted(bounds)
+        assert bounds[-1] == 1.0
+
+    def test_tightens_with_more_games(self):
+        assert clopper_pearson_upper(0, 100) < \
+            clopper_pearson_upper(0, 10)
+
+    def test_dominates_the_point_estimate(self):
+        for wins, games in ((0, 10), (3, 10), (9, 10)):
+            assert clopper_pearson_upper(wins, games) > wins / games
+
+    def test_confidence_ordering(self):
+        assert clopper_pearson_upper(2, 20, confidence=0.99) > \
+            clopper_pearson_upper(2, 20, confidence=0.9)
+
+    def test_binomial_coverage(self):
+        """The defining property: P(X <= wins; n, upper) == alpha."""
+        from math import comb
+
+        wins, games = 4, 25
+        upper = clopper_pearson_upper(wins, games, confidence=0.95)
+        cdf = sum(comb(games, k) * upper ** k * (1 - upper) ** (games - k)
+                  for k in range(wins + 1))
+        assert cdf == pytest.approx(0.05, abs=1e-6)
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            clopper_pearson_upper(0, 0)
+        with pytest.raises(ValueError):
+            clopper_pearson_upper(5, 4)
+        with pytest.raises(ValueError):
+            clopper_pearson_upper(1, 4, confidence=1.0)
+
+
+class TestPlayGame:
+    def test_outcome_is_deterministic_in_seed(self):
+        spec = GameSpec(name="t", auditor="max_prob", attack="interval",
+                        **CHEAP)
+        a = play_game(spec, np.random.default_rng(5))
+        b = play_game(spec, np.random.default_rng(5))
+        assert a == b
+
+    def test_full_history_matches_reduced_outcome(self):
+        spec = GameSpec(name="t", auditor="naive", attack="interval",
+                        **CHEAP)
+        full = play_game_full(spec, np.random.default_rng(5))
+        outcome = play_game(spec, np.random.default_rng(5))
+        assert outcome.won == full.attacker_won
+        assert outcome.breach_round == full.breach_round
+        assert outcome.rounds_played == full.rounds_played
+        assert outcome.denials == full.denials
+
+    def test_unknown_registry_keys_raise(self):
+        with pytest.raises(ValueError):
+            play_game(GameSpec(name="t", auditor="nope",
+                               attack="interval", **CHEAP),
+                      np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            play_game(GameSpec(name="t", auditor="deny_all",
+                               attack="nope", **CHEAP),
+                      np.random.default_rng(0))
+
+    def test_employer_attack_builds_population(self):
+        spec = GameSpec(name="t", auditor="min_freq", attack="employer",
+                        **CHEAP)
+        outcome = play_game(spec, np.random.default_rng(2))
+        assert outcome.rounds_played >= 1
+
+
+class TestEstimateCompromise:
+    def _specs(self):
+        return [
+            GameSpec(name="deny_all", auditor="deny_all",
+                     attack="interval", **CHEAP),
+            GameSpec(name="naive", auditor="naive", attack="interval",
+                     **CHEAP),
+        ]
+
+    def test_estimates_and_bounds(self):
+        estimates = estimate_compromise(self._specs(), games=6, rng=3)
+        deny, naive = estimates
+        assert deny.wins == 0 and deny.win_rate == 0.0
+        assert naive.wins > 0
+        assert naive.win_rate == naive.wins / 6
+        assert naive.cp_upper >= naive.win_rate
+        assert deny.cp_upper == pytest.approx(1 - 0.05 ** (1 / 6))
+        assert deny.mean_denials == CHEAP["rounds"]
+        assert len(naive.breach_rounds) == naive.wins
+        assert all(1 <= r <= CHEAP["rounds"]
+                   for r in naive.breach_rounds)
+
+    def test_within_claimed_only_for_prob_auditors(self):
+        estimates = estimate_compromise(self._specs(), games=4, rng=3)
+        assert all(e.within_claimed is None for e in estimates)
+        prob = estimate_compromise(
+            [GameSpec(name="p", auditor="max_prob", attack="interval",
+                      **CHEAP)], games=4, rng=3)[0]
+        assert prob.within_claimed is (prob.cp_upper <= 0.2)
+
+    def test_identical_across_worker_counts(self):
+        serial = estimate_compromise(self._specs(), games=4,
+                                     rng=11, processes=1)
+        parallel = estimate_compromise(self._specs(), games=4,
+                                       rng=11, processes=2)
+        assert [e.to_json_dict() for e in serial] == \
+            [e.to_json_dict() for e in parallel]
+
+    def test_rejects_nonpositive_games(self):
+        with pytest.raises(ValueError):
+            estimate_compromise(self._specs(), games=0, rng=0)
+
+    def test_summarize_picks_worst_attack(self):
+        specs = [
+            GameSpec(name="a", auditor="naive", attack="interval",
+                     **CHEAP),
+            GameSpec(name="b", auditor="naive", attack="random",
+                     attack_min_size=CHEAP["n"],
+                     attack_max_size=CHEAP["n"], **CHEAP),
+        ]
+        summary = summarize(estimate_compromise(specs, games=4, rng=5))
+        assert set(summary) == {"naive"}
+        worst = summary["naive"]["worst"]
+        assert worst["attack"] == "interval"   # small probes always win
+        assert worst["win_rate"] == 1.0

@@ -1,0 +1,103 @@
+"""The full audit harness and its CLI (quick mode end-to-end)."""
+
+import json
+
+import pytest
+
+from repro.audit_empirical.harness import (
+    AuditSettings,
+    default_specs,
+    run_empirical_audit,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_empirical_audit(AuditSettings(quick=True))
+
+
+def test_default_specs_cover_the_matrix():
+    specs = default_specs()
+    auditors = {s.auditor for s in specs}
+    assert auditors == {"max_prob", "maxmin_prob", "sum_prob",
+                        "min_freq", "oracle", "naive", "deny_all"}
+    attacks = {s.attack for s in specs}
+    assert {"interval", "greedy_max", "greedy_sum",
+            "employer"} <= attacks
+    assert len({s.name for s in specs}) == len(specs)   # unique names
+
+
+def test_report_shape(quick_report):
+    report = quick_report
+    assert report["schema_version"] == 1
+    assert len(report["estimates"]) == len(default_specs())
+    for est in report["estimates"]:
+        assert 0.0 <= est["win_rate"] <= est["cp_upper"] <= 1.0
+        assert est["wins"] <= est["games"]
+    assert set(report["auditors"]) == \
+        {s.auditor for s in default_specs()}
+    for entry in report["auditors"].values():
+        assert entry["worst"]["attack"] in entry["attacks"]
+
+
+def test_anti_vacuity_controls_hold(quick_report):
+    vacuity = quick_report["anti_vacuity"]
+    assert vacuity["naive_breached"]
+    assert vacuity["oracle_breached"]
+    assert vacuity["deny_all_wins"] == 0
+    assert vacuity["passed"]
+
+
+def test_determinism_across_worker_counts(quick_report):
+    det = quick_report["determinism"]
+    assert det["worker_counts"] == [1, 2]
+    assert det["identical"]
+
+
+def test_adversarial_search_stage(quick_report):
+    search = quick_report["adversarial_search"]
+    assert set(search["targets"]) == {"max_prob", "min_freq"}
+    for target in search["targets"].values():
+        assert target["evaluations"] > 0
+        assert 0.0 <= target["best_win_rate"] <= 1.0
+        assert len(target["best_script"]) > 0
+    # the frequency rule must fall to the search; the prob auditor holds
+    assert search["targets"]["min_freq"]["best_win_rate"] > 0.0
+
+
+def test_report_is_reproducible_and_json_serialisable(quick_report):
+    again = run_empirical_audit(AuditSettings(quick=True))
+    assert json.dumps(quick_report, sort_keys=True) == \
+        json.dumps(again, sort_keys=True)
+
+
+def test_stage_toggles():
+    report = run_empirical_audit(AuditSettings(
+        quick=True, search=False, determinism_check=False))
+    assert "adversarial_search" not in report
+    assert "determinism" not in report
+    assert report["estimates"]
+
+
+def test_cli_quick_run(tmp_path, capsys):
+    from repro.audit_empirical.cli import main
+
+    out = tmp_path / "report.json"
+    rc = main(["--quick", "--no-search", "--out", str(out)])
+    captured = capsys.readouterr().out
+    assert "Empirical privacy audit" in captured
+    assert "anti-vacuity" in captured
+    blob = json.loads(out.read_text())
+    assert blob["anti_vacuity"]["passed"]
+    # quick mode plays too few games to certify delta; the CLI says so
+    assert rc in (0, 1)
+
+
+def test_cli_mounted_as_repro_subcommand(capsys):
+    from repro.cli import main
+
+    rc = main(["empirical", "--quick", "--no-search",
+               "--no-determinism-check"])
+    captured = capsys.readouterr().out
+    assert "Empirical privacy audit" in captured
+    assert rc in (0, 1)

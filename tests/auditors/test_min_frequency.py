@@ -1,0 +1,102 @@
+"""The DPSQL+-style minimum-frequency baseline auditor."""
+
+import pytest
+
+from repro.auditors.min_frequency import MinimumFrequencyAuditor
+from repro.auditors.sum_classic import SumClassicAuditor
+from repro.sdb.dataset import Dataset
+from repro.types import (
+    AggregateKind,
+    DenialReason,
+    Query,
+    max_query,
+    sum_query,
+)
+
+N = 20
+
+
+def build(min_size=5, **kwargs):
+    dataset = Dataset.uniform(N, rng=0)
+    return dataset, MinimumFrequencyAuditor(dataset, min_size=min_size,
+                                            **kwargs)
+
+
+def test_denies_small_query_sets():
+    _, auditor = build()
+    decision = auditor.audit(sum_query(range(4)))
+    assert decision.denied
+    assert decision.reason is DenialReason.POLICY
+
+
+def test_denies_near_total_complements():
+    _, auditor = build()
+    decision = auditor.audit(sum_query(range(N - 2)))   # complement of 2
+    assert decision.denied
+    assert decision.reason is DenialReason.POLICY
+
+
+def test_answers_mid_sized_queries_exactly():
+    dataset, auditor = build()
+    members = range(5, 15)
+    decision = auditor.audit(sum_query(members))
+    assert decision.answered
+    assert decision.value == pytest.approx(
+        sum(dataset[i] for i in members))
+
+
+def test_complement_check_can_be_disabled():
+    _, auditor = build(check_complement=False)
+    assert auditor.audit(sum_query(range(N - 2))).answered
+
+
+def test_boundary_sizes():
+    _, auditor = build(min_size=5)
+    assert auditor.audit(sum_query(range(5))).answered        # exactly k
+    assert auditor.audit(sum_query(range(4))).denied          # k - 1
+    assert auditor.audit(sum_query(range(N - 5))).answered    # comp = k
+
+
+def test_supports_all_kinds_without_inner():
+    _, auditor = build()
+    assert auditor.supported_kinds == frozenset(AggregateKind)
+    assert auditor.audit(max_query(range(6, 16))).answered
+
+
+def test_stateless_against_differencing():
+    """The classic failure: two answered sums differing in one record."""
+    dataset, auditor = build(min_size=5)
+    big = auditor.audit(sum_query(range(10)))
+    smaller = auditor.audit(sum_query(range(9)))
+    assert big.answered and smaller.answered
+    assert big.value - smaller.value == pytest.approx(dataset[9])
+
+
+def test_inner_auditor_screens_surviving_queries():
+    dataset = Dataset.uniform(N, rng=1)
+    inner = SumClassicAuditor(Dataset(list(dataset.values),
+                                      low=dataset.low, high=dataset.high))
+    auditor = MinimumFrequencyAuditor(dataset, min_size=3, inner=inner)
+    assert auditor.supported_kinds == inner.supported_kinds
+    # small sets still die at the frequency screen
+    assert auditor.audit(sum_query(range(2))).denied
+    # surviving queries run the inner decision procedure and keep its
+    # audit state in sync: a full differencing pair is now caught
+    first = auditor.audit(sum_query(range(3, 13)))
+    assert first.answered
+    second = auditor.audit(sum_query(range(3, 12)))
+    assert second.denied          # inner elementary-row check fires
+
+
+def test_rejects_nonpositive_min_size():
+    dataset = Dataset.uniform(N, rng=0)
+    with pytest.raises(ValueError):
+        MinimumFrequencyAuditor(dataset, min_size=0)
+
+
+def test_trail_records_decisions():
+    _, auditor = build()
+    auditor.audit(sum_query(range(4)))
+    auditor.audit(sum_query(range(5, 15)))
+    assert len(auditor.trail) == 2
+    assert auditor.trail.denial_count() == 1

@@ -1,0 +1,85 @@
+"""Fixed-seed privacy-game transcripts, one per probabilistic auditor.
+
+Each workload is a :class:`repro.audit_empirical.GameSpec` played through
+:func:`repro.audit_empirical.estimator.play_game_full` with a pinned seed.
+The committed golden captures the whole game bitwise — every posed query,
+every deny/answer bit, answered values in ``float.hex`` form, and the
+win/loss verdict — so any refactor of the game harness, the posterior
+oracles, the attackers, or the auditors that changes a single released
+bit shows up as a golden diff.
+
+Regenerate with ``PYTHONPATH=src python -m tests.golden.generate_games``
+(only when an *intentional* stream change lands).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.audit_empirical.estimator import GameSpec, play_game_full
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: Seeds per game, so each transcript exercises a different dataset draw.
+GAME_SEEDS = [11, 12, 13]
+
+#: Attacker sizes straddle the safe/dangerous boundary so transcripts mix
+#: answers (whose float.hex values the golden locks) with denials.
+GAME_WORKLOADS: Dict[str, GameSpec] = {
+    "max_prob_game": GameSpec(
+        name="max_prob_game", auditor="max_prob", attack="random",
+        n=24, lam=0.4, gamma=4, delta=0.3, rounds=6, oracle="max",
+        num_samples=40, attack_min_size=8, attack_max_size=24),
+    "maxmin_prob_game": GameSpec(
+        name="maxmin_prob_game", auditor="maxmin_prob", attack="interval",
+        n=16, lam=0.4, gamma=4, delta=0.3, rounds=5, oracle="maxmin",
+        oracle_samples=150, game_tol=0.1, num_outer=3, num_inner=30,
+        attack_min_size=6, attack_max_size=16),
+    "sum_prob_game": GameSpec(
+        name="sum_prob_game", auditor="sum_prob", attack="random",
+        n=16, lam=0.5, gamma=2, delta=0.4, rounds=5, oracle="sum",
+        oracle_samples=150, game_tol=0.1, num_outer=3, num_inner=30,
+        attack_min_size=6, attack_max_size=16),
+}
+
+
+def transcript_record(result) -> Dict[str, object]:
+    """One game reduced to its bitwise-comparable transcript."""
+    return {
+        "attacker_won": result.attacker_won,
+        "breach_round": result.breach_round,
+        "rounds_played": result.rounds_played,
+        "denials": result.denials,
+        "history": [
+            {
+                "kind": query.kind.value,
+                "members": sorted(query.query_set),
+                "denied": decision.denied,
+                "reason": (decision.reason.value
+                           if decision.reason else None),
+                "value_hex": (float(decision.value).hex()
+                              if decision.answered else None),
+            }
+            for query, decision in result.history
+        ],
+    }
+
+
+def run_game_workload(name: str) -> List[Dict[str, object]]:
+    """Replay workload ``name`` over every seed; one transcript each."""
+    spec = GAME_WORKLOADS[name]
+    return [transcript_record(play_game_full(
+        spec, np.random.default_rng(seed))) for seed in GAME_SEEDS]
+
+
+def game_golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def load_game_golden(name: str) -> List[Dict[str, object]]:
+    with game_golden_path(name).open() as fh:
+        return json.load(fh)["transcripts"]

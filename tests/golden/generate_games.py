@@ -1,0 +1,43 @@
+"""Regenerate the golden privacy-game transcripts.
+
+Run from the repo root::
+
+    PYTHONPATH=src python -m tests.golden.generate_games
+
+Each transcript is replayed twice before writing; a workload whose two
+replays disagree is nondeterministic and is refused.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .game_workloads import (
+    GAME_SEEDS,
+    GAME_WORKLOADS,
+    game_golden_path,
+    run_game_workload,
+)
+
+
+def main() -> None:
+    for name in GAME_WORKLOADS:
+        transcripts = run_game_workload(name)
+        if transcripts != run_game_workload(name):
+            raise SystemExit(
+                f"{name}: two replays diverge; refusing to write a golden")
+        path = game_golden_path(name)
+        with path.open("w") as fh:
+            json.dump({
+                "workload": name,
+                "seeds": GAME_SEEDS,
+                "transcripts": transcripts,
+            }, fh, indent=1)
+            fh.write("\n")
+        wins = sum(1 for t in transcripts if t["attacker_won"])
+        print(f"{name}: wrote {path.name} "
+              f"({wins}/{len(transcripts)} games breached)")
+
+
+if __name__ == "__main__":
+    main()

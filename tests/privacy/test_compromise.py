@@ -5,6 +5,7 @@ import pytest
 
 from repro.exceptions import PrivacyParameterError
 from repro.privacy.compromise import (
+    band_margin,
     offending_cells,
     ratio_band,
     ratios_within_band,
@@ -54,3 +55,19 @@ def test_zero_posterior_always_offends():
     prior = np.full(3, 1 / 3)
     post = np.array([1 / 3, 1 / 3, 0.0]) * np.array([1, 2, 1])
     assert not ratios_within_band(post, prior, lam=0.5)
+
+
+def test_band_margin_is_worst_log_ratio():
+    prior = np.full(4, 0.25)
+    assert band_margin(prior, prior) == 0.0
+    post = np.array([0.5, 0.125, 0.25, 0.125])
+    assert band_margin(post, prior) == pytest.approx(np.log(2.0))
+    # symmetric: halving a bucket is as disclosive as doubling it
+    assert band_margin(np.array([0.125, 0.375, 0.25, 0.25]), prior) == (
+        pytest.approx(np.log(2.0)))
+
+
+def test_band_margin_zero_bucket_is_infinite():
+    prior = np.full(3, 1 / 3)
+    post = np.array([0.0, 2 / 3, 1 / 3])
+    assert band_margin(post, prior) == float("inf")

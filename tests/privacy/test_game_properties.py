@@ -1,0 +1,132 @@
+"""Property tests for the privacy-game harness (hypothesis).
+
+Invariants the Monte-Carlo audit leans on: deny-all can never lose,
+breach/denial bookkeeping is exact, and a game replayed from its own
+history under the same seeds reproduces the same verdict.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.evolutionary import ScriptedAttacker
+from repro.attack.interval_attack import IntervalAttacker
+from repro.auditors.deny_all import DenyAllAuditor
+from repro.auditors.max_prob import MaxProbabilisticAuditor
+from repro.auditors.naive import NaiveMaxAuditor
+from repro.privacy.game import PrivacyGame, make_max_posterior_oracle
+from repro.privacy.intervals import IntervalGrid
+from repro.rng import as_generator, random_subset
+from repro.sdb.dataset import Dataset
+from repro.types import AggregateKind, Query
+
+GAMMA = 4
+
+
+def build_game(n, lam, rounds):
+    grid = IntervalGrid(GAMMA)
+    return PrivacyGame(grid, lam, rounds,
+                       make_max_posterior_oracle(grid, n))
+
+
+def random_attacker(n, seed, min_size=1, max_size=None):
+    return IntervalAttacker(n, rng=seed, min_size=min_size,
+                            max_size=max_size or max(1, n // 3))
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(8, 32), lam=st.floats(0.1, 0.6),
+       rounds=st.integers(1, 8), seed=st.integers(0, 2 ** 16))
+def test_deny_all_never_loses(n, lam, rounds, seed):
+    game = build_game(n, lam, rounds)
+    dataset = Dataset.uniform(n, rng=seed)
+    result = game.play(DenyAllAuditor(dataset),
+                       random_attacker(n, seed + 1))
+    assert not result.attacker_won
+    assert result.breach_round is None
+    assert result.denials == result.rounds_played == rounds
+    assert result.answered == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(8, 32), lam=st.floats(0.1, 0.6),
+       rounds=st.integers(1, 8), seed=st.integers(0, 2 ** 16))
+def test_breach_round_within_rounds_played(n, lam, rounds, seed):
+    game = build_game(n, lam, rounds)
+    dataset = Dataset.uniform(n, rng=seed)
+    result = game.play(NaiveMaxAuditor(dataset),
+                       random_attacker(n, seed + 1))
+    assert result.rounds_played <= rounds
+    assert len(result.history) == result.rounds_played
+    if result.attacker_won:
+        assert result.breach_round is not None
+        assert 1 <= result.breach_round <= result.rounds_played
+        # a breach ends the game on the spot
+        assert result.breach_round == result.rounds_played
+    else:
+        assert result.breach_round is None
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(8, 24), lam=st.floats(0.1, 0.6),
+       rounds=st.integers(1, 6), seed=st.integers(0, 2 ** 16))
+def test_denial_counters_exact(n, lam, rounds, seed):
+    game = build_game(n, lam, rounds)
+    dataset = Dataset.uniform(n, rng=seed)
+    auditor = MaxProbabilisticAuditor(
+        dataset, lam=lam, gamma=GAMMA, delta=0.5, rounds=rounds,
+        num_samples=20, rng=seed + 2)
+    result = game.play(auditor, random_attacker(n, seed + 1,
+                                                max_size=n))
+    denied = sum(1 for _, d in result.history if d.denied)
+    answered = sum(1 for _, d in result.history if d.answered)
+    assert result.denials == denied
+    assert result.answered == answered
+    assert denied + answered == result.rounds_played
+    # every answered decision carries a value; denials never do
+    for _, decision in result.history:
+        assert decision.answered == (decision.value is not None)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(8, 24), lam=st.floats(0.1, 0.6),
+       rounds=st.integers(1, 6), seed=st.integers(0, 2 ** 16))
+def test_replay_preserves_verdict(n, lam, rounds, seed):
+    """Re-running the posed history against an identically-seeded fresh
+    auditor reproduces the verdict, breach round, and every decision."""
+    game = build_game(n, lam, rounds)
+    dataset = Dataset.uniform(n, rng=seed)
+
+    def fresh_auditor():
+        return MaxProbabilisticAuditor(
+            dataset, lam=lam, gamma=GAMMA, delta=0.5, rounds=rounds,
+            num_samples=20, rng=seed + 2)
+
+    original = game.play(fresh_auditor(), random_attacker(n, seed + 1))
+    script = [query for query, _ in original.history]
+    replayed = game.play(fresh_auditor(), ScriptedAttacker(script))
+    assert replayed.attacker_won == original.attacker_won
+    assert replayed.breach_round == original.breach_round
+    assert replayed.rounds_played == original.rounds_played
+    assert replayed.denials == original.denials
+    for (q0, d0), (q1, d1) in zip(original.history, replayed.history):
+        assert q0 == q1
+        assert d0.denied == d1.denied
+        assert d0.value == d1.value
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(6, 20), seed=st.integers(0, 2 ** 16),
+       rounds=st.integers(1, 5), script_len=st.integers(0, 7))
+def test_script_exhaustion_resigns_exactly(n, seed, rounds, script_len):
+    """A script shorter than the horizon concedes its remaining rounds;
+    one never extends past the horizon."""
+    game = build_game(n, 0.2, rounds)
+    dataset = Dataset.uniform(n, rng=seed)
+    gen = as_generator(seed + 1)
+    script = [Query(AggregateKind.MAX,
+                    random_subset(gen, n, min_size=1, max_size=n))
+              for _ in range(script_len)]
+    result = game.play(DenyAllAuditor(dataset), ScriptedAttacker(script))
+    assert result.rounds_played == min(script_len, rounds)
+    assert not result.attacker_won
+    assert result.denials == result.rounds_played

@@ -1,0 +1,36 @@
+"""Golden privacy-game transcripts replay bitwise (one per prob auditor)."""
+
+import pytest
+
+from tests.golden.game_workloads import (
+    GAME_WORKLOADS,
+    load_game_golden,
+    run_game_workload,
+)
+
+
+@pytest.mark.parametrize("name", sorted(GAME_WORKLOADS))
+def test_game_transcript_matches_golden(name):
+    transcripts = run_game_workload(name)
+    golden = load_game_golden(name)
+    assert len(transcripts) == len(golden)
+    for replayed, committed in zip(transcripts, golden):
+        assert replayed == committed
+
+
+def test_goldens_exercise_both_decision_paths():
+    """Weak-golden guard: across the committed transcripts there must be
+    answered values (float.hex locked) *and* denials."""
+    answered = denied = 0
+    for name in GAME_WORKLOADS:
+        for transcript in load_game_golden(name):
+            for record in transcript["history"]:
+                if record["denied"]:
+                    denied += 1
+                else:
+                    answered += 1
+                    assert record["value_hex"] is not None
+                    # hex round-trips bitwise
+                    assert float.fromhex(record["value_hex"]).hex() == \
+                        record["value_hex"]
+    assert answered > 0 and denied > 0

@@ -1,0 +1,117 @@
+"""Employer-record scenario generator: skewed public cells over salaries."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.types import AggregateKind
+from repro.workloads.employer import (
+    EmployerGroupAttacker,
+    EmployerPopulation,
+    group_query_stream,
+)
+
+
+def test_generate_partitions_all_records():
+    pop = EmployerPopulation.generate(80, rng=0)
+    covered = sorted(itertools.chain.from_iterable(pop.cells.values()))
+    assert covered == list(range(80))
+    assert all(members for members in pop.cells.values())
+    assert pop.n == 80
+
+
+def test_group_sizes_are_skewed():
+    pop = EmployerPopulation.generate(200, rng=1, skew=1.2)
+    sizes = sorted((len(m) for m in pop.cells.values()), reverse=True)
+    assert sizes[0] >= 5 * sizes[-1]   # head dwarfs the tail
+    assert sizes[-1] <= 3              # the tail has tiny minority cells
+
+
+def test_salaries_land_in_grade_bands_and_are_unique():
+    pop = EmployerPopulation.generate(60, rng=2, grades=4)
+    band = 1.0 / 4
+    values = pop.dataset.values
+    for (_, _, grade), members in pop.cells.items():
+        lo = grade * band
+        for record in members:
+            assert lo <= values[record] <= lo + band
+    assert len(set(values)) == 60
+
+
+def test_generate_is_deterministic():
+    a = EmployerPopulation.generate(50, rng=9)
+    b = EmployerPopulation.generate(50, rng=9)
+    assert a.cells == b.cells
+    assert a.dataset.values == b.dataset.values
+
+
+def test_generate_validates_arguments():
+    with pytest.raises(ValueError):
+        EmployerPopulation.generate(0, rng=0)
+    with pytest.raises(ValueError):
+        EmployerPopulation.generate(10, rng=0, departments=0)
+    with pytest.raises(ValueError):
+        EmployerPopulation.generate(10, rng=0, skew=0.0)
+
+
+def test_cells_by_size_orders_smallest_first():
+    pop = EmployerPopulation.generate(120, rng=3)
+    ordered = pop.cells_by_size()
+    sizes = [len(members) for _, members in ordered]
+    assert sizes == sorted(sizes)
+
+
+def test_cell_and_union_queries():
+    pop = EmployerPopulation.generate(100, rng=4)
+    keys = sorted(pop.cells)[:2]
+    q = pop.cell_query(keys[0], AggregateKind.MAX)
+    assert q.query_set == frozenset(pop.cells[keys[0]])
+    union = pop.union_query(keys, AggregateKind.SUM)
+    assert union.query_set == frozenset(pop.cells[keys[0]]) | \
+        frozenset(pop.cells[keys[1]])
+
+
+def test_group_query_stream_poses_cells_and_unions():
+    pop = EmployerPopulation.generate(150, rng=5)
+    stream = group_query_stream(pop, kind=AggregateKind.SUM, rng=6,
+                                union_probability=0.5)
+    cell_sets = {frozenset(m) for m in pop.cells.values()}
+    singles = unions = 0
+    for query in itertools.islice(stream, 40):
+        assert query.kind is AggregateKind.SUM
+        if query.query_set in cell_sets:
+            singles += 1
+        else:
+            unions += 1
+    assert singles > 0 and unions > 0
+
+
+def test_attacker_walks_smallest_cells_first_then_unions():
+    pop = EmployerPopulation.generate(120, rng=7)
+    attacker = EmployerGroupAttacker(pop, kind=AggregateKind.MAX)
+    ordered = pop.cells_by_size()
+    num_cells = len(ordered)
+    first = attacker(1, [])
+    assert first.query_set == frozenset(ordered[0][1])
+    # after all cells: pairwise unions of the six smallest
+    union_round = num_cells + 1
+    union = attacker(union_round, [])
+    assert union is not None
+    assert len(union.query_set) >= len(ordered[0][1])
+    # exhausted script resigns
+    total = num_cells + 15   # C(6,2) pairwise unions
+    assert attacker(total + 1, []) is None
+
+
+def test_attacker_is_deterministic_given_population():
+    pop = EmployerPopulation.generate(90, rng=8)
+    a = [EmployerGroupAttacker(pop)(t, []) for t in range(1, 10)]
+    b = [EmployerGroupAttacker(pop)(t, []) for t in range(1, 10)]
+    assert a == b
+
+
+def test_accepts_generator_rng():
+    gen = np.random.default_rng(11)
+    pop = EmployerPopulation.generate(30, rng=gen)
+    assert pop.n == 30
