@@ -1,6 +1,6 @@
 """Static analysis tooling enforcing the paper's safety contracts.
 
-Seven rule families prove the serving invariants at lint time:
+Eight rule families prove the serving invariants at lint time:
 
 * **SIM** (:mod:`~repro.analysis.simulatability`) — auditor decision paths
   never touch the sensitive data (paper §2.2);
@@ -18,13 +18,18 @@ Seven rule families prove the serving invariants at lint time:
   seeds/paths (never live handles or generators), worker functions are
   effect-free, and multiprocessing always uses the ``spawn`` context;
 * **ATOM** (:mod:`~repro.analysis.atomics`) — every durability-artifact
-  rename follows the fsync → replace → dir-fsync protocol.
+  rename follows the fsync → replace → dir-fsync protocol;
+* **LEAK** (:mod:`~repro.analysis.taintflow` + :mod:`~repro.analysis.leaks`)
+  — value-level taint flow: sensitive values (dataset cells, true
+  answers, synopsis internals) never escape through exception messages,
+  denial details, logs, journal/replication payloads, or thread-shared
+  state.
 
 Run the SIM-only legacy entry point or the full analysis as a library::
 
     from repro.analysis import analyze_package, check_package
     assert check_package().ok                      # SIM only
-    assert analyze_package().ok                    # all seven families
+    assert analyze_package().ok                    # all eight families
 
 or from the shell (non-zero exit on undocumented violations)::
 
@@ -54,6 +59,10 @@ from .findings import (
     RULE_SENSITIVE_READ,
     RULE_SUMMARIES,
     RULE_SWALLOWED_APPEND_FAILURE,
+    RULE_TAINTED_EXCEPTION,
+    RULE_TAINTED_JOURNAL,
+    RULE_TAINTED_LOG,
+    RULE_TAINTED_SHARED_STATE,
     RULE_TRUE_ANSWER,
     RULE_UNCHECKPOINTED_LOOP,
     RULE_UNGUARDED_GUARDED_STATE,
@@ -69,6 +78,7 @@ from .findings import (
     expand_rule_selection,
 )
 from .forksafety import ForkSafetyConfig, check_forksafety
+from .leaks import LeakConfig, check_leaks
 from .ordering import OrderingConfig, check_ordering
 from .purity import EffectConfig, EffectEngine, EffectSummary
 from .sarif import report_to_sarif, report_to_sarif_json
@@ -80,6 +90,7 @@ from .simulatability import (
     default_package_dir,
     find_auditor_classes,
 )
+from .taintflow import TaintConfig, TaintEngine, TaintSummary
 
 __all__ = [
     "ALL_RULES",
@@ -96,6 +107,7 @@ __all__ = [
     "Finding",
     "ForkSafetyConfig",
     "Frame",
+    "LeakConfig",
     "OrderingConfig",
     "Report",
     "RULE_ACQUIRE_WITHOUT_RELEASE",
@@ -111,6 +123,10 @@ __all__ = [
     "RULE_SENSITIVE_READ",
     "RULE_SUMMARIES",
     "RULE_SWALLOWED_APPEND_FAILURE",
+    "RULE_TAINTED_EXCEPTION",
+    "RULE_TAINTED_JOURNAL",
+    "RULE_TAINTED_LOG",
+    "RULE_TAINTED_SHARED_STATE",
     "RULE_TRUE_ANSWER",
     "RULE_UNCHECKPOINTED_LOOP",
     "RULE_UNGUARDED_GUARDED_STATE",
@@ -121,6 +137,9 @@ __all__ = [
     "RULE_WALLCLOCK_READ",
     "SCHEMA_VERSION",
     "SensitiveClass",
+    "TaintConfig",
+    "TaintEngine",
+    "TaintSummary",
     "active_rules",
     "analyze_package",
     "apply_baseline",
@@ -128,6 +147,7 @@ __all__ = [
     "check_concurrency",
     "check_determinism",
     "check_forksafety",
+    "check_leaks",
     "check_ordering",
     "check_package",
     "default_package_dir",

@@ -1,16 +1,23 @@
-"""Full-analysis orchestration: SIM/DET/WAL/BUD/CONC/FORK/ATOM in one pass.
+"""Full-analysis orchestration: all eight rule families in one pass.
 
 Builds the package index, the call-graph resolver, and the effect-summary
 engine exactly once, runs every selected rule family over them, and merges
 the findings into one :class:`~repro.analysis.findings.Report`.  This is
 what ``repro-audit lint`` runs; :func:`repro.analysis.check_package`
 remains the SIM-only library entry point.
+
+With ``processes > 1`` the rule families are sharded across worker
+processes via :func:`repro.utility.parallel.run_sweep` (spawn-safe, per
+the FORK rules): each worker runs :func:`analyze_package` for one family
+group against the same tree, and the parent merges the shard reports with
+a sorted, deterministic finding order.  The baseline is applied once,
+after the merge, so parallel and serial runs suppress identically.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from .atomics import DEFAULT_ATOMICITY_CONFIG, AtomicityConfig, \
     check_atomics
@@ -24,6 +31,7 @@ from .escape import DEFAULT_ESCAPE_CONFIG, EscapeConfig, EscapeEngine
 from .findings import ALL_RULES, Finding, Report, expand_rule_selection
 from .forksafety import DEFAULT_FORKSAFETY_CONFIG, ForkSafetyConfig, \
     check_forksafety
+from .leaks import DEFAULT_LEAK_CONFIG, LeakConfig, check_leaks
 from .modindex import build_index
 from .ordering import DEFAULT_ORDERING_CONFIG, OrderingConfig, \
     check_ordering
@@ -34,6 +42,15 @@ from .simulatability import (
     _Walker,
     default_package_dir,
     find_auditor_classes,
+)
+from .taintflow import DEFAULT_TAINT_CONFIG, TaintConfig, TaintEngine
+
+#: family groups that share an engine build; one worker each when parallel
+_SHARD_GROUPS: Tuple[Tuple[str, ...], ...] = (
+    ("SIM",),
+    ("DET", "WAL", "BUD"),
+    ("CONC", "FORK", "ATOM"),
+    ("LEAK",),
 )
 
 
@@ -56,12 +73,15 @@ def analyze_package(package_dir: Union[str, Path, None] = None,
                     conc_config: Optional[ConcurrencyConfig] = None,
                     fork_config: Optional[ForkSafetyConfig] = None,
                     atom_config: Optional[AtomicityConfig] = None,
+                    taint_config: Optional[TaintConfig] = None,
+                    leak_config: Optional[LeakConfig] = None,
                     select: Optional[Iterable[str]] = None,
                     ignore: Optional[Iterable[str]] = None,
                     baseline: Union[str, Path, None] = None,
                     source_overrides: Optional[Dict[str, str]] = None,
                     extra_modules: Optional[Iterable[Tuple[str, Path]]]
-                    = None) -> Report:
+                    = None,
+                    processes: Optional[int] = None) -> Report:
     """Run every selected rule family over a package tree.
 
     Parameters mirror :func:`repro.analysis.check_package`, plus:
@@ -72,6 +92,10 @@ def analyze_package(package_dir: Union[str, Path, None] = None,
     baseline:
         Optional path to a baseline file; recorded findings are demoted to
         ``baselined`` severity and don't fail the run.
+    processes:
+        Run the rule-family groups in parallel worker processes (at most
+        one per group).  Findings, counts, and baseline handling are
+        identical to the serial path; ``None``/``1`` stays in-process.
     """
     config = config or DEFAULT_CONFIG
     det_config = det_config or DEFAULT_DET_CONFIG
@@ -80,10 +104,28 @@ def analyze_package(package_dir: Union[str, Path, None] = None,
     conc_config = conc_config or DEFAULT_CONCURRENCY_CONFIG
     fork_config = fork_config or DEFAULT_FORKSAFETY_CONFIG
     atom_config = atom_config or DEFAULT_ATOMICITY_CONFIG
+    taint_config = taint_config or DEFAULT_TAINT_CONFIG
+    leak_config = leak_config or DEFAULT_LEAK_CONFIG
     rules = active_rules(select, ignore)
 
     package_dir = Path(package_dir) if package_dir is not None \
         else default_package_dir()
+
+    if processes is not None and processes > 1:
+        shards = [sorted(r for r in rules if r.startswith(group))
+                  for group in _SHARD_GROUPS]
+        shards = [shard for shard in shards if shard]
+        if len(shards) > 1:
+            return _analyze_parallel(
+                shards, processes, package_dir=package_dir, config=config,
+                det_config=det_config, ordering_config=ordering_config,
+                escape_config=escape_config, conc_config=conc_config,
+                fork_config=fork_config, atom_config=atom_config,
+                taint_config=taint_config, leak_config=leak_config,
+                rules=rules, baseline=baseline,
+                source_overrides=source_overrides,
+                extra_modules=extra_modules)
+
     index = build_index(package_dir, package=config.package,
                         source_overrides=source_overrides,
                         extra_modules=extra_modules)
@@ -103,7 +145,7 @@ def analyze_package(package_dir: Union[str, Path, None] = None,
         findings.extend(f for f in walker.findings if f.rule in rules)
 
     needs_effects = any(rule.startswith(("DET", "WAL", "BUD",
-                                         "CONC", "FORK", "ATOM"))
+                                         "CONC", "FORK", "ATOM", "LEAK"))
                         for rule in rules)
     if needs_effects:
         engine = EffectEngine(index, resolver)
@@ -119,7 +161,8 @@ def analyze_package(package_dir: Union[str, Path, None] = None,
                 index, resolver, engine, config=ordering_config,
                 rules={r for r in rules if r.startswith(("WAL", "BUD"))})
             findings.extend(ord_findings)
-        if any(rule.startswith(("CONC", "FORK", "ATOM")) for rule in rules):
+        if any(rule.startswith(("CONC", "FORK", "ATOM", "LEAK"))
+               for rule in rules):
             escape = EscapeEngine(index, resolver, engine,
                                   config=escape_config)
             if any(rule.startswith("CONC") for rule in rules):
@@ -138,6 +181,14 @@ def analyze_package(package_dir: Union[str, Path, None] = None,
                     index, resolver, engine, escape, config=atom_config,
                     rules={r for r in rules if r.startswith("ATOM")})
                 findings.extend(atom_findings)
+            if any(rule.startswith("LEAK") for rule in rules):
+                taint = TaintEngine(index, resolver, engine, escape,
+                                    config=taint_config)
+                leak_findings, _ = check_leaks(
+                    index, resolver, engine, escape, taint,
+                    config=leak_config,
+                    rules={r for r in rules if r.startswith("LEAK")})
+                findings.extend(leak_findings)
 
     report = Report(package=config.package, root=str(index.root),
                     findings=findings,
@@ -149,3 +200,81 @@ def analyze_package(package_dir: Union[str, Path, None] = None,
     if baseline is not None:
         report = apply_baseline(report, load_baseline(baseline))
     return report
+
+
+# ----------------------------------------------------------------------
+# Parallel driver
+# ----------------------------------------------------------------------
+
+def _analysis_shard_worker(payload: Dict[str, Any], _rng: Any) -> Report:
+    """One worker: run a single rule-family shard serially.
+
+    Module-level (picklable) per the FORK001/FORK003 contract of
+    :func:`repro.utility.parallel.run_sweep`; the payload carries only
+    plain data and config dataclasses, never live handles.
+    """
+    return analyze_package(**payload)
+
+
+def _analyze_parallel(shards: List[List[str]], processes: int,
+                      package_dir: Path,
+                      config: AnalysisConfig,
+                      det_config: DeterminismConfig,
+                      ordering_config: OrderingConfig,
+                      escape_config: EscapeConfig,
+                      conc_config: ConcurrencyConfig,
+                      fork_config: ForkSafetyConfig,
+                      atom_config: AtomicityConfig,
+                      taint_config: TaintConfig,
+                      leak_config: LeakConfig,
+                      rules: Set[str],
+                      baseline: Union[str, Path, None],
+                      source_overrides: Optional[Dict[str, str]],
+                      extra_modules: Optional[Iterable[Tuple[str, Path]]],
+                      ) -> Report:
+    """Fan the family shards out over processes and merge the reports."""
+    from ..utility.parallel import run_sweep
+
+    payloads = [
+        {
+            "package_dir": str(package_dir),
+            "config": config,
+            "det_config": det_config,
+            "ordering_config": ordering_config,
+            "escape_config": escape_config,
+            "conc_config": conc_config,
+            "fork_config": fork_config,
+            "atom_config": atom_config,
+            "taint_config": taint_config,
+            "leak_config": leak_config,
+            "select": shard,
+            "source_overrides": source_overrides,
+            "extra_modules": [(name, str(path))
+                              for name, path in (extra_modules or ())],
+            # baseline applied once, after the merge
+            "baseline": None,
+            "processes": None,
+        }
+        for shard in shards
+    ]
+    results = run_sweep(_analysis_shard_worker, payloads, trials=1,
+                        rng=0, processes=min(processes, len(payloads)))
+    reports: List[Report] = [results[i][0] for i in range(len(payloads))]
+
+    findings = sorted(
+        (f for report in reports for f in report.findings),
+        key=lambda f: (f.file, f.line, f.col, f.rule, f.sink,
+                       f.entry_class, f.entry_method))
+    merged = Report(
+        package=reports[0].package,
+        root=reports[0].root,
+        findings=findings,
+        entry_points=sum(r.entry_points for r in reports),
+        classes_checked=max(r.classes_checked for r in reports),
+        modules_scanned=max(r.modules_scanned for r in reports),
+        functions_scanned=max(r.functions_scanned for r in reports),
+        rules=sorted(rules),
+    )
+    if baseline is not None:
+        merged = apply_baseline(merged, load_baseline(baseline))
+    return merged

@@ -39,6 +39,10 @@ RULE_EFFECTFUL_WORKER_FN = "FORK002"
 RULE_NONSPAWN_CONTEXT = "FORK003"
 RULE_RENAME_WITHOUT_FSYNC = "ATOM001"
 RULE_FSYNC_WITHOUT_FLUSH = "ATOM002"
+RULE_TAINTED_EXCEPTION = "LEAK001"
+RULE_TAINTED_LOG = "LEAK002"
+RULE_TAINTED_JOURNAL = "LEAK003"
+RULE_TAINTED_SHARED_STATE = "LEAK004"
 
 #: Every rule the full analyzer can run, grouped by family.
 RULE_FAMILIES: Dict[str, tuple] = {
@@ -53,6 +57,8 @@ RULE_FAMILIES: Dict[str, tuple] = {
     "FORK": (RULE_HANDLE_IN_WORKER_PAYLOAD, RULE_EFFECTFUL_WORKER_FN,
              RULE_NONSPAWN_CONTEXT),
     "ATOM": (RULE_RENAME_WITHOUT_FSYNC, RULE_FSYNC_WITHOUT_FLUSH),
+    "LEAK": (RULE_TAINTED_EXCEPTION, RULE_TAINTED_LOG,
+             RULE_TAINTED_JOURNAL, RULE_TAINTED_SHARED_STATE),
 }
 
 ALL_RULES: tuple = tuple(rule for rules in RULE_FAMILIES.values()
@@ -116,6 +122,18 @@ RULE_SUMMARIES = {
     RULE_FSYNC_WITHOUT_FLUSH:
         "os.fsync of a buffered handle not dominated by flush(): the "
         "kernel syncs a partial write",
+    RULE_TAINTED_EXCEPTION:
+        "a sensitive-tainted value (dataset cell, true answer, synopsis "
+        "internals) reaches an exception message or denial-detail string",
+    RULE_TAINTED_LOG:
+        "a sensitive-tainted value reaches logging/print/CSV-export "
+        "output outside the released-answer path",
+    RULE_TAINTED_JOURNAL:
+        "a sensitive-tainted value is serialized into a journal/WAL "
+        "payload or replication frame beyond the released decision record",
+    RULE_TAINTED_SHARED_STATE:
+        "a sensitive-tainted value is stored on escape-marked "
+        "thread-shared state",
 }
 
 
@@ -194,10 +212,13 @@ class Finding:
         """Line-insensitive identity used by baselines and SARIF.
 
         Deliberately excludes the line/column so a baseline survives
-        unrelated edits above the finding.
+        unrelated edits above the finding.  The sink text is
+        whitespace-normalised so a sink expression that gets reflowed
+        across source lines (a multi-line f-string, a wrapped call)
+        keeps the same fingerprint.
         """
         key = "|".join((self.rule, self.file, self.entry_class,
-                        self.entry_method, self.sink))
+                        self.entry_method, " ".join(self.sink.split())))
         return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
 
     @property

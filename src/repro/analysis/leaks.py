@@ -1,0 +1,185 @@
+"""LEAK rules: sensitive values must not escape through side channels.
+
+Simulatability (the paper's central property) is stated over everything
+the auditor *emits*, not just released answers.  The SIM family proves
+decision paths do not read sensitive state; this family consumes the
+value-level taint flows of :mod:`repro.analysis.taintflow` and proves
+sensitive *values* cannot flow out through the unsanctioned channels:
+
+* ``LEAK001`` — a tainted value reaches an exception message or a
+  denial-detail string.  In *strict* mode (the default) any denial
+  detail that is not built from constants also fires: denial reasons
+  must be fixed reason codes, because a detail that varies with the
+  data (a set size, a threshold comparison, a sampled value) is an
+  oracle even when each piece looks attacker-computable;
+* ``LEAK002`` — a tainted value reaches logging / ``print`` / CSV-export
+  output outside the released-answer path;
+* ``LEAK003`` — a tainted value is serialized into a journal/WAL append
+  or a replication frame beyond the released decision record (the
+  decision record itself is public: it crosses the release boundary);
+* ``LEAK004`` — a tainted value is stored on thread-shared state (a
+  class the escape analysis marks as crossing thread boundaries), where
+  any other request's handler could read it back.
+
+Findings are suppressed the usual way: a ``# audit: LEAK001 -- reason``
+pragma on (or just above) the sink line documents a vetted false
+positive — e.g. a classic auditor whose denial detail is derived only
+from *past released answers* and is therefore simulatable by
+construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import Resolver
+from .escape import EscapeEngine
+from .findings import (
+    RULE_TAINTED_EXCEPTION,
+    RULE_TAINTED_JOURNAL,
+    RULE_TAINTED_LOG,
+    RULE_TAINTED_SHARED_STATE,
+    Finding,
+    Frame,
+)
+from .modindex import ClassInfo, FunctionNode, PackageIndex
+from .purity import EffectEngine
+from .taintflow import SOURCE, SinkEvent, TaintEngine
+
+
+@dataclass
+class LeakConfig:
+    """Emission policy for the LEAK rules."""
+
+    #: also fire LEAK001 on denial details that are *not* constant
+    #: expressions, tainted or not (denials must be fixed reason codes)
+    strict_denial_details: bool = True
+
+
+DEFAULT_LEAK_CONFIG = LeakConfig()
+
+#: sink-event kind (see :class:`~repro.analysis.taintflow.SinkEvent`)
+#: -> the rule it violates
+KIND_RULES: Dict[str, str] = {
+    "raise": RULE_TAINTED_EXCEPTION,
+    "deny": RULE_TAINTED_EXCEPTION,
+    "log": RULE_TAINTED_LOG,
+    "journal": RULE_TAINTED_JOURNAL,
+    "shared": RULE_TAINTED_SHARED_STATE,
+}
+
+_MESSAGES = {
+    "raise": ("a sensitive-tainted value reaches an exception message "
+              "(scrub the payload; keep len()/count projections only)"),
+    "deny": ("a sensitive-tainted value reaches a denial-detail string "
+             "(denial reasons must be generic reason codes)"),
+    "log": ("a sensitive-tainted value flows into log/print/export output "
+            "outside the released-answer path"),
+    "journal": ("a sensitive-tainted value is serialized into a "
+                "journal/WAL/replication payload beyond the released "
+                "decision record"),
+    "shared": ("a sensitive-tainted value is stored on thread-shared "
+               "state where other requests can observe it"),
+}
+
+_STRICT_DENY_MESSAGE = (
+    "denial detail is not a constant reason string (sizes, thresholds, "
+    "and computed values in denials are an oracle for the data)")
+
+
+class _LeakChecker:
+    def __init__(self, index: PackageIndex, taint: TaintEngine,
+                 config: LeakConfig) -> None:
+        self.index = index
+        self.taint = taint
+        self.config = config
+        self.findings: List[Finding] = []
+        self.functions_checked = 0
+        self._seen: Set[Tuple[str, str, int, int, str]] = set()
+
+    def check_function(self, module: str, node: FunctionNode,
+                       self_class: Optional[ClassInfo]) -> None:
+        self.functions_checked += 1
+        for event in self.taint.events_for(node):
+            self._check_event(module, node, self_class, event)
+
+    def _check_event(self, module: str, node: FunctionNode,
+                     self_class: Optional[ClassInfo],
+                     event: SinkEvent) -> None:
+        rule = KIND_RULES[event.kind]
+        tainted = SOURCE in event.origins
+        if event.kind == "deny":
+            if tainted:
+                message = _MESSAGES["deny"]
+            elif (self.config.strict_denial_details
+                    and not event.constantish):
+                message = _STRICT_DENY_MESSAGE
+            else:
+                return
+        else:
+            if not tainted:
+                return
+            message = _MESSAGES[event.kind]
+        if event.via is not None:
+            message += f" (flows through {event.via}())"
+        self._emit(rule, module, event.node, event.sink, message,
+                   self_class, node.name)
+
+    def _emit(self, rule: str, module: str, node: ast.AST, sink: str,
+              message: str, self_class: Optional[ClassInfo],
+              method: str) -> None:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        key = (rule, module, line, col, sink)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        pragma = self.index.pragma_for(module, rule, line)
+        entry_class = self_class.name if self_class is not None else ""
+        frame = Frame(
+            function=f"{entry_class}.{method}" if entry_class else method,
+            module=module,
+            file=self.index.relpath(module),
+            line=line,
+        )
+        self.findings.append(Finding(
+            rule=rule,
+            message=message,
+            file=self.index.relpath(module),
+            line=line,
+            col=col,
+            entry_class=entry_class,
+            entry_method=method,
+            entry_module=module,
+            sink=sink,
+            chain=(frame,),
+            pragma_reason=pragma,
+        ))
+
+
+def check_leaks(index: PackageIndex, resolver: Resolver,
+                engine: EffectEngine, escape: EscapeEngine,
+                taint: TaintEngine,
+                config: Optional[LeakConfig] = None,
+                rules: Optional[Set[str]] = None,
+                ) -> Tuple[List[Finding], int]:
+    """Run the LEAK rules over every function of the package.
+
+    ``resolver``/``engine``/``escape`` are accepted for signature symmetry
+    with the sibling checkers (the taint engine already consumed them);
+    ``rules`` optionally restricts which of LEAK001–LEAK004 emit.
+    """
+    config = config or DEFAULT_LEAK_CONFIG
+    checker = _LeakChecker(index, taint, config)
+    for mod in sorted(index.modules.values(), key=lambda m: m.name):
+        for node in mod.functions.values():
+            checker.check_function(mod.name, node, None)
+        for cls in mod.classes.values():
+            for node in cls.methods.values():
+                checker.check_function(mod.name, node, cls)
+    findings = checker.findings
+    if rules is not None:
+        findings = [f for f in findings if f.rule in rules]
+    return findings, checker.functions_checked

@@ -76,6 +76,8 @@ class MaxClassicAuditor(Auditor):
         for a in candidate_answers(intersecting_answers):
             verdict = self._assess(q, a, relevant)
             if verdict == "breach":
+                # audit: LEAK001 -- candidate `a` derives only from past
+                # released answers; the detail is simulatable by construction
                 return AuditDecision.deny(
                     DenialReason.FULL_DISCLOSURE,
                     f"a consistent answer near {a} would pin a value",

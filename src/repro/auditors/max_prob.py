@@ -308,6 +308,8 @@ class MaxProbabilisticAuditor(Auditor):
                                    distribution=self.distribution):
                 unsafe += 1
         if unsafe / self.num_samples > self.threshold:
+            # audit: LEAK001 -- breach count from seeded *simulatable* sampling
+            # over the public prior; num_samples/threshold are policy constants
             return AuditDecision.deny(
                 DenialReason.PARTIAL_DISCLOSURE,
                 f"{unsafe}/{self.num_samples} sampled answers breach the "

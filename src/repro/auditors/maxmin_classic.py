@@ -70,6 +70,8 @@ class MaxMinClassicAuditor(Auditor):
         all_answers = {c.answer for c in self._log}
         for a in candidate_answers(intersecting, forbidden=all_answers):
             if self._breaches(query.kind, q, a):
+                # audit: LEAK001 -- candidate `a` derives only from past
+                # released answers; the detail is simulatable by construction
                 return AuditDecision.deny(
                     DenialReason.FULL_DISCLOSURE,
                     f"a consistent answer near {a} would pin a value",

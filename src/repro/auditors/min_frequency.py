@@ -62,15 +62,13 @@ class MinimumFrequencyAuditor(Auditor):
         if query.size < self.min_size:
             return AuditDecision.deny(
                 DenialReason.POLICY,
-                f"query set of size {query.size} below the minimum "
-                f"frequency {self.min_size}",
+                "query set below the minimum frequency threshold",
             )
         if self.check_complement and \
                 self.dataset.n - query.size < self.min_size:
             return AuditDecision.deny(
                 DenialReason.POLICY,
-                f"query complement of size {self.dataset.n - query.size} "
-                f"below the minimum frequency {self.min_size}",
+                "query complement below the minimum frequency threshold",
             )
         if self.inner is not None:
             return self.inner._deny_reason(query)

@@ -67,6 +67,7 @@ class OverlapRestrictionAuditor(Auditor):
     def _deny_reason(self, query: Query) -> Optional[AuditDecision]:
         members = query.query_set
         if len(members) < self.min_size:
+            # audit: LEAK001 -- k is a public policy constant
             return AuditDecision.deny(
                 DenialReason.POLICY,
                 f"query set smaller than k = {self.min_size}",
@@ -76,6 +77,8 @@ class OverlapRestrictionAuditor(Auditor):
         for past in self._answered_sets:
             overlap = len(members & past)
             if overlap > self.max_overlap:
+                # audit: LEAK001 -- overlap counts past *query sets* (attacker
+                # inputs), r is a public policy constant; simulatable
                 return AuditDecision.deny(
                     DenialReason.POLICY,
                     f"overlap {overlap} with an answered query exceeds "

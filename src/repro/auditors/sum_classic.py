@@ -71,6 +71,8 @@ class SumClassicAuditor(Auditor):
         newly = self._space.would_reveal(vec)
         if newly:
             sample = sorted(newly)[:3]
+            # audit: LEAK001 -- variable ids come from the elimination basis
+            # over query *structure* (never values); simulatable
             return AuditDecision.deny(
                 DenialReason.FULL_DISCLOSURE,
                 f"answering would uniquely determine variable(s) {sample}",

@@ -167,6 +167,8 @@ class SumProbabilisticAuditor(Auditor):
                                       tol=self.mc_tolerance):
                 unsafe += 1
         if unsafe / self.num_outer > self.threshold:
+            # audit: LEAK001 -- breach count from seeded *simulatable* sampling
+            # over the public prior; num_outer is a policy constant
             return AuditDecision.deny(
                 DenialReason.PARTIAL_DISCLOSURE,
                 f"{unsafe}/{self.num_outer} sampled answers breach the "

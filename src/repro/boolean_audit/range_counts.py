@@ -176,6 +176,8 @@ class BooleanRangeAuditor:
             except InconsistentAnswersError:
                 continue
             if trial.disclosed_bits():
+                # audit: LEAK001 -- c enumerates every count in 0..(b-a+1)
+                # regardless of the data; the detail is simulatable
                 return AuditDecision.deny(
                     DenialReason.FULL_DISCLOSURE,
                     f"a consistent count ({c}) would disclose a bit",

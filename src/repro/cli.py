@@ -13,8 +13,9 @@
   bounds and adversarial workload search (also ``repro-audit-empirical``);
 * ``price``  — the §7 price of simulatability for max auditing;
 * ``serve``  — an audited SQL statistics endpoint over a CSV file;
-* ``lint``   — the simulatability taint analyzer (static gate over the
-  package's auditor decision paths; see ``docs/STATIC_ANALYSIS.md``).
+* ``lint``   — the static analysis gate: eight rule families (SIM, DET,
+  WAL, BUD, CONC, FORK, ATOM, LEAK) over the package's serving paths;
+  see ``docs/STATIC_ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -158,7 +159,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="statically verify the serving invariants: simulatability "
              "(SIM), determinism (DET), fail-closed ordering (WAL), "
              "budget checkpointing (BUD), lock discipline (CONC), "
-             "fork/spawn safety (FORK) and durable renames (ATOM)",
+             "fork/spawn safety (FORK), durable renames (ATOM) and "
+             "taint-flow leak freedom (LEAK)",
     )
     p.add_argument("--format", choices=["text", "json", "sarif"],
                    default="text",
@@ -176,6 +178,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--update-baseline", action="store_true",
                    help="rewrite --baseline from the current run's "
                         "undocumented findings and exit 0")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="shard the rule families over N worker processes "
+                        "(findings are identical to a serial run)")
     p.add_argument("--quiet", action="store_true",
                    help="print nothing when the tree is clean")
     p.set_defaults(handler=_cmd_lint)
@@ -405,6 +410,7 @@ def _cmd_lint(args) -> int:
             select=args.select.split(",") if args.select else None,
             ignore=args.ignore.split(",") if args.ignore else None,
             baseline=None if args.update_baseline else baseline,
+            processes=args.jobs,
         )
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

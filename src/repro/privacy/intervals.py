@@ -54,7 +54,8 @@ class IntervalGrid:
         """
         if not self.low <= value <= self.high:
             raise PrivacyParameterError(
-                f"value {value} outside [{self.low}, {self.high}]"
+                f"value outside the grid envelope "
+                f"[{self.low}, {self.high}]"
             )
         scaled = (value - self.low) / (self.high - self.low) * self.gamma
         j = int(np.ceil(scaled))

@@ -181,8 +181,12 @@ def _run_budgeted(budget: Optional[Budget], rng: np.random.Generator,
             last_error = exc
             continue
         except ResourceExhaustedError as exc:
+            # audit: LEAK001 -- relays budget diagnostics (step caps,
+            # deadlines) built from policy constants, never data values
             return AuditDecision.deny(DenialReason.RESOURCE_EXHAUSTED,
                                       str(exc))
+    # audit: LEAK001 -- attempt count and sampler error are policy/operational
+    # diagnostics; SamplingError messages carry no data values
     return AuditDecision.deny(
         DenialReason.RESOURCE_EXHAUSTED,
         f"sampling failed after {attempts} attempt(s): {last_error}",

@@ -160,6 +160,8 @@ class AdmissionController:
             cap = policy.max_in_flight
             if cap is not None and self._in_flight >= cap:
                 self._shed_in_flight += 1
+                # audit: LEAK001 -- in-flight count and cap are operational
+                # load metrics independent of any dataset value
                 return AuditDecision.deny(
                     DenialReason.RESOURCE_EXHAUSTED,
                     f"server at capacity ({self._in_flight} audits in "
@@ -174,6 +176,8 @@ class AdmissionController:
                     self._buckets[user] = bucket
                 if not bucket.try_take():
                     self._shed_rate += 1
+                    # audit: LEAK001 -- rate and burst are public policy
+                    # constants from OverloadPolicy
                     return AuditDecision.deny(
                         DenialReason.RESOURCE_EXHAUSTED,
                         f"per-user rate limit exceeded "
@@ -247,6 +251,8 @@ class CircuitBreaker:
             if self._clock() - self._opened_at >= self.cooldown:
                 self._state = "half-open"  # admit one probe decision
                 return None
+            # audit: LEAK001 -- failure counter and cooldown are operational
+            # breaker state independent of any dataset value
             return AuditDecision.deny(
                 DenialReason.RESOURCE_EXHAUSTED,
                 f"sampler circuit breaker open after {self._failures} "

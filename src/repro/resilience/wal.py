@@ -122,6 +122,8 @@ class WriteAheadLog:
             # creation: its directory entry is parent-dir metadata, which
             # the per-record fsync never covers.
             fsync_directory(os.path.dirname(os.path.abspath(path)))
+        # audit: LEAK003 -- the WAL header IS the server's durable dataset
+        # copy (recovery rebuilds from it); it never leaves the trust boundary
         wal.append({
             "type": "header",
             "wal_version": WAL_VERSION,

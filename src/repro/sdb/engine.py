@@ -138,10 +138,11 @@ class StatisticalDatabase:
             # deny/answer decisions all change with it.  Make the guess
             # loud so operators pass an intentional range instead.
             warnings.warn(
-                f"degenerate sensitive-value envelope [lo={lo}, hi={hi}] "
-                f"widened to [{lo - 1.0}, {hi + 1.0}]; the envelope is a "
-                f"public privacy parameter — pass explicit low/high "
-                f"bounds instead of relying on this fallback",
+                "degenerate sensitive-value envelope (constant column or "
+                "inverted explicit bounds) widened by 1.0 on each side; "
+                "the envelope is a public privacy parameter — pass "
+                "explicit low/high bounds instead of relying on this "
+                "fallback",
                 UserWarning, stacklevel=2,
             )
             lo, hi = lo - 1.0, hi + 1.0

@@ -192,8 +192,8 @@ class CombinedSynopsis:
             common = max_pred.elements & min_pred.elements
             if len(common) != 1:
                 raise InconsistentAnswersError(
-                    f"max and min predicates share value {min_pred.value} "
-                    f"but have {len(common)} common elements (need exactly 1)"
+                    f"max and min predicates share a value but have "
+                    f"{len(common)} common elements (need exactly 1)"
                 )
             (j,) = common
             already_pinned = (max_pred.determines_value
@@ -221,8 +221,8 @@ class CombinedSynopsis:
                     if pred.determines_value:
                         if pred.value != v:
                             raise InconsistentAnswersError(
-                                f"element {j} determined as both {v} and "
-                                f"{pred.value}"
+                                "an element is determined with two "
+                                "conflicting values"
                             )
                         continue
                     if pred.equality and v == pred.value:
@@ -231,7 +231,7 @@ class CombinedSynopsis:
                     # v must respect the bound; beyond it => contradiction.
                     if side.direction * (v - pred.value) >= 0:
                         raise InconsistentAnswersError(
-                            f"element {j} = {v} violates {pred!r}"
+                            "a determined element violates a recorded bound"
                         )
                     side.remove_element(pid, j)
                     return True
@@ -254,11 +254,12 @@ class CombinedSynopsis:
                     elif side.direction * (opp_val - pred.value) > 0:
                         # opposite bound already beyond this predicate's value
                         raise InconsistentAnswersError(
-                            f"element {j} bounds cross at {pred!r}"
+                            "element bounds cross at an equality predicate"
                         )
                 if len(forced) > 1:
                     raise InconsistentAnswersError(
-                        f"{len(forced)} elements forced to equal {pred.value}"
+                        f"{len(forced)} elements forced to equal one "
+                        f"predicate value"
                     )
                 if forced:
                     side.force_witness(pid, forced[0])
@@ -270,9 +271,9 @@ class CombinedSynopsis:
             rng = self.range_of(i)
             if rng.lo > rng.hi:
                 raise InconsistentAnswersError(
-                    f"element {i} has empty range ({rng.lo}, {rng.hi})"
+                    f"element {i} has an empty feasible range"
                 )
             if rng.lo == rng.hi and not (rng.lo_closed and rng.hi_closed):
                 raise InconsistentAnswersError(
-                    f"element {i} has degenerate half-open range at {rng.lo}"
+                    f"element {i} has a degenerate half-open range"
                 )

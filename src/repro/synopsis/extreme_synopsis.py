@@ -143,7 +143,7 @@ class ExtremeSynopsis:
         a = float(answer)
         if self.limit is not None and self._beyond(a, self.limit):
             raise InconsistentAnswersError(
-                f"answer {a} lies beyond the domain limit {self.limit}"
+                "answer lies beyond the domain limit"
             )
 
         free_part, parts = self._partition(query)
@@ -152,7 +152,7 @@ class ExtremeSynopsis:
             # A disjoint query with the same answer would need a second
             # element equal to `a` — impossible without duplicates.
             raise InconsistentAnswersError(
-                f"answer {a} duplicates the witness of a disjoint predicate"
+                "answer duplicates the witness of a disjoint predicate"
             )
 
         # ---- validation pass (no mutation on failure) -----------------
@@ -160,7 +160,8 @@ class ExtremeSynopsis:
             pred = self._preds[pid]
             if pred.equality and self._beyond(pred.value, a) and part >= pred.elements:
                 raise InconsistentAnswersError(
-                    f"{pred!r} forces an element beyond answer {a} inside the query"
+                    "an equality predicate forces an element beyond the "
+                    "answer inside the query"
                 )
         if same_value_pid is None:
             witness_pool = set(free_part)
@@ -170,7 +171,7 @@ class ExtremeSynopsis:
                     witness_pool |= part
             if not witness_pool:
                 raise InconsistentAnswersError(
-                    f"no element of the query can attain answer {a}"
+                    "no element of the query can attain the answer"
                 )
 
         # ---- mutation pass ---------------------------------------------
