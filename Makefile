@@ -2,7 +2,8 @@
 
 PY ?= python
 
-.PHONY: install test faults lint analyze typecheck bench examples figures clean
+.PHONY: install test faults lint analyze typecheck bench examples \
+	serve-demo figures clean
 
 install:
 	$(PY) setup.py develop
@@ -39,6 +40,10 @@ examples:
 		echo "== $$script =="; \
 		$(PY) $$script || exit 1; \
 	done
+
+# End-to-end tour of the networked serving tier (docs/API.md).
+serve-demo:
+	PYTHONPATH=src $(PY) examples/serving_demo.py
 
 figures:
 	$(PY) -m repro fig1

@@ -54,6 +54,10 @@ class OrderingConfig:
     release_method_names: Tuple[str, ...] = (
         "audit", "_audit", "query", "query_indices", "record_replay",
         "apply_update",
+        # serving-tier release points: the multi-user frontend's entry
+        # methods and the shard worker's request handler (the single
+        # release point of a shard — every dict it returns is released)
+        "ask", "refuse", "handle",
     )
     #: classes holding the journal: delegation does not discharge the
     #: append obligation inside these

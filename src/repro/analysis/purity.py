@@ -98,6 +98,10 @@ class EffectConfig:
         "repro.resilience.checkpoint.CheckpointedWal.raw_append",
         "repro.resilience.replication.ReplicatingWal.append",
         "repro.resilience.replication.Follower._apply_append",
+        # serving tier: the frontend's deny-before-audit entry point
+        # journals through the auditor's disclosure trail
+        "repro.sdb.multiuser.MultiUserFrontend.refuse",
+        "repro.sdb.multiuser.MultiUserFrontend._record_refusal",
     })
     #: method names that journal by convention, on any receiver
     append_method_names: FrozenSet[str] = frozenset({

@@ -164,6 +164,12 @@ class TaintConfig:
     log_functions: FrozenSet[str] = frozenset({
         "repro.reporting.export.write_series_csv",
         "repro.reporting.export.write_table_csv",
+        # serving tier: HTTP response bodies and SSE frames reach remote
+        # clients — tainted values must never flow into them except
+        # through the AuditDecision release boundary
+        "repro.serving.protocol.json_body",
+        "repro.serving.protocol.json_response",
+        "repro.serving.sse.format_event",
     })
     log_method_names: FrozenSet[str] = frozenset({
         "debug", "info", "warning", "error", "exception", "critical",

@@ -152,7 +152,30 @@ def _build_parser() -> argparse.ArgumentParser:
                         "a fail-closed resource-exhausted denial")
     p.add_argument("--seed", type=int, default=0,
                    help="rng seed for the probabilistic auditors")
-    p.set_defaults(handler=_cmd_serve)
+    p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                   help="serve the audit HTTP API instead of the stdin "
+                        "SQL loop: the frontend is sharded by user id "
+                        "across worker processes, each with its own "
+                        "checkpointed WAL under --wal (see docs/API.md)")
+    p.add_argument("--shards", type=int, default=2, metavar="N",
+                   help="with --listen: number of shard workers")
+    p.add_argument("--shard-mode", choices=["spawn", "inline"],
+                   default="spawn",
+                   help="with --listen: worker isolation (spawn = one "
+                        "process per shard; inline = in-process, for "
+                        "drills and tests)")
+    p.add_argument("--user-rate", type=float, default=None,
+                   help="with --listen: per-user sustained queries/second "
+                        "admission limit; sheds surface as HTTP 429 and "
+                        "are journalled resource-exhausted denials")
+    p.add_argument("--max-in-flight", type=int, default=None,
+                   help="with --listen: per-shard bound on concurrently "
+                        "executing audits (beyond it, shed — not queued)")
+    p.add_argument("--max-deadline", type=float, default=30.0,
+                   help="with --listen: server-side cap in seconds on "
+                        "propagated client deadlines (clamps skewed "
+                        "absolute X-Deadline headers)")
+    p.set_defaults(handler=_cmd_serve, parser=p)
 
     p = sub.add_parser(
         "lint",
@@ -459,11 +482,22 @@ def _cmd_serve(args, stdin=None) -> int:
         "max-prob": MaxProbabilisticAuditor,
         "maxmin-prob": MaxMinProbabilisticAuditor,
     }
+    # Argument conflicts fail through argparse when the args came from
+    # the real parser (usage + message on stderr, exit code 2); hand-built
+    # Namespaces (tests, embedding) keep the print-and-return contract.
+    parser = getattr(args, "parser", None)
+
+    def conflict(message: str) -> int:
+        if parser is not None:
+            parser.error(message)  # raises SystemExit(2)
+        print(f"error: {message}")
+        return 2
+
     if args.auditor in classic:
         if args.deadline is not None:
-            print("error: --deadline applies to the probabilistic auditors; "
-                  "the classic decision procedures are closed-form")
-            return 2
+            return conflict(
+                "--deadline applies to the probabilistic auditors; "
+                "the classic decision procedures are closed-form")
 
         def base_factory(dataset):
             return classic[args.auditor](dataset)
@@ -489,9 +523,9 @@ def _cmd_serve(args, stdin=None) -> int:
     checkpoint_bytes = getattr(args, "checkpoint_bytes", None)
     if checkpoint_every is not None or checkpoint_bytes is not None:
         if not args.wal:
-            print("error: --checkpoint-every/--checkpoint-bytes require "
-                  "--wal (a WAL directory)")
-            return 2
+            return conflict(
+                "--checkpoint-every/--checkpoint-bytes require --wal "
+                "(a WAL directory)")
         from .resilience.checkpoint import CheckpointPolicy
 
         checkpoint = CheckpointPolicy(every_records=checkpoint_every,
@@ -499,19 +533,37 @@ def _cmd_serve(args, stdin=None) -> int:
 
     replicate_to = getattr(args, "replicate_to", None)
     follow = getattr(args, "follow", None)
-    if follow and (args.wal or replicate_to):
-        print("error: --follow serves an existing replica read-only and "
-              "is incompatible with --wal/--replicate-to (a follower "
-              "never appends to the audit log)")
-        return 2
-    if replicate_to and not args.wal:
-        print("error: --replicate-to requires --wal (the primary's "
-              "checkpointed WAL directory)")
-        return 2
+    listen = getattr(args, "listen", None)
+    if follow and args.wal:
+        return conflict(
+            "--follow serves an existing replica read-only and is "
+            "incompatible with --wal (a follower never appends to the "
+            "audit log)")
+    if follow and replicate_to:
+        return conflict(
+            "--follow serves an existing replica read-only and is "
+            "incompatible with --replicate-to (a follower never ships "
+            "records onward)")
+    if follow and listen:
+        return conflict(
+            "--follow is incompatible with --listen: the networked "
+            "serving tier shards writable per-shard WALs, while a "
+            "follower is a read-only replica")
     if follow and args.journal:
-        print("error: --journal requires a journalling auditor; a "
-              "read-only follower only re-releases replicated decisions")
-        return 2
+        return conflict(
+            "--journal requires a journalling auditor; a read-only "
+            "follower only re-releases replicated decisions")
+    if replicate_to and not args.wal:
+        return conflict(
+            "--replicate-to requires --wal (the primary's checkpointed "
+            "WAL directory)")
+    if listen and args.journal:
+        return conflict(
+            "--journal belongs to the stdin SQL loop; with --listen "
+            "every shard already persists its own WAL (use --wal)")
+
+    if listen:
+        return _serve_http(args)
 
     follower = None
     links = []
@@ -591,6 +643,88 @@ def _cmd_serve(args, stdin=None) -> int:
         follower.close()
     trail = db.auditor.trail
     print(f"session: {len(trail)} queries, {trail.denial_count()} denied")
+    return 0
+
+
+def _serve_http(args) -> int:
+    """The ``serve --listen`` path: shard the frontend and serve HTTP."""
+    import asyncio
+    import os
+
+    from .exceptions import ReproError
+    from .io import read_records
+    from .serving import AuditServer, DeadlinePolicy, ServerConfig
+    from .serving.shards import ShardSpec, ShardSupervisor
+
+    host, _, port_text = args.listen.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print("error: --listen expects HOST:PORT")
+        return 2
+    host = host or "127.0.0.1"
+
+    try:
+        with open(args.csv, newline="") as handle:
+            records = read_records(handle)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.sensitive not in records[0]:
+        print(f"error: sensitive column {args.sensitive!r} not found; "
+              f"columns are {sorted(records[0])}")
+        return 2
+    values = tuple(float(rec[args.sensitive]) for rec in records)
+    low, high = min(values), max(values)
+    if low >= high:
+        low, high = low - 1.0, high + 1.0
+
+    num_shards = max(1, getattr(args, "shards", 2) or 1)
+
+    def shard_dir(root, index):
+        return os.path.join(root, f"shard-{index:02d}")
+
+    specs = []
+    for index in range(num_shards):
+        specs.append(ShardSpec(
+            index=index, values=values, low=low, high=high,
+            auditor=args.auditor, seed=args.seed,
+            wal_dir=shard_dir(args.wal, index) if args.wal else None,
+            checkpoint_every=getattr(args, "checkpoint_every", None),
+            checkpoint_bytes=getattr(args, "checkpoint_bytes", None),
+            replicate_to=tuple(
+                shard_dir(root, index)
+                for root in (getattr(args, "replicate_to", None) or ())),
+            user_rate=getattr(args, "user_rate", None),
+            max_in_flight=getattr(args, "max_in_flight", None),
+        ))
+    try:
+        supervisor = ShardSupervisor(
+            specs, mode=getattr(args, "shard_mode", "spawn"))
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}")
+        return 2
+
+    config = ServerConfig(host=host, port=port, deadline=DeadlinePolicy(
+        default_wall_time=args.deadline,
+        max_wall_time=getattr(args, "max_deadline", 30.0) or 30.0,
+    ))
+
+    async def _run() -> None:
+        server = AuditServer(supervisor, config)
+        await server.start()
+        print(f"audit API listening on http://{host}:{server.port} "
+              f"({num_shards} shard(s), "
+              f"{getattr(args, 'shard_mode', 'spawn')} mode); "
+              f"POST /query, GET /healthz, /stats, /events")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        supervisor.close()
     return 0
 
 

@@ -99,6 +99,23 @@ KNOWN_SITES = frozenset({
     # shipped to followers (a crash here leaves followers on the
     # pre-checkpoint segment layout until the next sync).
     "primary.post-seal",
+    # Network edge: half-way through reading an HTTP request body (the
+    # client died mid-upload, or the server dies holding a partial body;
+    # either way no decision exists yet, so nothing may be journalled).
+    "http.torn-body",
+    # Network edge: response headers and half the body bytes written,
+    # connection then resets (the decision IS durable in the shard WAL —
+    # the client may retry and gets a consistent re-decision).
+    "http.mid-response",
+    # Network edge: between header lines of a slowly-dribbling request
+    # (a slow-loris client; clock stalls here exercise the read deadline,
+    # which closes the connection without touching any auditor).
+    "http.slow-loris",
+    # Shard worker: decision journalled durably, response not yet handed
+    # back to the HTTP edge (a crash here is the classic "answered on
+    # disk, never on the wire" window — recovery replays the WAL and the
+    # retried query re-releases the same decision).
+    "shard.post-journal",
 })
 
 

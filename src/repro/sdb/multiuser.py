@@ -158,9 +158,7 @@ class MultiUserFrontend:
         if self.admission is not None:
             refusal = self.admission.try_admit(user)
             if refusal is not None:
-                with self._lock:
-                    self._record_refusal(user, query, refusal)
-                    return self._bookkeep(user, query, refusal)
+                return self.refuse(user, query, refusal)
             try:
                 with self._lock:
                     decision = self._auditor_for(user).audit(query)
@@ -169,6 +167,22 @@ class MultiUserFrontend:
                 self.admission.release()
         with self._lock:
             decision = self._auditor_for(user).audit(query)
+            return self._bookkeep(user, query, decision)
+
+    def refuse(self, user: str, query: Query,
+               decision: AuditDecision) -> AuditDecision:
+        """Journal and bookkeep a fail-closed refusal, without auditing.
+
+        The public entry point for every deny-before-audit path —
+        admission sheds (used by :meth:`ask` itself) and the network
+        edge's expired-deadline and backpressure refusals.  The refusal
+        is recorded through the auditor's disclosure trail (durably, when
+        the auditor carries a WAL) and counted in the per-user
+        bookkeeping, exactly like an in-process shed: a refused query is
+        never a silent drop, and never an unaudited answer.
+        """
+        with self._lock:
+            self._record_refusal(user, query, decision)
             return self._bookkeep(user, query, decision)
 
     def _record_refusal(self, user: str, query: Query,

@@ -1,0 +1,60 @@
+"""Networked fail-closed serving tier (asyncio HTTP/1.1, no extra deps).
+
+The paper's auditors only matter in production if the path between a
+remote client and the auditor is as fail-closed as the auditor itself.
+This package puts an asyncio HTTP API in front of
+:class:`~repro.sdb.multiuser.MultiUserFrontend`, sharded across
+spawn-safe worker processes by user id, each shard owning its own
+checkpointed write-ahead audit log:
+
+* :mod:`repro.serving.protocol` — hand-rolled HTTP/1.1 request/response
+  framing over asyncio streams, with torn-body and slow-loris defenses;
+* :mod:`repro.serving.middleware` — client deadline propagation into the
+  per-query :class:`~repro.resilience.budget.Budget` and backpressure
+  response mapping (429 + ``Retry-After``);
+* :mod:`repro.serving.router` — method/path dispatch;
+* :mod:`repro.serving.shards` — the shard workers, their supervisor
+  (exponential-backoff restarts with WAL replay before re-admission),
+  and the spawn-safe process transport;
+* :mod:`repro.serving.sse` — the live per-user audit-event stream
+  (Server-Sent Events);
+* :mod:`repro.serving.server` — the asyncio edge tying it together;
+* :mod:`repro.serving.client` — a minimal blocking client for tests,
+  benchmarks, and the demo.
+
+Every HTTP 200 carries a decision that is already durable in a shard
+WAL; sheds are journalled ``RESOURCE_EXHAUSTED`` denials surfaced as
+429; a recovering shard serves 503 — never a silent drop, never an
+un-journalled answer.  See ``docs/API.md`` (endpoints) and
+``docs/ROBUSTNESS.md`` (the network-edge fail-closed story).
+"""
+
+from .client import AuditClient
+from .middleware import DeadlinePolicy, budget_from_headers
+from .protocol import HttpLimits, HttpRequest, ProtocolError
+from .server import AuditServer, ServerConfig
+from .shards import (
+    ShardSpec,
+    ShardSupervisor,
+    ShardUnavailable,
+    ShardWorker,
+    shard_for,
+)
+from .sse import EventBroker
+
+__all__ = [
+    "AuditClient",
+    "AuditServer",
+    "DeadlinePolicy",
+    "EventBroker",
+    "HttpLimits",
+    "HttpRequest",
+    "ProtocolError",
+    "ServerConfig",
+    "ShardSpec",
+    "ShardSupervisor",
+    "ShardUnavailable",
+    "ShardWorker",
+    "budget_from_headers",
+    "shard_for",
+]

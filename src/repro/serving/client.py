@@ -1,0 +1,167 @@
+"""A minimal blocking HTTP client for the audit API.
+
+Stdlib only (:mod:`http.client`): used by the test suite, the load
+benchmark, and the demo.  One connection per call keeps the client
+trivially correct across server restarts — the load benchmark measures
+the *server*, and connection reuse is an orthogonal optimisation.
+
+The client is deliberately conservative about retries: a torn response
+or refused connection raises; it never invents an answer, mirroring the
+fail-closed posture of the server (an ambiguous outcome is the
+*client's* to resolve by retrying — the journalled decision is durable
+and re-released on the retry).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from ..exceptions import ReproError
+
+
+class ServingClientError(ReproError):
+    """The server answered with something other than JSON, or the
+    connection died mid-response."""
+
+
+@dataclass
+class ClientResponse:
+    """One HTTP exchange: status, parsed JSON body, retry hint."""
+
+    status: int
+    payload: Dict[str, Any]
+    retry_after: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    @property
+    def shed(self) -> bool:
+        return self.status == 429
+
+    @property
+    def unavailable(self) -> bool:
+        return self.status == 503
+
+
+class AuditClient:
+    """Blocking client for one audit server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def _exchange(self, method: str, path: str,
+                  body: Optional[bytes] = None,
+                  headers: Optional[Dict[str, str]] = None
+                  ) -> ClientResponse:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            raw = response.read()
+            retry_after: Optional[float] = None
+            hint = response.getheader("Retry-After")
+            if hint is not None:
+                try:
+                    retry_after = float(hint)
+                except ValueError:  # pragma: no cover - server constant
+                    retry_after = None
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (ValueError, UnicodeDecodeError):
+                raise ServingClientError(
+                    "server response body is not JSON") from None
+            return ClientResponse(status=response.status, payload=payload,
+                                  retry_after=retry_after)
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServingClientError(
+                f"request failed: {exc.__class__.__name__}") from exc
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+
+    def query(self, user: str, kind: str, members: Iterable[int],
+              deadline_ms: Optional[float] = None,
+              deadline_epoch: Optional[float] = None) -> ClientResponse:
+        """POST one audit query.
+
+        ``deadline_ms`` sends the relative ``X-Deadline-Ms`` header (the
+        skew-immune form); ``deadline_epoch`` sends the absolute
+        ``X-Deadline`` header.
+        """
+        headers = {"Content-Type": "application/json"}
+        if deadline_ms is not None:
+            headers["X-Deadline-Ms"] = str(deadline_ms)
+        if deadline_epoch is not None:
+            headers["X-Deadline"] = str(deadline_epoch)
+        body = json.dumps({
+            "user": user, "kind": kind, "members": list(members),
+        }).encode("utf-8")
+        return self._exchange("POST", "/query", body=body, headers=headers)
+
+    def health(self) -> ClientResponse:
+        return self._exchange("GET", "/healthz")
+
+    def stats(self) -> ClientResponse:
+        return self._exchange("GET", "/stats")
+
+    # ------------------------------------------------------------------
+
+    def events(self, user: Optional[str] = None, limit: int = 0,
+               timeout: Optional[float] = None
+               ) -> Iterator[Dict[str, Any]]:
+        """Yield decision events from ``GET /events`` (SSE).
+
+        ``limit`` asks the server to close the stream after that many
+        events (0 = endless); keep-alive comments are skipped.
+        """
+        path = "/events"
+        params: List[str] = []
+        if user is not None:
+            params.append("user=" + user)
+        if limit:
+            params.append(f"limit={limit}")
+        if params:
+            path += "?" + "&".join(params)
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServingClientError(
+                    f"event stream refused with status {response.status}")
+            data_lines: List[str] = []
+            while True:
+                try:
+                    raw = response.fp.readline()
+                except (OSError, socket.timeout):
+                    break
+                if not raw:
+                    break
+                line = raw.decode("utf-8").rstrip("\n")
+                if not line:
+                    if data_lines:
+                        try:
+                            yield json.loads("\n".join(data_lines))
+                        except ValueError:  # pragma: no cover - defensive
+                            pass
+                        data_lines = []
+                    continue
+                if line.startswith(":"):
+                    continue  # keep-alive comment
+                if line.startswith("data:"):
+                    data_lines.append(line[5:].strip())
+        finally:
+            conn.close()

@@ -1,0 +1,121 @@
+"""Deadline propagation and backpressure mapping at the HTTP edge.
+
+**Deadlines.** A client that will stop waiting in 200 ms must not buy a
+full default budget: the remaining client deadline propagates into the
+per-query :class:`~repro.resilience.budget.Budget`, so the samplers are
+cooperatively cancelled the moment the answer could no longer be
+delivered anyway — and the exhaustion is a journalled fail-closed
+``RESOURCE_EXHAUSTED`` denial, exactly like an in-process timeout.
+
+Two header forms:
+
+* ``X-Deadline-Ms: 200`` — *relative*: milliseconds of client patience
+  remaining at send time.  Preferred; immune to clock skew.
+* ``X-Deadline: 1754640000.5`` — *absolute*: a Unix wall-clock instant.
+  Client clocks skew, so the computed remainder is **clamped** to the
+  server-side cap (a deadline "years in the future" buys no more than
+  ``max_wall_time``) and a deadline in the past fails closed
+  immediately: the refusal is journalled before any auditor runs.
+
+**Backpressure.** Admission sheds (per-user token buckets, bounded
+in-flight — the PR 5 controller, now per shard) surface as HTTP 429
+with a ``Retry-After`` hint; a shard that is down mid-recovery surfaces
+as 503 with ``Retry-After``.  Both are first-class journalled denials
+or explicit refusals — never silent drops.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Tuple
+
+from ..resilience.budget import Budget
+from .protocol import ProtocolError
+
+Clock = Callable[[], float]
+
+#: Floor for a propagated budget: deadlines are clamped *up* to this so a
+#: 1 ms remainder still opens a scope that can fail closed at its first
+#: checkpoint instead of tripping Budget's positivity validation.
+MIN_WALL_TIME = 1e-3
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """Server-side deadline policy (all values are public constants).
+
+    Parameters
+    ----------
+    default_wall_time:
+        Budget seconds for requests that carry no deadline header
+        (``None`` = unlimited, matching the in-process default).
+    max_wall_time:
+        Hard cap on any propagated deadline; absolute headers from
+        skewed clocks are clamped to it.
+    max_chain_steps:
+        Optional cooperative-cancellation step cap forwarded into every
+        propagated budget.
+    clock:
+        Monotonic clock the budgets run on (injectable for drills).
+    wall_clock:
+        Wall clock used to interpret *absolute* ``X-Deadline`` headers
+        (injectable for the skew tests).
+    """
+
+    default_wall_time: Optional[float] = None
+    max_wall_time: float = 30.0
+    max_chain_steps: Optional[int] = None
+    clock: Optional[Clock] = None
+    wall_clock: Optional[Clock] = None
+
+    def now_wall(self) -> float:
+        return (self.wall_clock or time.time)()
+
+
+def budget_from_headers(headers: Mapping[str, str],
+                        policy: DeadlinePolicy
+                        ) -> Tuple[Optional[Budget], bool]:
+    """Derive the per-query budget from the request's deadline headers.
+
+    Returns ``(budget, expired)``: ``expired`` is ``True`` when the
+    client's deadline has already passed at arrival — the caller must
+    journal an immediate fail-closed refusal and never run the auditor.
+    Malformed headers raise :class:`ProtocolError` (400, constant
+    message).
+    """
+    remaining: Optional[float] = None
+    raw_ms = headers.get("x-deadline-ms")
+    if raw_ms is not None:
+        try:
+            remaining = float(raw_ms) / 1000.0
+        except ValueError:
+            raise ProtocolError(400, "malformed X-Deadline-Ms header") \
+                from None
+    else:
+        raw_abs = headers.get("x-deadline")
+        if raw_abs is not None:
+            try:
+                deadline = float(raw_abs)
+            except ValueError:
+                raise ProtocolError(400, "malformed X-Deadline header") \
+                    from None
+            remaining = deadline - policy.now_wall()
+    if remaining is None:
+        wall = policy.default_wall_time
+        if wall is None and policy.max_chain_steps is None:
+            return None, False
+        return Budget(wall_time=wall,
+                      max_chain_steps=policy.max_chain_steps,
+                      clock=policy.clock), False
+    if remaining <= 0:
+        return None, True
+    wall = min(remaining, policy.max_wall_time)  # clamp clock skew
+    return Budget(wall_time=max(wall, MIN_WALL_TIME),
+                  max_chain_steps=policy.max_chain_steps,
+                  clock=policy.clock), False
+
+
+def retry_after_seconds(value: float) -> str:
+    """``Retry-After`` header value: whole seconds, at least 1."""
+    return str(max(1, int(value + 0.999)))

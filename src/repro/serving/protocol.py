@@ -1,0 +1,281 @@
+"""Hand-rolled HTTP/1.1 framing over asyncio streams.
+
+No web framework, no new runtime deps: the edge speaks exactly the
+subset of HTTP/1.1 the audit API needs — request line, headers,
+``Content-Length`` bodies, keep-alive, and chunk-free streaming writes
+for SSE.  Rolling our own keeps the network boundary inside the
+deterministic fault harness: the parser and writer carry named fault
+sites (``http.torn-body``, ``http.mid-response``, ``http.slow-loris``)
+so the chaos sweep can kill the process at every point where a real
+socket can die.
+
+Fail-closed posture at the parser level:
+
+* a **torn request body** (client died mid-upload, or an injected crash
+  while holding a partial body) surfaces as :class:`ProtocolError`
+  before any decision machinery runs — nothing is journalled, nothing
+  answered;
+* a **slow-loris** client dribbling header bytes is cut off by a
+  cumulative read deadline on an injectable clock (so the drill runs on
+  a :class:`~repro.resilience.faults.FaultClock`, not wall time);
+* error responses are built from **constants and public policy values
+  only** — a malformed request is never echoed back, so the error
+  channel cannot leak query details (LEAK001 holds at the edge).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from ..exceptions import ReproError
+from ..resilience.faults import fault_site
+
+Clock = Callable[[], float]
+
+HTTP_VERSION = b"HTTP/1.1"
+
+#: The reason phrases the serving tier emits.
+STATUS_REASONS: Dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(ReproError):
+    """A malformed, oversized, torn, or overdue HTTP request.
+
+    ``status`` is the HTTP status the edge should answer with; the
+    message is a *constant* diagnostic — request bytes are never echoed
+    into it, so error bodies stay leak-free by construction.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class HttpLimits:
+    """Bounds the parser enforces on every request.
+
+    All are public policy constants; exceeding one yields a constant
+    4xx, never an echo of the offending bytes.
+    """
+
+    max_request_line: int = 8192
+    max_header_count: int = 64
+    max_header_bytes: int = 16384
+    max_body_bytes: int = 1 << 20
+    #: cumulative seconds a client may spend delivering request line +
+    #: headers (the slow-loris guard)
+    header_timeout: float = 10.0
+    #: cumulative seconds for the body once headers are in
+    body_timeout: float = 10.0
+    #: injectable monotonic clock (fault drills use a FaultClock)
+    clock: Optional[Clock] = None
+
+    def now(self) -> float:
+        return (self.clock or time.monotonic)()
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    keep_alive: bool = True
+
+    def header(self, name: str, default: Optional[str] = None
+               ) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class HttpResponse:
+    """One response about to be written."""
+
+    status: int
+    body: bytes = b""
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+    close: bool = False
+
+
+def json_body(payload: Mapping[str, object]) -> bytes:
+    """Canonical JSON response encoding."""
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def json_response(status: int, payload: Mapping[str, object],
+                  headers: Optional[List[Tuple[str, str]]] = None,
+                  close: bool = False) -> HttpResponse:
+    """Build a JSON :class:`HttpResponse`."""
+    hdrs = list(headers or [])
+    hdrs.append(("Content-Type", "application/json"))
+    return HttpResponse(status=status, body=json_body(payload),
+                        headers=hdrs, close=close)
+
+
+async def _read_line(reader: asyncio.StreamReader, limits: HttpLimits,
+                     start: float, budget: float) -> bytes:
+    """One CRLF-terminated line under the cumulative read deadline."""
+    # Slow-loris drill point: a Stall action here advances the injected
+    # clock between header lines, exactly like a dribbling client.
+    fault_site("http.slow-loris")
+    elapsed = limits.now() - start
+    if elapsed > budget:
+        raise ProtocolError(408, "request header read deadline exceeded")
+    try:
+        line = await asyncio.wait_for(reader.readline(),
+                                      timeout=max(0.001, budget - elapsed))
+    except asyncio.TimeoutError:
+        raise ProtocolError(
+            408, "request header read deadline exceeded") from None
+    if len(line) > limits.max_request_line:
+        raise ProtocolError(400, "request line or header too long")
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       limits: HttpLimits) -> Optional[HttpRequest]:
+    """Parse one request; ``None`` on clean EOF between requests.
+
+    Raises :class:`ProtocolError` for anything malformed, oversized,
+    torn, or overdue — the caller answers with the carried status (or
+    just closes, when not even a request line arrived intact).
+    """
+    start = limits.now()
+    line = await _read_line(reader, limits, start, limits.header_timeout)
+    if not line:
+        return None  # clean close between keep-alive requests
+    try:
+        text = line.decode("ascii").strip()
+    except UnicodeDecodeError:
+        raise ProtocolError(400, "request line is not ASCII") from None
+    parts = text.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, "malformed request line")
+    method, target, version = parts
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        raw = await _read_line(reader, limits, start, limits.header_timeout)
+        if raw in (b"\r\n", b"\n"):
+            break
+        if not raw:
+            raise ProtocolError(400, "connection closed inside headers")
+        header_bytes += len(raw)
+        if (header_bytes > limits.max_header_bytes
+                or len(headers) >= limits.max_header_count):
+            raise ProtocolError(400, "request headers too large")
+        try:
+            name, _, value = raw.decode("latin-1").partition(":")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+            raise ProtocolError(400, "undecodable header") from None
+        if not _:
+            raise ProtocolError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    body = await _read_body(reader, headers, limits)
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    connection = headers.get("connection", "").lower()
+    keep_alive = (version != "HTTP/1.0" and connection != "close") \
+        or connection == "keep-alive"
+    return HttpRequest(method=method.upper(), path=split.path or "/",
+                       query=query, headers=headers, body=body,
+                       keep_alive=keep_alive)
+
+
+async def _read_body(reader: asyncio.StreamReader,
+                     headers: Mapping[str, str],
+                     limits: HttpLimits) -> bytes:
+    raw_length = headers.get("content-length")
+    if raw_length is None:
+        if "transfer-encoding" in headers:
+            raise ProtocolError(400, "chunked request bodies not supported")
+        return b""
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise ProtocolError(400, "malformed Content-Length") from None
+    if length < 0:
+        raise ProtocolError(400, "malformed Content-Length")
+    if length > limits.max_body_bytes:
+        raise ProtocolError(413, "request body too large")
+    if length == 0:
+        return b""
+    start = limits.now()
+    half = length // 2
+    try:
+        first = await asyncio.wait_for(reader.readexactly(half),
+                                       timeout=limits.body_timeout)
+        # The torn-body drill point: the server holds half a request —
+        # a crash here must journal nothing, answer nothing.
+        fault_site("http.torn-body")
+        elapsed = limits.now() - start
+        if elapsed > limits.body_timeout:
+            raise ProtocolError(408, "request body read deadline exceeded")
+        rest = await asyncio.wait_for(
+            reader.readexactly(length - half),
+            timeout=max(0.001, limits.body_timeout - elapsed))
+    except asyncio.IncompleteReadError:
+        raise ProtocolError(
+            400, "torn request body (connection closed mid-upload)"
+        ) from None
+    except asyncio.TimeoutError:
+        raise ProtocolError(
+            408, "request body read deadline exceeded") from None
+    return first + rest
+
+
+def render_response(response: HttpResponse) -> bytes:
+    """Serialise status line + headers + body."""
+    reason = STATUS_REASONS.get(response.status, "Unknown")
+    lines = [b"%s %d %s\r\n" % (HTTP_VERSION, response.status,
+                                reason.encode("ascii"))]
+    names = {name.lower() for name, _ in response.headers}
+    headers = list(response.headers)
+    if "content-length" not in names:
+        headers.append(("Content-Length", str(len(response.body))))
+    if response.close and "connection" not in names:
+        headers.append(("Connection", "close"))
+    for name, value in headers:
+        lines.append(f"{name}: {value}\r\n".encode("latin-1"))
+    lines.append(b"\r\n")
+    return b"".join(lines) + response.body
+
+
+async def write_response(writer: asyncio.StreamWriter,
+                         response: HttpResponse) -> None:
+    """Write one response, with the mid-response fault drill point.
+
+    The split write models a connection reset after the decision is
+    already durable: headers plus half the body are on the wire, then
+    the process (or the link) dies.  The client cannot tell a torn
+    response from a dead server — it retries, and the recovered shard
+    re-releases the same journalled decision.
+    """
+    data = render_response(response)
+    body_half = len(data) - (len(response.body) + 1) // 2
+    writer.write(data[:body_half])
+    if len(response.body):
+        await writer.drain()
+    fault_site("http.mid-response")
+    writer.write(data[body_half:])
+    await writer.drain()

@@ -1,0 +1,40 @@
+"""Method/path dispatch for the serving tier.
+
+Exact-path routing only — the API surface is four endpoints, and a
+hand-enumerable table beats a pattern matcher for auditability.  Unknown
+paths get a constant 404; a known path with the wrong method gets a
+constant 405 listing the allowed methods.  Neither error ever echoes
+request bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Awaitable, Callable, Dict, Tuple
+
+from .protocol import HttpRequest, HttpResponse, ProtocolError
+
+Handler = Callable[[HttpRequest], Awaitable[HttpResponse]]
+
+
+class Router:
+    """A table of ``(method, path) -> async handler``."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[Tuple[str, str], Handler] = {}
+
+    def add(self, method: str, path: str, handler: Handler) -> None:
+        self._routes[(method.upper(), path)] = handler
+
+    def allowed_methods(self, path: str) -> Tuple[str, ...]:
+        return tuple(sorted(m for (m, p) in self._routes if p == path))
+
+    def resolve(self, request: HttpRequest) -> Handler:
+        """The handler for ``request``, or a 404/405 ``ProtocolError``."""
+        handler = self._routes.get((request.method, request.path))
+        if handler is not None:
+            return handler
+        allowed = self.allowed_methods(request.path)
+        if allowed:
+            raise ProtocolError(
+                405, "method not allowed (allowed: %s)" % ", ".join(allowed))
+        raise ProtocolError(404, "unknown endpoint")

@@ -1,0 +1,608 @@
+"""Shard workers, their spawn-safe transport, and the restart supervisor.
+
+The serving tier shards by **user id**: ``shard_for(user)`` hashes the
+user onto one of N workers, each of which owns a full
+:class:`~repro.sdb.multiuser.MultiUserFrontend` over the dataset with
+its *own* per-shard :class:`~repro.resilience.checkpoint.CheckpointedWal`
+directory (optionally replicating to per-shard follower directories).
+All of a user's queries land on the same shard, so the pooled auditor
+behind it sees their full history — the collusion guarantee is per
+shard, which is exactly the unit the WAL makes durable.
+
+Workers run in two isolation modes behind one protocol of picklable
+dicts:
+
+* ``"spawn"`` — a real child process per shard
+  (:class:`ProcessShardHandle`, spawn context only: fork would duplicate
+  live WAL handles), connected over a pipe; a dead pipe *is* the crash
+  signal;
+* ``"inline"`` — the worker object runs in the server process
+  (:class:`InlineShardHandle`), which puts the whole shard inside the
+  deterministic fault harness: an :class:`~repro.resilience.faults.
+  InjectedCrash` escaping the worker models the child process dying.
+
+The :class:`ShardSupervisor` owns the handles.  When a shard dies it is
+marked down, restarted with **exponential backoff**, and its WAL is
+replayed (that is just checkpointed recovery) *before* traffic is
+re-admitted; while it is down every request for it raises
+:class:`ShardUnavailable` — surfaced by the edge as 503 with
+``Retry-After`` — never a silent drop, and never an answer that skipped
+the journal.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import (
+    InvalidQueryError,
+    ReproError,
+    UnsupportedQueryError,
+)
+from ..resilience.budget import Budget
+from ..resilience.checkpoint import CheckpointPolicy
+from ..resilience.faults import InjectedCrash, fault_site
+from ..resilience.overload import AdmissionController, AdmissionPolicy
+from ..sdb.dataset import Dataset
+from ..sdb.multiuser import MultiUserFrontend
+from ..types import AggregateKind, AuditDecision, DenialReason, Query
+
+Clock = Callable[[], float]
+
+
+def shard_for(user: str, num_shards: int) -> int:
+    """Stable user → shard mapping (crc32, identical across processes).
+
+    Python's own ``hash`` is salted per process, which would scatter a
+    user's history across shards between restarts — an audit hole, since
+    each shard's pooled auditor only sees its own stream.
+    """
+    if num_shards < 1:
+        raise InvalidQueryError("num_shards must be at least 1")
+    return zlib.crc32(user.encode("utf-8")) % num_shards
+
+
+class ShardCrashed(ReproError):
+    """The shard's worker process died mid-request (dead pipe)."""
+
+
+class ShardUnavailable(ReproError):
+    """The shard is down or mid-recovery; retry after ``retry_after``."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything needed to (re)build one shard worker — picklable, so
+    a spawn-context child can reconstruct the shard from scratch.
+
+    ``wal_dir`` selects the shard's checkpointed WAL directory (``None``
+    = in-memory journal only); ``replicate_to`` adds per-shard follower
+    replica directories.
+    """
+
+    index: int
+    values: Tuple[float, ...]
+    low: float
+    high: float
+    auditor: str = "sum"
+    seed: int = 0
+    wal_dir: Optional[str] = None
+    checkpoint_every: Optional[int] = None
+    checkpoint_bytes: Optional[int] = None
+    replicate_to: Tuple[str, ...] = ()
+    user_rate: Optional[float] = None
+    user_burst: int = 10
+    max_in_flight: Optional[int] = None
+
+
+def _auditor_factory(spec: ShardSpec) -> Callable[[Dataset], Any]:
+    from ..auditors.max_classic import MaxClassicAuditor
+    from ..auditors.max_prob import MaxProbabilisticAuditor
+    from ..auditors.maxmin_classic import MaxMinClassicAuditor
+    from ..auditors.maxmin_prob import MaxMinProbabilisticAuditor
+    from ..auditors.sum_classic import SumClassicAuditor
+    from ..auditors.sum_prob import SumProbabilisticAuditor
+
+    classic = {
+        "sum": SumClassicAuditor,
+        "max": MaxClassicAuditor,
+        "maxmin": MaxMinClassicAuditor,
+    }
+    probabilistic = {
+        "sum-prob": SumProbabilisticAuditor,
+        "max-prob": MaxProbabilisticAuditor,
+        "maxmin-prob": MaxMinProbabilisticAuditor,
+    }
+    if spec.auditor in classic:
+        cls = classic[spec.auditor]
+        return lambda ds: cls(ds)
+    if spec.auditor in probabilistic:
+        pcls = probabilistic[spec.auditor]
+        seed = spec.seed + spec.index  # one master stream per shard
+        return lambda ds: pcls(ds, rng=seed)
+    raise InvalidQueryError(f"unknown auditor name {spec.auditor!r}")
+
+
+def decision_to_dict(decision: AuditDecision) -> Dict[str, Any]:
+    """The wire form of a released decision (pipe and HTTP body)."""
+    out: Dict[str, Any] = {"denied": decision.denied}
+    if decision.answered:
+        out["value"] = decision.value
+    if decision.denied and decision.reason is not None:
+        out["reason"] = decision.reason.value
+        out["detail"] = decision.detail
+    return out
+
+
+class ShardWorker:
+    """One shard: an admission gate in front of a WAL-backed frontend.
+
+    ``handle`` speaks the picklable request/response dict protocol the
+    transports ship; it is the single release point of the shard, and
+    every outcome it returns is already journalled (durably, when the
+    shard carries a WAL) before the dict leaves this method.
+    """
+
+    def __init__(self, spec: ShardSpec,
+                 budget_clock: Optional[Clock] = None) -> None:
+        self.spec = spec
+        self._budget_clock = budget_clock
+        checkpoint = None
+        if spec.wal_dir is not None:
+            checkpoint = CheckpointPolicy(
+                every_records=spec.checkpoint_every or 256,
+                every_bytes=spec.checkpoint_bytes,
+            )
+        dataset = Dataset(list(spec.values), low=spec.low, high=spec.high)
+        self.frontend = MultiUserFrontend(
+            dataset, _auditor_factory(spec), mode="pooled",
+            wal_path=spec.wal_dir, checkpoint=checkpoint,
+            replicate_to=list(spec.replicate_to) or None,
+        )
+        self.admission: Optional[AdmissionController] = None
+        if spec.user_rate is not None or spec.max_in_flight is not None:
+            self.admission = AdmissionController(AdmissionPolicy(
+                user_rate=spec.user_rate, user_burst=spec.user_burst,
+                max_in_flight=spec.max_in_flight,
+            ))
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one protocol dict; never raises for a bad request."""
+        op = request.get("op")
+        if op == "query":
+            return self._handle_query(request)
+        if op == "refuse":
+            return self._handle_refuse(request)
+        if op == "stats":
+            # audit: WAL001 -- stats release aggregate bookkeeping, not a
+            # query decision; nothing here needs a journal append
+            return self._handle_stats()
+        if op == "ping":
+            # audit: WAL001 -- a liveness ack carries no decision
+            return {"ok": True, "shard": self.spec.index}
+        # audit: WAL001 -- a constant protocol error for an unknown op;
+        # no query was posed, so there is nothing to journal
+        return {"ok": False, "error": "unknown shard op"}
+
+    def _parse_query(self, request: Dict[str, Any]
+                     ) -> Tuple[str, Query]:
+        user = request.get("user")
+        if not isinstance(user, str) or not user:
+            raise InvalidQueryError("user must be a non-empty string")
+        kind = AggregateKind(request.get("kind"))
+        members = request.get("members")
+        if not isinstance(members, (list, tuple)):
+            raise InvalidQueryError("members must be a list of indices")
+        return user, Query(kind, frozenset(int(i) for i in members))
+
+    def _handle_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            user, query = self._parse_query(request)
+        except (InvalidQueryError, ValueError, TypeError):
+            return {"ok": False, "error": "invalid query"}
+        try:
+            if self.admission is not None:
+                refusal = self.admission.try_admit(user)
+                if refusal is not None:
+                    decision = self.frontend.refuse(user, query, refusal)
+                    fault_site("shard.post-journal")
+                    return self._respond(user, query, decision, shed=True)
+                try:
+                    decision = self._audit(user, query, request)
+                finally:
+                    self.admission.release()
+            else:
+                decision = self._audit(user, query, request)
+        except (InvalidQueryError, UnsupportedQueryError):
+            # Parseable but unanswerable — a kind this shard's auditor
+            # does not serve, or an index outside the dataset.  Nothing
+            # was journalled and nothing is released, so this is a
+            # constant protocol error, not a shard crash.
+            return {"ok": False, "error": "unsupported query"}
+        # The journal append is durable; the response dict is not yet on
+        # the pipe.  A crash here is the "answered on disk, never on the
+        # wire" window the chaos sweep kills in.
+        fault_site("shard.post-journal")
+        return self._respond(user, query, decision, shed=False)
+
+    def _audit(self, user: str, query: Query,
+               request: Dict[str, Any]) -> AuditDecision:
+        budget = self._budget_from(request)
+        target = self._budget_target()
+        if budget is not None and target is not None:
+            # Per-request deadline propagation: the frontend serialises
+            # auditor runs, so swapping the budget for one decision is
+            # race-free; restore unconditionally.
+            previous = target.budget
+            target.budget = budget
+            try:
+                return self.frontend.ask(user, query)
+            finally:
+                target.budget = previous
+        return self.frontend.ask(user, query)
+
+    def _budget_from(self, request: Dict[str, Any]) -> Optional[Budget]:
+        wall = request.get("wall_time")
+        steps = request.get("max_chain_steps")
+        if wall is None and steps is None:
+            return None
+        return Budget(wall_time=wall, max_chain_steps=steps,
+                      clock=self._budget_clock)
+
+    def _budget_target(self) -> Optional[Any]:
+        """The underlying auditor that honours a ``budget`` attribute."""
+        auditor = self.frontend._pooled
+        while auditor is not None and not hasattr(auditor, "budget"):
+            auditor = getattr(auditor, "auditor", None)
+        return auditor
+
+    def _handle_refuse(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Journal an edge-initiated fail-closed refusal (expired
+        deadline, edge backpressure) without consulting the auditor."""
+        try:
+            user, query = self._parse_query(request)
+        except (InvalidQueryError, ValueError, TypeError):
+            return {"ok": False, "error": "invalid query"}
+        # audit: LEAK001 -- the detail is an edge-supplied policy constant
+        # (server.EXPIRED_DEADLINE_DETAIL), never derived from data values
+        refusal = AuditDecision.deny(
+            DenialReason.RESOURCE_EXHAUSTED,
+            str(request.get("detail") or "refused at the network edge"),
+        )
+        decision = self.frontend.refuse(user, query, refusal)
+        fault_site("shard.post-journal")
+        return self._respond(user, query, decision, shed=True)
+
+    def _respond(self, user: str, query: Query, decision: AuditDecision,
+                 shed: bool) -> Dict[str, Any]:
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        event = {
+            "seq": seq,
+            "shard": self.spec.index,
+            "user": user,
+            "kind": query.kind.value,
+            "members": sorted(query.query_set),
+        }
+        event.update(decision_to_dict(decision))
+        return {"ok": True, "shed": shed,
+                "decision": decision_to_dict(decision), "event": event}
+
+    def _handle_stats(self) -> Dict[str, Any]:
+        stats: Dict[str, Any] = {
+            "ok": True,
+            "shard": self.spec.index,
+            "users": self.frontend.users(),
+            "denials": self.frontend.denial_counts(),
+            "events": self._seq,
+        }
+        if self.admission is not None:
+            stats["shed"] = self.admission.shed_counts()
+        return stats
+
+    def close(self) -> None:
+        """Close the shard's WAL (flushes replication links too)."""
+        closer = getattr(self.frontend._pooled, "close", None)
+        if closer is not None:
+            closer()
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+
+def _shard_process_main(conn: Any, spec: ShardSpec) -> None:
+    """Entry point of a spawned shard worker process."""
+    worker = ShardWorker(spec)
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except EOFError:
+                break
+            if request is None:
+                break
+            conn.send(worker.handle(request))
+    finally:
+        worker.close()
+        conn.close()
+
+
+class InlineShardHandle:
+    """The worker runs in-process: the deterministic-chaos transport.
+
+    An :class:`InjectedCrash` escaping :meth:`request` models the child
+    process dying mid-request; the supervisor treats it exactly like a
+    dead pipe.
+    """
+
+    def __init__(self, spec: ShardSpec,
+                 budget_clock: Optional[Clock] = None) -> None:
+        self.worker = ShardWorker(spec, budget_clock=budget_clock)
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self.worker.handle(payload)
+
+    def close(self) -> None:
+        self.worker.close()
+
+
+class ProcessShardHandle:
+    """A shard worker in a spawned child process behind a pipe.
+
+    Spawn context only — fork would duplicate live WAL file handles into
+    the child.  A send/recv failure or an ACK timeout means the worker
+    is gone: :class:`ShardCrashed`, for the supervisor to handle.
+    """
+
+    def __init__(self, spec: ShardSpec, timeout: float = 60.0) -> None:
+        self.spec = spec
+        self._timeout = float(timeout)
+        ctx = multiprocessing.get_context("spawn")
+        self._conn, child = ctx.Pipe()
+        self._process = ctx.Process(target=_shard_process_main,
+                                    args=(child, spec), daemon=True)
+        self._process.start()
+        child.close()
+        # Fail fast at boot: a shard that cannot recover its WAL must
+        # not be marked serving.
+        self.request({"op": "ping"})
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            self._conn.send(payload)
+            if not self._conn.poll(self._timeout):
+                raise ShardCrashed(
+                    f"shard {self.spec.index} worker did not respond "
+                    f"within {self._timeout}s")
+            return self._conn.recv()
+        except (OSError, EOFError, BrokenPipeError) as exc:
+            raise ShardCrashed(
+                f"shard {self.spec.index} worker process is gone "
+                f"({exc.__class__.__name__})") from exc
+
+    def kill(self) -> None:
+        """Hard-kill the child (crash drills for the spawn transport)."""
+        self._process.terminate()
+        self._process.join(timeout=5.0)
+
+    def close(self) -> None:
+        try:
+            self._conn.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        self._process.join(timeout=10.0)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        self._conn.close()
+
+
+# ----------------------------------------------------------------------
+# Supervisor
+# ----------------------------------------------------------------------
+
+@dataclass
+class _ShardState:
+    status: str = "serving"          # serving | down
+    attempts: int = 0                # consecutive failed restarts
+    retry_at: float = 0.0            # earliest next restart instant
+    last_error: str = ""             # constant-ish classname diagnostics
+
+
+class ShardSupervisor:
+    """Owns the shard handles; restarts crashed shards with backoff.
+
+    A dead shard is restarted no earlier than ``backoff_base * 2**k``
+    seconds after its ``k``-th consecutive failure (capped at
+    ``backoff_max``); the restart *is* WAL recovery — the new worker
+    replays its checkpointed log before the supervisor re-admits
+    traffic.  In the window between death and successful restart every
+    :meth:`request` raises :class:`ShardUnavailable` with the remaining
+    backoff, which the edge surfaces as 503 + ``Retry-After``.
+
+    Concurrency contract: the edge serialises requests *per shard* (an
+    asyncio lock per shard), so :meth:`request` never races itself for
+    one shard; the internal lock only guards the supervisor's own state
+    transitions.
+    """
+
+    def __init__(self, specs: List[ShardSpec], mode: str = "spawn",
+                 backoff_base: float = 0.05, backoff_max: float = 5.0,
+                 clock: Optional[Clock] = None,
+                 budget_clock: Optional[Clock] = None) -> None:
+        if mode not in ("spawn", "inline"):
+            raise InvalidQueryError("mode must be 'spawn' or 'inline'")
+        self.specs = list(specs)
+        self.mode = mode
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self._clock: Clock = clock or time.monotonic
+        self._budget_clock = budget_clock
+        self._lock = threading.Lock()
+        self._handles: Dict[int, Any] = {}
+        self._state: Dict[int, _ShardState] = {
+            spec.index: _ShardState() for spec in self.specs
+        }
+        for spec in self.specs:
+            self._handles[spec.index] = self._build_handle(spec)
+        self.restarts = 0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.specs)
+
+    def _build_handle(self, spec: ShardSpec) -> Any:
+        if self.mode == "inline":
+            return InlineShardHandle(spec, budget_clock=self._budget_clock)
+        return ProcessShardHandle(spec)
+
+    # ------------------------------------------------------------------
+
+    def request(self, index: int, payload: Dict[str, Any]
+                ) -> Dict[str, Any]:
+        """Route one protocol dict to shard ``index`` (restarting it
+        first if it is down and its backoff has elapsed)."""
+        handle = self._ensure_serving(index)
+        try:
+            return handle.request(payload)
+        except (ShardCrashed, InjectedCrash) as exc:
+            # InjectedCrash is the inline transport's "child process
+            # died" signal — the supervisor here *is* the parent, so
+            # observing a child's death is not swallowing a crash: the
+            # worker object is discarded wholesale, exactly like a dead
+            # pipe, and recovery goes through WAL replay on restart.
+            self._mark_down(index, exc)
+            state = self._state[index]
+            raise ShardUnavailable(
+                f"shard {index} worker crashed; recovering",
+                retry_after=max(0.0, state.retry_at - self._clock()),
+            ) from None
+
+    def _ensure_serving(self, index: int) -> Any:
+        if index not in self._state:
+            raise InvalidQueryError(f"unknown shard index {index}")
+        with self._lock:
+            state = self._state[index]
+            if state.status == "serving":
+                return self._handles[index]
+            now = self._clock()
+            if now < state.retry_at:
+                raise ShardUnavailable(
+                    f"shard {index} is recovering; retry later",
+                    retry_after=state.retry_at - now,
+                )
+        return self._restart(index)
+
+    def _mark_down(self, index: int, exc: BaseException) -> None:
+        with self._lock:
+            state = self._state[index]
+            state.status = "down"
+            state.attempts += 1
+            state.last_error = exc.__class__.__name__
+            state.retry_at = self._clock() + self._backoff(state.attempts)
+        handle = self._handles.pop(index, None)
+        if handle is not None and self.mode == "spawn":
+            try:
+                handle.kill()
+            except Exception:  # pragma: no cover - defensive reaping
+                pass
+
+    def _backoff(self, attempts: int) -> float:
+        return min(self.backoff_max,
+                   self.backoff_base * (2.0 ** max(0, attempts - 1)))
+
+    def _restart(self, index: int) -> Any:
+        """Rebuild the shard worker; WAL replay happens inside."""
+        spec = next(s for s in self.specs if s.index == index)
+        try:
+            handle = self._build_handle(spec)
+        except InjectedCrash:
+            # The restart itself died (a chaos plan is still active):
+            # the supervisor survives its child and backs off again.
+            self._mark_down_restart_failed(index, "InjectedCrash")
+            raise ShardUnavailable(
+                f"shard {index} recovery crashed; backing off",
+                retry_after=self._retry_after(index),
+            ) from None
+        except ReproError:
+            self._mark_down_restart_failed(index, "ReproError")
+            raise ShardUnavailable(
+                f"shard {index} recovery failed; backing off",
+                retry_after=self._retry_after(index),
+            ) from None
+        with self._lock:
+            self._handles[index] = handle
+            state = self._state[index]
+            state.status = "serving"
+            state.attempts = 0
+            state.retry_at = 0.0
+            state.last_error = ""
+            self.restarts += 1
+        return handle
+
+    def _mark_down_restart_failed(self, index: int, label: str) -> None:
+        with self._lock:
+            state = self._state[index]
+            state.attempts += 1
+            state.last_error = label
+            state.retry_at = self._clock() + self._backoff(state.attempts)
+
+    def _retry_after(self, index: int) -> float:
+        with self._lock:
+            return max(0.0, self._state[index].retry_at - self._clock())
+
+    # ------------------------------------------------------------------
+
+    def crash_shard(self, index: int) -> None:
+        """Kill one shard on purpose (drills and the demo)."""
+        self._mark_down(index, ShardCrashed("operator-initiated kill"))
+
+    def status(self) -> List[Dict[str, Any]]:
+        """Per-shard serving state for ``/healthz``."""
+        with self._lock:
+            return [
+                {
+                    "shard": spec.index,
+                    "status": self._state[spec.index].status,
+                    "restart_attempts": self._state[spec.index].attempts,
+                    "last_error": self._state[spec.index].last_error,
+                }
+                for spec in self.specs
+            ]
+
+    def stats(self) -> List[Dict[str, Any]]:
+        """Per-shard worker stats (skips shards that are down)."""
+        out: List[Dict[str, Any]] = []
+        for spec in self.specs:
+            try:
+                out.append(self.request(spec.index, {"op": "stats"}))
+            except (ShardUnavailable, InvalidQueryError):
+                out.append({"ok": False, "shard": spec.index,
+                            "error": "unavailable"})
+        return out
+
+    def close(self) -> None:
+        with self._lock:
+            handles = list(self._handles.values())
+            self._handles.clear()
+            for state in self._state.values():
+                state.status = "down"
+        for handle in handles:
+            handle.close()

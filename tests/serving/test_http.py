@@ -1,0 +1,234 @@
+"""End-to-end HTTP serving: answers, backpressure, deadlines, SSE."""
+
+import asyncio
+import itertools
+import threading
+import time
+
+import pytest
+
+from repro.serving import AuditClient, AuditServer, ServerConfig
+from repro.serving.middleware import DeadlinePolicy
+from repro.serving.shards import ShardSpec, ShardSupervisor
+
+VALUES = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0)
+
+
+class Harness:
+    """An AuditServer on a background event-loop thread."""
+
+    def __init__(self, specs, config=None, **supervisor_kwargs):
+        supervisor_kwargs.setdefault("mode", "inline")
+        self.supervisor = ShardSupervisor(specs, **supervisor_kwargs)
+        self.server = AuditServer(self.supervisor,
+                                  config or ServerConfig())
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._ready.wait(10.0), "server did not start"
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self.loop.run_forever()
+
+    def client(self, timeout=30.0):
+        return AuditClient("127.0.0.1", self.server.port, timeout=timeout)
+
+    def stop(self):
+        async def _stop():
+            await self.server.stop()
+
+        if not self.server.crashed:
+            asyncio.run_coroutine_threadsafe(_stop(), self.loop).result(10.0)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10.0)
+        self.supervisor.close()
+
+
+def make_specs(tmp_path=None, num_shards=2, **overrides):
+    specs = []
+    for i in range(num_shards):
+        kwargs = dict(index=i, values=VALUES, low=0.0, high=100.0,
+                      auditor="sum", seed=0)
+        if tmp_path is not None:
+            kwargs["wal_dir"] = str(tmp_path / f"shard-{i:02d}")
+        kwargs.update(overrides)
+        specs.append(ShardSpec(**kwargs))
+    return specs
+
+
+@pytest.fixture()
+def harness(tmp_path):
+    h = Harness(make_specs(tmp_path))
+    yield h
+    h.stop()
+
+
+def test_query_answers_and_denies_over_http(harness):
+    client = harness.client()
+    res = client.query("alice", "sum", range(6))
+    assert res.ok
+    assert res.payload == {"denied": False, "value": 210.0}
+    client.query("alice", "sum", [0, 1, 2])
+    denied = client.query("alice", "sum", [0, 1])
+    assert denied.ok and denied.payload["denied"]
+    assert denied.payload["reason"] in ("full-disclosure",
+                                        "partial-disclosure")
+
+
+def test_users_route_to_stable_shards(harness):
+    client = harness.client()
+    for user in ("alice", "bob", "carol", "dave"):
+        assert client.query(user, "sum", range(6)).ok
+    stats = client.stats().payload
+    users_by_shard = {s["shard"]: s["users"] for s in stats["shards"]}
+    # every user appears on exactly one shard
+    seen = [u for users in users_by_shard.values() for u in users]
+    assert sorted(seen) == ["alice", "bob", "carol", "dave"]
+
+
+def test_expired_deadline_is_journalled_fail_closed_denial(harness):
+    client = harness.client()
+    res = client.query("alice", "sum", range(6), deadline_ms=-1)
+    assert res.ok  # released outcome: a denial, not a transport error
+    assert res.payload["denied"]
+    assert res.payload["reason"] == "resource-exhausted"
+    assert "expired" in res.payload["detail"]
+    # journalled: the shard's denial bookkeeping saw it
+    stats = client.stats().payload
+    denials = {u: n for s in stats["shards"]
+               for u, n in s.get("denials", {}).items()}
+    assert denials.get("alice") == 1
+
+
+def test_malformed_requests_are_constant_400s(harness):
+    client = harness.client()
+    res = client._exchange("POST", "/query", body=b"{not json",
+                           headers={"Content-Type": "application/json"})
+    assert res.status == 400
+    assert res.payload == {"error": "request body is not valid JSON"}
+    res = client.query("alice", "bogus-kind", [0])
+    assert res.status == 400
+    assert res.payload == {"error": "unknown aggregate kind"}
+    res = client._exchange("POST", "/query", body=b'"just a string"')
+    assert res.status == 400
+    res = client._exchange("POST", "/query",
+                           body=b'{"user": "a", "kind": "sum"}')
+    assert res.status == 400
+    assert res.payload == {"error": "invalid query"}
+
+
+def test_unanswerable_query_is_400_and_shard_survives(harness):
+    client = harness.client()
+    res = client.query("alice", "max", [0, 1])  # sum-only deployment
+    assert res.status == 400
+    assert res.payload == {"error": "unsupported query"}
+    res = client.query("alice", "sum", [0, 99])  # index out of range
+    assert res.status == 400
+    assert res.payload == {"error": "unsupported query"}
+    # the shard did not crash: health is clean and queries still serve
+    assert client.health().payload["status"] == "serving"
+    assert client.query("alice", "sum", range(6)).ok
+
+
+def test_unknown_path_and_wrong_method(harness):
+    client = harness.client()
+    assert client._exchange("GET", "/nope").status == 404
+    res = client._exchange("GET", "/query")
+    assert res.status == 405
+    assert "POST" in res.payload["error"]
+
+
+def test_admission_shed_is_429_with_retry_after(tmp_path):
+    h = Harness(make_specs(tmp_path, user_rate=0.001, user_burst=1))
+    try:
+        client = h.client()
+        assert client.query("alice", "sum", range(6)).ok
+        shed = client.query("alice", "sum", [3, 4, 5])
+        assert shed.status == 429
+        assert shed.retry_after is not None and shed.retry_after >= 1
+        assert shed.payload["shed"] is True
+        assert shed.payload["reason"] == "resource-exhausted"
+        # the shed is journalled: shard stats count it as a denial
+        stats = client.stats().payload
+        shed_counts = [s.get("shed") for s in stats["shards"]
+                       if s.get("shed")]
+        assert any(c["rate"] >= 1 for c in shed_counts)
+    finally:
+        h.stop()
+
+
+def test_deadline_propagates_into_the_probabilistic_budget(tmp_path):
+    """X-Deadline-Ms reaches the sampler: with a budget clock that jumps
+    a second per reading, a 300 ms deadline exhausts at the first
+    cooperative checkpoint and fails closed."""
+    ticker = itertools.count()
+    h = Harness(make_specs(tmp_path, auditor="sum-prob"),
+                budget_clock=lambda: float(next(ticker)))
+    try:
+        client = h.client()
+        res = client.query("alice", "sum", range(6), deadline_ms=300)
+        assert res.ok
+        assert res.payload["denied"]
+        assert res.payload["reason"] == "resource-exhausted"
+    finally:
+        h.stop()
+
+
+def test_crashed_shard_serves_503_until_recovery(tmp_path):
+    now = [0.0]
+    h = Harness(make_specs(tmp_path, num_shards=1), backoff_base=5.0,
+                clock=lambda: now[0])
+    try:
+        client = h.client()
+        assert client.query("alice", "sum", range(6)).ok
+        h.supervisor.crash_shard(0)
+        res = client.query("alice", "sum", [0, 1, 2])
+        assert res.status == 503
+        assert res.retry_after is not None and res.retry_after >= 1
+        health = client.health().payload
+        assert health["status"] == "degraded"
+        # past the backoff the shard restarts (replaying its WAL) and
+        # serving resumes where it left off
+        now[0] += 10.0
+        res = client.query("alice", "sum", [0, 1, 2])
+        assert res.ok and res.payload == {"denied": False, "value": 60.0}
+        assert client.health().payload["status"] == "serving"
+    finally:
+        h.stop()
+
+
+def test_sse_stream_delivers_journalled_events(harness):
+    client = harness.client()
+    received = []
+
+    def consume():
+        received.extend(client.events(user="alice", limit=2, timeout=30))
+
+    consumer = threading.Thread(target=consume, daemon=True)
+    consumer.start()
+    # wait until the subscription is live before querying
+    deadline = time.monotonic() + 10.0
+    while client.stats().payload["sse_subscribers"] == 0:
+        assert time.monotonic() < deadline, "subscriber never registered"
+        time.sleep(0.02)
+    client.query("bob", "sum", range(6))     # filtered out
+    client.query("alice", "sum", [0, 1, 2])
+    client.query("alice", "sum", [0, 1])     # now x2 would be determined
+    consumer.join(15.0)
+    assert not consumer.is_alive()
+    assert [e["user"] for e in received] == ["alice", "alice"]
+    assert received[0]["denied"] is False
+    assert received[0]["value"] == 60.0
+    assert received[1]["denied"] is True
+    assert received[1]["members"] == [0, 1]
+
+
+def test_sse_rejects_malformed_limit(harness):
+    client = harness.client()
+    res = client._exchange("GET", "/events?limit=soonish")
+    assert res.status == 400
+    assert res.payload == {"error": "malformed limit parameter"}

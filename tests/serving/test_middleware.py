@@ -1,0 +1,102 @@
+"""Deadline propagation edge cases at the HTTP edge.
+
+The satellite checklist cases: an already-expired client deadline is an
+immediate journalled refusal (never an auditor run), a deadline shorter
+than one chain step fails closed at the first checkpoint, and skewed
+absolute ``X-Deadline`` headers are clamped to the server-side cap.
+"""
+
+import pytest
+
+from repro.serving.middleware import (
+    MIN_WALL_TIME,
+    DeadlinePolicy,
+    budget_from_headers,
+    retry_after_seconds,
+)
+from repro.serving.protocol import ProtocolError
+
+
+def test_no_header_no_default_means_no_budget():
+    budget, expired = budget_from_headers({}, DeadlinePolicy())
+    assert budget is None and not expired
+
+
+def test_no_header_uses_server_default():
+    policy = DeadlinePolicy(default_wall_time=2.5, max_chain_steps=100)
+    budget, expired = budget_from_headers({}, policy)
+    assert not expired
+    assert budget.wall_time == 2.5
+    assert budget.max_chain_steps == 100
+
+
+def test_relative_deadline_ms_becomes_wall_time():
+    budget, expired = budget_from_headers(
+        {"x-deadline-ms": "250"}, DeadlinePolicy())
+    assert not expired
+    assert budget.wall_time == pytest.approx(0.25)
+
+
+def test_expired_relative_deadline_fails_closed_without_budget():
+    for raw in ("0", "-1", "-5000"):
+        budget, expired = budget_from_headers(
+            {"x-deadline-ms": raw}, DeadlinePolicy())
+        assert budget is None
+        assert expired, f"deadline {raw}ms should be expired at arrival"
+
+
+def test_absolute_deadline_in_the_past_is_expired():
+    policy = DeadlinePolicy(wall_clock=lambda: 1000.0)
+    budget, expired = budget_from_headers({"x-deadline": "999.5"}, policy)
+    assert budget is None and expired
+
+
+def test_skewed_absolute_deadline_is_clamped_to_server_cap():
+    """A client clock 'years ahead' buys no more than max_wall_time."""
+    policy = DeadlinePolicy(max_wall_time=30.0, wall_clock=lambda: 1000.0)
+    budget, expired = budget_from_headers(
+        {"x-deadline": str(1000.0 + 10_000_000)}, policy)
+    assert not expired
+    assert budget.wall_time == 30.0
+
+
+def test_relative_deadline_is_clamped_too():
+    policy = DeadlinePolicy(max_wall_time=1.0)
+    budget, _ = budget_from_headers({"x-deadline-ms": "60000"}, policy)
+    assert budget.wall_time == 1.0
+
+
+def test_sub_millisecond_remainder_is_floored_not_rejected():
+    """A 1 ms remainder must still build a valid (positive) budget that
+    fails closed at its first checkpoint — Budget rejects wall_time<=0."""
+    budget, expired = budget_from_headers(
+        {"x-deadline-ms": "0.5"}, DeadlinePolicy())
+    assert not expired
+    assert budget.wall_time == MIN_WALL_TIME
+
+
+def test_relative_header_wins_over_absolute():
+    policy = DeadlinePolicy(wall_clock=lambda: 0.0)
+    budget, _ = budget_from_headers(
+        {"x-deadline-ms": "1000", "x-deadline": "20.0"}, policy)
+    assert budget.wall_time == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("headers", [
+    {"x-deadline-ms": "soon"},
+    {"x-deadline": "tuesday"},
+])
+def test_malformed_deadline_headers_are_constant_400s(headers):
+    with pytest.raises(ProtocolError) as err:
+        budget_from_headers(headers, DeadlinePolicy())
+    assert err.value.status == 400
+    assert "soon" not in str(err.value)
+    assert "tuesday" not in str(err.value)
+
+
+def test_retry_after_rounds_up_to_whole_seconds():
+    assert retry_after_seconds(0.0) == "1"
+    assert retry_after_seconds(0.2) == "1"
+    assert retry_after_seconds(1.0) == "1"
+    assert retry_after_seconds(1.01) == "2"
+    assert retry_after_seconds(4.5) == "5"

@@ -1,0 +1,134 @@
+"""HTTP/1.1 framing: parsing, limits, and the torn/slow-loris defenses."""
+
+import asyncio
+
+import pytest
+
+from repro.resilience.faults import FaultClock, FaultPlan, Stall, inject
+from repro.serving.protocol import (
+    HttpLimits,
+    HttpResponse,
+    ProtocolError,
+    json_response,
+    read_request,
+    render_response,
+)
+
+
+def parse(data: bytes, limits: HttpLimits = None):
+    async def _go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, limits or HttpLimits())
+
+    return asyncio.run(_go())
+
+
+def test_parses_post_with_body_and_headers():
+    request = parse(
+        b"POST /query?x=1 HTTP/1.1\r\n"
+        b"Host: localhost\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: 7\r\n"
+        b"\r\n"
+        b'{"a":1}'
+    )
+    assert request.method == "POST"
+    assert request.path == "/query"
+    assert request.query == {"x": "1"}
+    assert request.header("content-type") == "application/json"
+    assert request.body == b'{"a":1}'
+    assert request.keep_alive
+
+
+def test_clean_eof_yields_none():
+    assert parse(b"") is None
+
+
+def test_connection_close_and_http10_disable_keep_alive():
+    req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+    assert not req.keep_alive
+    req = parse(b"GET / HTTP/1.0\r\n\r\n")
+    assert not req.keep_alive
+    req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+    assert req.keep_alive
+
+
+@pytest.mark.parametrize("raw,status", [
+    (b"GARBAGE\r\n\r\n", 400),                       # malformed line
+    (b"GET /\r\n\r\n", 400),                         # missing version
+    (b"GET / FTP/1.0\r\n\r\n", 400),                 # wrong protocol
+    (b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", 400),
+    (b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n", 400),
+    (b"POST / HTTP/1.1\r\nContent-Length: -4\r\n\r\n", 400),
+    (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nx", 400),
+])
+def test_malformed_requests_raise_constant_400(raw, status):
+    with pytest.raises(ProtocolError) as err:
+        parse(raw)
+    assert err.value.status == status
+    # The diagnostic never echoes request bytes.
+    assert "GARBAGE" not in str(err.value)
+    assert "nan" not in str(err.value)
+
+
+def test_oversized_body_is_413():
+    limits = HttpLimits(max_body_bytes=8)
+    with pytest.raises(ProtocolError) as err:
+        parse(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789",
+              limits)
+    assert err.value.status == 413
+
+
+def test_oversized_headers_are_400():
+    limits = HttpLimits(max_header_bytes=32)
+    with pytest.raises(ProtocolError) as err:
+        parse(b"GET / HTTP/1.1\r\n"
+              b"A: " + b"x" * 64 + b"\r\n\r\n", limits)
+    assert err.value.status == 400
+
+
+def test_torn_body_is_a_400_not_a_hang():
+    """A client that dies mid-upload must surface as a constant 400."""
+    with pytest.raises(ProtocolError) as err:
+        parse(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly-a-bit")
+    assert err.value.status == 400
+    assert "torn" in str(err.value)
+
+
+def test_slow_loris_is_cut_off_on_the_injected_clock():
+    """A dribbling client trips the cumulative header deadline without
+    any wall-clock waiting: the drill runs on a FaultClock."""
+    clock = FaultClock()
+    limits = HttpLimits(header_timeout=5.0, clock=clock.now)
+    plan = FaultPlan({
+        # let the request line pass, then stall 100s "between" headers
+        "http.slow-loris": [None, Stall(clock, 100.0)],
+    })
+    with inject(plan):
+        with pytest.raises(ProtocolError) as err:
+            parse(b"GET / HTTP/1.1\r\n"
+                  b"Host: localhost\r\n"
+                  b"X-More: dribble\r\n"
+                  b"\r\n", limits)
+    assert err.value.status == 408
+    assert plan.hit_count("http.slow-loris") >= 2
+
+
+def test_render_response_frames_body_and_length():
+    data = render_response(HttpResponse(status=200, body=b"hello",
+                                        headers=[("X-A", "b")]))
+    assert data.startswith(b"HTTP/1.1 200 OK\r\n")
+    assert b"Content-Length: 5\r\n" in data
+    assert b"X-A: b\r\n" in data
+    assert data.endswith(b"\r\n\r\nhello")
+
+
+def test_json_response_sorts_keys_and_sets_content_type():
+    response = json_response(429, {"b": 1, "a": 2},
+                             headers=[("Retry-After", "1")])
+    assert response.status == 429
+    assert response.body == b'{"a": 2, "b": 1}'
+    assert ("Content-Type", "application/json") in response.headers
+    assert ("Retry-After", "1") in response.headers
